@@ -1,0 +1,70 @@
+// Ablation: per-operator resources vs container reuse (the trade-off the
+// paper's research agenda raises in Section VIII, "RAQO on arbitrary
+// queries", point iii). For each TPC-H query, the RAQO joint plan's
+// per-operator resources are compared — on the execution simulator — with
+// the best single plan-wide configuration, whose stages reuse containers
+// and skip per-stage startup. Also prints the Section VI-B search-space
+// accounting that motivates per-operator independence in the first place.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "catalog/tpch.h"
+#include "core/container_reuse.h"
+#include "core/raqo_planner.h"
+#include "core/search_space.h"
+#include "sim/profile_runner.h"
+
+int main() {
+  using namespace raqo;
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  sim::ExecutionSimulator simulator(sim::EngineProfile::Hive(), &cat);
+  core::RaqoPlanner planner(&cat, models,
+                            resource::ClusterConditions::PaperDefault());
+
+  bench::Section("Search-space accounting (Section VI-B), 1000-point "
+                 "resource grid");
+  {
+    bench::Table table({"relations", "joint space", "independent space"});
+    for (int n : {2, 4, 8, 20, 100}) {
+      const core::SearchSpaceSize space =
+          core::ComputeSearchSpace(n, plan::kNumJoinImpls, 100, 10);
+      table.AddRow({bench::Int(n),
+                    StrPrintf("10^%.1f", space.log10_joint),
+                    StrPrintf("10^%.1f", space.log10_independent)});
+    }
+    table.Print();
+  }
+
+  bench::Section("Per-operator resources vs harmonized (container reuse)");
+  bench::Table table({"query", "per-operator (s)", "harmonized (s)",
+                      "harmonized config", "winner"});
+  for (catalog::TpchQuery q :
+       {catalog::TpchQuery::kQ3, catalog::TpchQuery::kQ2,
+        catalog::TpchQuery::kAll}) {
+    const std::vector<catalog::TableId> tables =
+        *catalog::TpchQueryTables(cat, q);
+    Result<core::JointPlan> joint = planner.Plan(tables);
+    RAQO_CHECK(joint.ok()) << joint.status().ToString();
+    Result<core::ReuseAnalysis> analysis =
+        core::AnalyzeContainerReuse(simulator, *joint->plan);
+    RAQO_CHECK(analysis.ok()) << analysis.status().ToString();
+    table.AddRow({catalog::TpchQueryName(q),
+                  bench::Num(analysis->per_operator_seconds),
+                  bench::Num(analysis->harmonized_seconds),
+                  analysis->harmonized_config.ToString(),
+                  analysis->harmonize_wins ? "harmonized" : "per-operator"});
+  }
+  table.Print();
+  std::printf(
+      "\ntwo effects combine here: (i) a shared configuration skips "
+      "per-stage container startup, and (ii) the harmonization search "
+      "re-scores the candidate configurations on the simulator, "
+      "correcting residual cost-model error in the per-operator choices. "
+      "When operators genuinely want different shapes (e.g. one broadcast "
+      "needing a huge container next to a wide shuffle), per-operator "
+      "planning keeps its edge — the trade-off the paper flags\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef RAQO_BENCH_BENCH_UTIL_H_
+#define RAQO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace raqo::bench {
+
+/// Minimal fixed-width table printer for the figure-reproduction
+/// binaries: each bench prints the same rows/series the paper's figure
+/// plots, so the output can be compared against the paper directly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    RAQO_CHECK(cells.size() == headers_.size())
+        << "row width mismatch in bench table";
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::string line;
+      for (size_t c = 0; c < row.size(); ++c) {
+        line += StrPrintf("%-*s", static_cast<int>(widths[c]) + 2,
+                          row[c].c_str());
+      }
+      std::printf("%s\n", line.c_str());
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline std::string Num(double v, const char* fmt = "%.2f") {
+  return StrPrintf(fmt, v);
+}
+
+inline std::string Int(int64_t v) { return StrPrintf("%lld", (long long)v); }
+
+}  // namespace raqo::bench
+
+#endif  // RAQO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+// Reproduces Figure 1: the cumulative distribution of the queue-time to
+// execution-time ratio of jobs on a shared production cluster. The paper's
+// headline: more than 80% of jobs spend at least as much time queued as
+// executing, and more than 20% wait at least 4x their execution time.
+//
+// The Microsoft production traces are not available, so the jobs come from
+// a synthetic heavy-tailed workload pushed through a FIFO container-queue
+// simulation of a near-saturated cluster (see DESIGN.md, substitutions).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "trace/queue_sim.h"
+
+int main() {
+  using namespace raqo;
+  bench::Section("Figure 1: queue-time / runtime ratio CDF");
+
+  trace::WorkloadOptions options;  // calibrated defaults
+  Result<EmpiricalCdf> cdf = trace::QueueRuntimeRatioCdf(options);
+  if (!cdf.ok()) {
+    std::fprintf(stderr, "error: %s\n", cdf.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::Table table({"fraction of jobs", "queue/runtime ratio"});
+  for (const auto& [fraction, ratio] : cdf->Points(21)) {
+    table.AddRow({bench::Num(fraction), bench::Num(ratio, "%.3f")});
+  }
+  table.Print();
+
+  std::printf("\nheadline statistics (paper: >0.80 and >0.20):\n");
+  std::printf("  fraction with ratio >= 1:  %.3f\n",
+              cdf->FractionAtOrAbove(1.0));
+  std::printf("  fraction with ratio >= 4:  %.3f\n",
+              cdf->FractionAtOrAbove(4.0));
+  std::printf("  median ratio:              %.3f\n", cdf->Quantile(0.5));
+  return 0;
+}

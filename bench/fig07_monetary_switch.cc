@@ -1,0 +1,106 @@
+// Reproduces Figure 7: the *monetary* switch points between BHJ and SMJ
+// over varying data sizes (the dollar-cost analogue of Figure 4). The
+// paper's takeaway: the most cost-effective implementation varies with
+// both the available resources and the data, so query planning without
+// resource planning also costs money, not just time.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "catalog/table.h"
+#include "resource/resource_config.h"
+#include "sim/exec_model.h"
+
+namespace {
+
+using namespace raqo;
+
+/// Monetary cost (GB*s of reserved memory) of one join, +inf when OOM.
+double MoneyOf(const sim::EngineProfile& profile, plan::JoinImpl impl,
+               double small_gb, double cs, int nc) {
+  sim::ExecParams params;
+  params.container_size_gb = cs;
+  params.num_containers = nc;
+  Result<sim::JoinRunResult> r =
+      sim::SimulateJoin(profile, impl, catalog::GbToBytes(small_gb),
+                        catalog::GbToBytes(77.0), params);
+  if (!r.ok()) return std::numeric_limits<double>::infinity();
+  return cs * nc * r->seconds;
+}
+
+/// Largest smaller-relation size at which BHJ is the monetarily cheaper
+/// implementation (bisection, as in rules::FindSwitchPointGb but on the
+/// dollar objective).
+double MonetarySwitchGb(const sim::EngineProfile& profile, double cs,
+                        int nc) {
+  auto bhj_wins = [&](double ss) {
+    return MoneyOf(profile, plan::JoinImpl::kBroadcastHashJoin, ss, cs, nc) <=
+           MoneyOf(profile, plan::JoinImpl::kSortMergeJoin, ss, cs, nc);
+  };
+  double lo = 0.0;
+  double hi = 12.0;
+  if (!bhj_wins(0.01)) return 0.0;
+  if (bhj_wins(hi)) return hi;
+  while (hi - lo > 0.01) {
+    const double mid = (lo + hi) / 2;
+    (bhj_wins(mid) ? lo : hi) = mid;
+  }
+  return (lo + hi) / 2;
+}
+
+}  // namespace
+
+int main() {
+  using namespace raqo;
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+
+  bench::Section("Figure 7(a): monetary switch point vs container size "
+                 "(nc = 10)");
+  {
+    bench::Table table({"container (GB)", "monetary switch (GB)",
+                        "time switch for reference (GB)"});
+    for (double cs : {3.0, 5.0, 7.0, 9.0, 11.0}) {
+      // Time switch via the same bisection on seconds.
+      auto time_wins = [&](double ss) {
+        sim::ExecParams p;
+        p.container_size_gb = cs;
+        p.num_containers = 10;
+        auto b = sim::SimulateJoin(hive, plan::JoinImpl::kBroadcastHashJoin,
+                                   catalog::GbToBytes(ss),
+                                   catalog::GbToBytes(77.0), p);
+        auto s = sim::SimulateJoin(hive, plan::JoinImpl::kSortMergeJoin,
+                                   catalog::GbToBytes(ss),
+                                   catalog::GbToBytes(77.0), p);
+        return b.ok() && s.ok() && b->seconds <= s->seconds;
+      };
+      double lo = 0, hi = 12;
+      if (!time_wins(0.01)) {
+        hi = 0;
+      } else if (!time_wins(hi)) {
+        while (hi - lo > 0.01) {
+          const double mid = (lo + hi) / 2;
+          (time_wins(mid) ? lo : hi) = mid;
+        }
+      }
+      table.AddRow({bench::Num(cs, "%.0f"),
+                    bench::Num(MonetarySwitchGb(hive, cs, 10)),
+                    bench::Num((lo + hi) / 2)});
+    }
+    table.Print();
+  }
+
+  bench::Section("Figure 7(b): monetary switch point vs container count "
+                 "(cs = 9 GB)");
+  {
+    bench::Table table({"containers", "monetary switch (GB)"});
+    for (int nc : {5, 10, 20, 40}) {
+      table.AddRow({bench::Int(nc),
+                    bench::Num(MonetarySwitchGb(hive, 9.0, nc))});
+    }
+    table.Print();
+  }
+  std::printf("\npaper: monetary switch points move with both resources "
+              "and data, like the time switch points\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figure 10: the *default* decision trees for join operator
+// implementation in Hive and Spark — a single split on the data size at
+// the engine's broadcast threshold (10 MB), entirely blind to resources.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rules/rule_based.h"
+#include "sim/engine_profile.h"
+
+int main() {
+  using namespace raqo;
+  for (const sim::EngineProfile& profile :
+       {sim::EngineProfile::Hive(), sim::EngineProfile::Spark()}) {
+    bench::Section("Figure 10: default decision tree (" + profile.name +
+                   ")");
+    Result<rules::DecisionTree> tree = rules::BuildDefaultRuleTree(profile);
+    if (!tree.ok()) {
+      std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", tree->ToText().c_str());
+    std::printf("\nnodes=%d leaves=%d max-path=%d\n", tree->NodeCount(),
+                tree->LeafCount(), tree->MaxPathLength());
+  }
+  return 0;
+}

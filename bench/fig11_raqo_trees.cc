@@ -1,0 +1,64 @@
+// Reproduces Figure 11: the RAQO decision trees for join operator
+// implementation, learned (CART, gini) over the labeled data-resource
+// space of Figure 9. Unlike the default trees, these branch on container
+// size and container counts as well as data size. The paper reports a
+// maximum path length of 6 for the Hive tree and 7 for the Spark tree,
+// and notes pruning [34] as the remedy should the trees grow too large.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rules/rule_based.h"
+#include "rules/switch_points.h"
+#include "sim/engine_profile.h"
+
+namespace {
+
+using namespace raqo;
+
+int EngineTree(const sim::EngineProfile& profile, double larger_gb,
+               std::vector<double> data_gb) {
+  bench::Section("Figure 11: RAQO decision tree (" + profile.name + ")");
+  rules::JoinChoiceGrid grid;
+  grid.larger_gb = larger_gb;
+  grid.data_gb = std::move(data_gb);
+  Result<rules::Dataset> data = rules::BuildJoinChoiceDataset(profile, grid);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  rules::TreeParams params;
+  params.max_depth = 8;
+  params.min_samples_leaf = 2;
+  Result<rules::DecisionTree> tree = rules::DecisionTree::Fit(*data, params);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", tree->ToText().c_str());
+  std::printf("\ntraining rows=%zu accuracy=%.3f nodes=%d leaves=%d "
+              "max-path=%d (paper: 6 for Hive, 7 for Spark)\n",
+              data->num_rows(), tree->Accuracy(*data), tree->NodeCount(),
+              tree->LeafCount(), tree->MaxPathLength());
+  const int pruned = tree->PessimisticPrune();
+  std::printf("after pessimistic pruning: pruned %d subtrees, nodes=%d "
+              "max-path=%d accuracy=%.3f\n",
+              pruned, tree->NodeCount(), tree->MaxPathLength(),
+              tree->Accuracy(*data));
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace raqo;
+  if (int rc = EngineTree(sim::EngineProfile::Hive(), 77.0,
+                          {0.1, 0.25, 0.5, 1.0, 1.7, 2.5, 3.4, 4.25, 5.1,
+                           6.4, 8.0, 10.0})) {
+    return rc;
+  }
+  // Spark works at MB scale (Figure 9(b)).
+  return EngineTree(sim::EngineProfile::Spark(), 20.0,
+                    {0.02, 0.05, 0.1, 0.2, 0.33, 0.42, 0.6, 0.75, 1.0,
+                     1.2});
+}

@@ -1,0 +1,78 @@
+// Reproduces Figure 13: hill climbing vs brute-force resource planning on
+// the TPC-H queries — the number of resource configurations explored and
+// the corresponding planner runtimes. The paper reports hill climbing
+// exploring ~4x fewer configurations than brute force, with matching
+// runtime gains.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "catalog/tpch.h"
+#include "core/raqo_planner.h"
+#include "sim/profile_runner.h"
+
+namespace {
+
+using namespace raqo;
+
+struct Row {
+  double wall_ms = 0.0;
+  int64_t resource_iters = 0;
+};
+
+Row Run(const catalog::Catalog& cat,
+        const std::vector<catalog::TableId>& tables,
+        const cost::JoinCostModels& models, core::ResourceSearch search) {
+  const int kRepeats = 3;
+  Row out{};
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    core::RaqoPlannerOptions options;
+    options.algorithm = core::PlannerAlgorithm::kFastRandomized;
+    options.evaluator.search = search;
+    core::RaqoPlanner planner(&cat, models,
+                              resource::ClusterConditions::PaperDefault(),
+                              resource::PricingModel(), options);
+    Result<core::JointPlan> result = planner.Plan(tables);
+    RAQO_CHECK(result.ok()) << result.status().ToString();
+    out.wall_ms += result->stats.wall_ms / kRepeats;
+    out.resource_iters = result->stats.resource_configs_explored;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace raqo;
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+
+  bench::Section(
+      "Figure 13: hill climbing vs brute force (FastRandomized planner)");
+  bench::Table table({"query", "BruteForce iters", "HillClimb iters",
+                      "iter reduction", "BruteForce (ms)",
+                      "HillClimb (ms)", "runtime reduction"});
+  for (catalog::TpchQuery q :
+       {catalog::TpchQuery::kQ12, catalog::TpchQuery::kQ3,
+        catalog::TpchQuery::kQ2, catalog::TpchQuery::kAll}) {
+    const std::vector<catalog::TableId> tables =
+        *catalog::TpchQueryTables(cat, q);
+    const Row brute =
+        Run(cat, tables, models, core::ResourceSearch::kBruteForce);
+    const Row hill =
+        Run(cat, tables, models, core::ResourceSearch::kHillClimb);
+    table.AddRow(
+        {catalog::TpchQueryName(q), bench::Int(brute.resource_iters),
+         bench::Int(hill.resource_iters),
+         bench::Num(static_cast<double>(brute.resource_iters) /
+                        static_cast<double>(hill.resource_iters),
+                    "%.1fx"),
+         bench::Num(brute.wall_ms, "%.3f"), bench::Num(hill.wall_ms, "%.3f"),
+         bench::Num(brute.wall_ms / hill.wall_ms, "%.1fx")});
+  }
+  table.Print();
+  std::printf("\npaper: hill climbing explores ~4x fewer resource "
+              "configurations, with similar runtime improvements\n");
+  return 0;
+}

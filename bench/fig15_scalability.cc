@@ -1,0 +1,133 @@
+// Reproduces Figure 15: RAQO planner scalability.
+//  (a) Schema size: a randomly generated 100-table schema; queries join
+//      an increasing number of relations (up to all 100). Compared:
+//      plain QO (fixed resources), RAQO (hill climbing), and RAQO with
+//      the resource-plan cache. The paper sees the cached RAQO ~6x faster
+//      than uncached and only ~1.29x slower than plain QO on average.
+//  (b) Resource space: the 100-table query planned under cluster
+//      conditions scaled from 100 to 100K containers and 10 to 100 GB
+//      containers (40 conditions). Paper: overhead negligible up to 1K
+//      containers, ~5x past 10K, runtimes still sub-second; across-query
+//      caching helps ~30% past 10K containers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "catalog/random_schema.h"
+#include "core/raqo_planner.h"
+#include "sim/profile_runner.h"
+
+namespace {
+
+using namespace raqo;
+
+core::RaqoPlannerOptions Options(bool raqo, bool cache) {
+  core::RaqoPlannerOptions options;
+  options.algorithm = core::PlannerAlgorithm::kFastRandomized;
+  // A lighter mutation budget than the TPC-H runs: each 100-table plan
+  // evaluation costs 99 operator costings.
+  options.randomized.iterations = 5;
+  options.randomized.moves_per_iteration = 24;
+  options.evaluator.use_cache = cache;
+  options.evaluator.cache_mode = core::CacheLookupMode::kNearestNeighbor;
+  options.evaluator.cache_threshold_gb = 0.01;
+  (void)raqo;
+  return options;
+}
+
+double PlanMs(core::RaqoPlanner& planner,
+              const std::vector<catalog::TableId>& tables, bool raqo) {
+  Result<core::JointPlan> result =
+      raqo ? planner.Plan(tables)
+           : planner.PlanForResources(tables, resource::ResourceConfig(4, 10));
+  RAQO_CHECK(result.ok()) << result.status().ToString();
+  return result->stats.wall_ms;
+}
+
+/// Cluster conditions for the resource-space sweep. Algorithm 1 takes its
+/// step sizes from the cluster conditions (GetDiscreteSteps); on very
+/// large clusters the allocation granularity grows with the capacity
+/// (nobody allocates 43,217 containers on a 100K-container cluster), so
+/// the container step is capacity/1000 past 1K containers.
+resource::ClusterConditions BigCluster(double max_cs, double max_nc) {
+  const double nc_step = max_nc <= 1000.0 ? 1.0 : max_nc / 1000.0;
+  return *resource::ClusterConditions::Create(
+      resource::ResourceConfig(1.0, nc_step),
+      resource::ResourceConfig(max_cs, max_nc),
+      resource::ResourceConfig(1.0, nc_step));
+}
+
+}  // namespace
+
+int main() {
+  using namespace raqo;
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 100;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+
+  bench::Section("Figure 15(a): scaling the schema (random 100-table "
+                 "schema, growing join queries)");
+  {
+    bench::Table table({"query size (#tables)", "QO (ms)", "RAQO (ms)",
+                        "RAQO+cache (ms)"});
+    for (int n : {2, 5, 10, 20, 30, 50, 75, 100}) {
+      const std::vector<catalog::TableId> tables =
+          *catalog::RandomQueryTables(cat, n, 1234 + n);
+      core::RaqoPlanner qo(&cat, models,
+                           resource::ClusterConditions::PaperDefault(),
+                           resource::PricingModel(), Options(false, false));
+      core::RaqoPlanner raqo(&cat, models,
+                             resource::ClusterConditions::PaperDefault(),
+                             resource::PricingModel(),
+                             Options(true, false));
+      core::RaqoPlanner cached(&cat, models,
+                               resource::ClusterConditions::PaperDefault(),
+                               resource::PricingModel(),
+                               Options(true, true));
+      table.AddRow({bench::Int(n), bench::Num(PlanMs(qo, tables, false),
+                                              "%.2f"),
+                    bench::Num(PlanMs(raqo, tables, true), "%.2f"),
+                    bench::Num(PlanMs(cached, tables, true), "%.2f")});
+    }
+    table.Print();
+    std::printf("\npaper: cached RAQO ~6x over non-cached; ~1.29x over "
+                "plain QO on average\n");
+  }
+
+  bench::Section("Figure 15(b): scaling the cluster (100-table query; "
+                 "containers 100..100K, container size 10..100 GB)");
+  {
+    const std::vector<catalog::TableId> tables =
+        *catalog::RandomQueryTables(cat, 100, 1334);
+    bench::Table table({"max containers", "max container (GB)",
+                        "RAQO+cache (ms)", "across-query cache (ms)"});
+    for (double max_nc : {100.0, 1'000.0, 10'000.0, 100'000.0}) {
+      for (double max_cs : {10.0, 30.0, 50.0, 70.0, 100.0}) {
+        core::RaqoPlannerOptions options = Options(true, true);
+        core::RaqoPlanner planner(&cat, models, BigCluster(max_cs, max_nc),
+                                  resource::PricingModel(), options);
+        // Default behaviour: cache cleared before each query run.
+        const double cleared = PlanMs(planner, tables, true);
+        // Across-query caching: a second identical query reuses the
+        // previous run's resource plans.
+        core::RaqoPlannerOptions keep = options;
+        keep.clear_cache_between_queries = false;
+        core::RaqoPlanner warm(&cat, models, BigCluster(max_cs, max_nc),
+                               resource::PricingModel(), keep);
+        PlanMs(warm, tables, true);  // warm-up query fills the cache
+        const double across = PlanMs(warm, tables, true);
+        table.AddRow({bench::Int(static_cast<int64_t>(max_nc)),
+                      bench::Num(max_cs, "%.0f"),
+                      bench::Num(cleared, "%.2f"),
+                      bench::Num(across, "%.2f")});
+      }
+    }
+    table.Print();
+    std::printf("\npaper: overhead negligible to 1K containers, grows "
+                "past 10K but stays sub-second; across-query caching "
+                "~30%% better past 10K containers\n");
+  }
+  return 0;
+}

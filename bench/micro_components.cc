@@ -1,0 +1,170 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// costs drive the planner-overhead figures, plus the ablation the paper
+// suggests between the two resource-plan cache index layouts (sorted
+// array vs CSB+-tree).
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/tpch.h"
+#include "common/rng.h"
+#include "core/csb_tree.h"
+#include "core/plan_cache.h"
+#include "core/raqo_cost_evaluator.h"
+#include "core/resource_planner.h"
+#include "optimizer/fixed_resource_evaluator.h"
+#include "optimizer/selinger.h"
+#include "sim/exec_model.h"
+#include "sim/profile_runner.h"
+
+namespace {
+
+using namespace raqo;
+
+const cost::JoinCostModels& Models() {
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  return *models;
+}
+
+void BM_CostModelPredict(benchmark::State& state) {
+  const cost::JoinCostModels& models = Models();
+  cost::JoinFeatures f;
+  f.smaller_gb = 3.0;
+  f.larger_gb = 77.0;
+  f.container_size_gb = 4.0;
+  f.num_containers = 10.0;
+  for (auto _ : state) {
+    f.num_containers = (f.num_containers < 100.0) ? f.num_containers + 1 : 1;
+    benchmark::DoNotOptimize(models.smj.PredictSeconds(f));
+  }
+}
+BENCHMARK(BM_CostModelPredict);
+
+void BM_SimulateJoin(benchmark::State& state) {
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  sim::ExecParams params;
+  params.container_size_gb = 4.0;
+  params.num_containers = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::SimulateJoin(hive, plan::JoinImpl::kSortMergeJoin,
+                          catalog::GbToBytes(3), catalog::GbToBytes(77),
+                          params));
+  }
+}
+BENCHMARK(BM_SimulateJoin);
+
+void BM_HillClimbResourcePlanning(benchmark::State& state) {
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::WithMax(10, state.range(0));
+  const cost::JoinCostModels& models = Models();
+  core::HillClimbResourcePlanner planner;
+  cost::JoinFeatures f;
+  f.smaller_gb = 3.0;
+  f.larger_gb = 77.0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto r = planner.PlanResources(
+        [&](const resource::ResourceConfig& c) {
+          f.container_size_gb = c.container_size_gb();
+          f.num_containers = c.num_containers();
+          return models.smj.PredictSeconds(f);
+        },
+        cluster);
+    benchmark::DoNotOptimize(r);
+    iters += r.ok() ? r->configs_explored : 0;
+  }
+  state.counters["resource_iters/op"] =
+      static_cast<double>(iters) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_HillClimbResourcePlanning)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BruteForceResourcePlanning(benchmark::State& state) {
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::WithMax(10, state.range(0));
+  const cost::JoinCostModels& models = Models();
+  core::BruteForceResourcePlanner planner;
+  cost::JoinFeatures f;
+  f.smaller_gb = 3.0;
+  f.larger_gb = 77.0;
+  for (auto _ : state) {
+    auto r = planner.PlanResources(
+        [&](const resource::ResourceConfig& c) {
+          f.container_size_gb = c.container_size_gb();
+          f.num_containers = c.num_containers();
+          return models.smj.PredictSeconds(f);
+        },
+        cluster);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BruteForceResourcePlanning)->Arg(100)->Arg(1000);
+
+template <typename IndexT>
+void BM_PlanIndexLookup(benchmark::State& state) {
+  IndexT index;
+  Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    core::CachedResourcePlan p;
+    p.key_gb = rng.Uniform(0, 100);
+    p.config = resource::ResourceConfig(4, 10);
+    p.cost = 1.0;
+    index.Insert(p);
+  }
+  double probe = 0.0;
+  for (auto _ : state) {
+    probe += 0.37;
+    if (probe > 100) probe = 0;
+    benchmark::DoNotOptimize(index.FindNeighbors(probe, 0.5));
+  }
+}
+BENCHMARK(BM_PlanIndexLookup<core::SortedArrayIndex>)
+    ->Arg(100)
+    ->Arg(10000);
+BENCHMARK(BM_PlanIndexLookup<core::CsbTreeIndex>)->Arg(100)->Arg(10000);
+
+void BM_CsbTreeInsert(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::CsbTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.NextDouble() * 1e6, i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_CsbTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_SelingerTpchAll(benchmark::State& state) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const std::vector<catalog::TableId> tables =
+      *catalog::TpchQueryTables(cat, catalog::TpchQuery::kAll);
+  optimizer::SelingerPlanner planner;
+  for (auto _ : state) {
+    optimizer::FixedResourceEvaluator eval(Models(),
+                                           resource::ResourceConfig(4, 10));
+    benchmark::DoNotOptimize(planner.Plan(cat, tables, eval));
+  }
+}
+BENCHMARK(BM_SelingerTpchAll);
+
+void BM_RaqoEvaluatorCostJoin(benchmark::State& state) {
+  core::RaqoCostEvaluator eval(Models(),
+                               resource::ClusterConditions::PaperDefault());
+  optimizer::JoinContext ctx;
+  ctx.impl = plan::JoinImpl::kSortMergeJoin;
+  ctx.right_bytes = catalog::GbToBytes(77);
+  double ss = 0.5;
+  for (auto _ : state) {
+    ss = ss < 8.0 ? ss + 0.125 : 0.5;
+    ctx.left_bytes = catalog::GbToBytes(ss);
+    benchmark::DoNotOptimize(eval.CostJoin(ctx));
+  }
+}
+BENCHMARK(BM_RaqoEvaluatorCostJoin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Use case "r => p" (Section IV): in a multi-tenant cluster each tenant
+// has a resource quota; RAQO picks the best query plan *for the given
+// budget*. This example sweeps the quota and shows the chosen plan — both
+// join implementations and join order — flipping as the budget grows,
+// which is exactly the behaviour a resource-blind optimizer cannot
+// provide.
+
+#include <cstdio>
+
+#include "catalog/tpch.h"
+#include "core/raqo_planner.h"
+#include "sim/profile_runner.h"
+
+int main() {
+  using namespace raqo;
+
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
+  Result<cost::JoinCostModels> models =
+      sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  if (!models.ok()) {
+    std::fprintf(stderr, "%s\n", models.status().ToString().c_str());
+    return 1;
+  }
+
+  core::RaqoPlanner planner(&catalog, *models,
+                            resource::ClusterConditions::PaperDefault());
+  // TPC-H Q2: part x supplier x partsupp x nation (3 joins).
+  std::vector<catalog::TableId> query =
+      *catalog::TpchQueryTables(catalog, catalog::TpchQuery::kQ2);
+
+  std::printf("tenant quota sweep for TPC-H Q2\n");
+  std::printf("%-26s %-52s %12s\n", "quota (per-operator)", "chosen plan",
+              "est. time");
+  struct Quota {
+    double container_gb;
+    double containers;
+  };
+  for (const Quota& quota : {Quota{1, 4}, Quota{2, 10}, Quota{4, 10},
+                             Quota{4, 40}, Quota{8, 40}, Quota{10, 100}}) {
+    const resource::ResourceConfig budget(quota.container_gb,
+                                          quota.containers);
+    Result<core::JointPlan> plan = planner.PlanForResources(query, budget);
+    if (!plan.ok()) {
+      std::printf("%-26s %s\n", budget.ToString().c_str(),
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-26s %-52s %10.1f s\n", budget.ToString().c_str(),
+                plan->plan->ToString(&catalog).c_str(),
+                plan->cost.seconds);
+  }
+
+  std::printf(
+      "\nnote how small quotas force shuffle joins (nothing fits in "
+      "memory) while large containers unlock broadcast joins, and the "
+      "join order adapts along the way.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: optimize a TPC-H query jointly over query plans and
+// resource configurations.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The walk-through:
+//   1. build a catalog (tables + statistics + join graph),
+//   2. train the operator cost models from execution profiles
+//      (here: profile runs against the bundled cluster simulator),
+//   3. describe the current cluster conditions,
+//   4. ask the RAQO planner for a joint query + resource plan,
+//   5. compare against the traditional fixed-resource baseline.
+
+#include <cstdio>
+
+#include "catalog/tpch.h"
+#include "core/raqo_planner.h"
+#include "query/sql_parser.h"
+#include "sim/profile_runner.h"
+
+int main() {
+  using namespace raqo;
+
+  // 1. The schema: TPC-H at scale factor 100 (lineitem ~ 73 GB).
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
+
+  // 2. Cost models: f(data, resources) -> seconds, one per join
+  //    implementation, trained on simulated profile runs. (The paper's
+  //    published Hive coefficients are also available via
+  //    cost::PaperHiveModels().)
+  Result<cost::JoinCostModels> models =
+      sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  if (!models.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 models.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Cluster conditions, as the resource manager would report them:
+  //    containers of 1..10 GB, up to 100 of them, allocatable in steps
+  //    of 1.
+  resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+
+  // 4. Plan TPC-H Q3 (customer x orders x lineitem) jointly. Queries
+  //    can be given declaratively; the parser resolves tables and
+  //    validates the join predicates against the catalog.
+  core::RaqoPlanner planner(&catalog, *models, cluster);
+  Result<query::ParsedQuery> parsed = query::ParseJoinQuery(
+      catalog,
+      "select * from customer, orders, lineitem "
+      "where customer.c_custkey = orders.o_custkey "
+      "and lineitem.l_orderkey = orders.o_orderkey");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<catalog::TableId>& query = parsed->tables;
+
+  Result<core::JointPlan> joint = planner.Plan(query);
+  if (!joint.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 joint.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("joint query/resource plan:\n  %s\n",
+              joint->plan->ToString(&catalog).c_str());
+  std::printf("estimated cost: %s\n", joint->cost.ToString().c_str());
+  std::printf("planner stats: %.2f ms, %lld resource configurations "
+              "explored\n\n",
+              joint->stats.wall_ms,
+              (long long)joint->stats.resource_configs_explored);
+
+  // 5. The traditional two-step baseline: plan first under a fixed
+  //    "user guesstimate" configuration.
+  Result<core::JointPlan> baseline =
+      planner.PlanForResources(query, resource::ResourceConfig(4, 10));
+  if (baseline.ok()) {
+    std::printf("fixed-resource baseline (4 GB x 10 containers):\n  %s\n",
+                baseline->plan->ToString(&catalog).c_str());
+    std::printf("estimated cost: %s\n", baseline->cost.ToString().c_str());
+    std::printf("RAQO speed-up over the baseline: %.2fx\n",
+                baseline->cost.seconds / joint->cost.seconds);
+  }
+
+  // 6. Filters change the data statistics, which changes the best joint
+  //    plan: a selective shipdate filter shrinks lineitem enough to make
+  //    broadcasting viable.
+  Result<query::ParsedQuery> filtered_query = query::ParseJoinQuery(
+      catalog,
+      "select * from customer, orders, lineitem "
+      "where customer.c_custkey = orders.o_custkey "
+      "and lineitem.l_orderkey = orders.o_orderkey "
+      "and lineitem.l_shipdate >= 2300");
+  if (filtered_query.ok()) {
+    Result<catalog::Catalog> filtered_catalog =
+        query::ApplyFilters(catalog, *filtered_query);
+    if (filtered_catalog.ok()) {
+      core::RaqoPlanner filtered_planner(&*filtered_catalog, *models,
+                                         cluster);
+      Result<core::JointPlan> filtered_plan =
+          filtered_planner.Plan(filtered_query->tables);
+      if (filtered_plan.ok()) {
+        std::printf("\nwith filters (lineitem %.1f GB after predicates):\n"
+                    "  %s\nestimated cost: %s\n",
+                    filtered_catalog
+                        ->table(*filtered_catalog->FindTable("lineitem"))
+                        .total_gb(),
+                    filtered_plan->plan->ToString(&*filtered_catalog)
+                        .c_str(),
+                    filtered_plan->cost.ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}

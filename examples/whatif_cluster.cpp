@@ -1,0 +1,94 @@
+// Adaptive RAQO (Sections IV and VIII): cluster conditions on shared
+// clusters change constantly. This example replays a day of shifting
+// conditions (idle night, busy morning, capacity loss) against both
+// rule-based RAQO (the resource-aware decision tree of Section V) and
+// cost-based RAQO, showing the join implementation and the resource
+// requests adapting — while the engines' default 10 MB rule never moves.
+
+#include <cstdio>
+
+#include "catalog/tpch.h"
+#include "core/raqo_planner.h"
+#include "rules/rule_based.h"
+#include "sim/profile_runner.h"
+
+int main() {
+  using namespace raqo;
+
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  // The recurring query joins a 5.1 GB sample of orders with lineitem
+  // (the Section III setup), so broadcasting the sample is viable when
+  // the cluster offers big enough containers.
+  catalog::Catalog catalog;
+  const catalog::TableId orders =
+      *catalog.AddTable({"orders_sample", 49'000'000, 110});  // ~5.1 GB
+  const catalog::TableId lineitem =
+      *catalog.AddTable({"lineitem", 600'000'000, 130});  // ~73 GB
+  RAQO_CHECK(catalog
+                 .AddJoin(lineitem, orders, 1.0 / 150'000'000.0,
+                          "l_orderkey = o_orderkey")
+                 .ok());
+  Result<cost::JoinCostModels> models = sim::TrainModelsFromSimulator(hive);
+  if (!models.ok()) {
+    std::fprintf(stderr, "%s\n", models.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rule-based RAQO: one decision tree, trained once from profile runs,
+  // then traversed with the *current* resources.
+  Result<rules::DecisionTreePolicy> raqo_rule = rules::TrainRaqoPolicy(hive);
+  if (!raqo_rule.ok()) {
+    std::fprintf(stderr, "%s\n", raqo_rule.status().ToString().c_str());
+    return 1;
+  }
+  rules::DefaultRulePolicy default_rule;
+
+  const double small_gb = catalog.table(orders).total_gb();
+  std::vector<catalog::TableId> query = {orders, lineitem};
+
+  struct ClusterEpoch {
+    const char* when;
+    double max_container_gb;
+    double max_containers;
+  };
+  const ClusterEpoch day[] = {
+      {"02:00 idle cluster", 10, 100},
+      {"09:00 morning rush (big containers gone)", 4, 100},
+      {"13:00 noisy neighbor (few slots left)", 10, 8},
+      {"18:00 partial outage (small and few)", 3, 12},
+      {"23:00 recovered", 10, 100},
+  };
+
+  core::RaqoPlanner planner(&catalog, *models,
+                            resource::ClusterConditions::PaperDefault());
+
+  std::printf("%-42s %-9s %-9s %-24s\n", "cluster condition",
+              "default", "RAQO rule", "cost-based RAQO plan");
+  for (const ClusterEpoch& epoch : day) {
+    const resource::ClusterConditions conditions =
+        resource::ClusterConditions::WithMax(epoch.max_container_gb,
+                                             epoch.max_containers);
+    // What the rule-based policies decide for this join, given what the
+    // cluster can offer right now.
+    const resource::ResourceConfig available(epoch.max_container_gb,
+                                             epoch.max_containers);
+    const plan::JoinImpl def = default_rule.Choose(small_gb, available, 0);
+    const plan::JoinImpl rule = raqo_rule->Choose(small_gb, available, 0);
+
+    // Cost-based RAQO re-optimizes against the new conditions.
+    planner.UpdateClusterConditions(conditions);
+    Result<core::JointPlan> joint = planner.Plan(query);
+    std::string joint_desc = joint.ok()
+                                 ? joint->plan->ToString(&catalog)
+                                 : joint.status().ToString();
+    std::printf("%-42s %-9s %-9s %-24s\n", epoch.when,
+                plan::JoinImplName(def), plan::JoinImplName(rule),
+                joint_desc.c_str());
+  }
+  std::printf(
+      "\nthe default rule is frozen at its 10 MB threshold; RAQO flips "
+      "between broadcast and shuffle as conditions change, and the "
+      "cost-based planner additionally right-sizes every operator's "
+      "resource request.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "catalog/join_graph.h"
+
+#include <algorithm>
+
+namespace raqo::catalog {
+
+Status JoinGraph::AddEdge(TableId left, TableId right, double selectivity,
+                          std::string predicate) {
+  if (left < 0 || right < 0) {
+    return Status::InvalidArgument("JoinEdge table ids must be non-negative");
+  }
+  if (left == right) {
+    return Status::InvalidArgument("JoinEdge must connect distinct tables");
+  }
+  if (!(selectivity > 0.0) || selectivity > 1.0) {
+    return Status::InvalidArgument("JoinEdge selectivity must be in (0, 1]");
+  }
+  edges_.push_back(JoinEdge{left, right, selectivity, std::move(predicate)});
+  return Status::OK();
+}
+
+bool JoinGraph::HasEdge(TableId a, TableId b) const {
+  for (const JoinEdge& e : edges_) {
+    if ((e.left == a && e.right == b) || (e.left == b && e.right == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double JoinGraph::EdgeSelectivity(TableId a, TableId b) const {
+  for (const JoinEdge& e : edges_) {
+    if ((e.left == a && e.right == b) || (e.left == b && e.right == a)) {
+      return e.selectivity;
+    }
+  }
+  return 1.0;
+}
+
+std::vector<TableId> JoinGraph::Neighbors(TableId t) const {
+  std::vector<TableId> out;
+  for (const JoinEdge& e : edges_) {
+    if (e.left == t) out.push_back(e.right);
+    if (e.right == t) out.push_back(e.left);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool JoinGraph::IsConnected(const std::vector<TableId>& tables) const {
+  if (tables.size() <= 1) return true;
+  std::vector<TableId> frontier = {tables[0]};
+  std::vector<bool> seen(tables.size(), false);
+  seen[0] = true;
+  size_t seen_count = 1;
+  auto index_of = [&](TableId t) -> int {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i] == t) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  while (!frontier.empty() && seen_count < tables.size()) {
+    const TableId cur = frontier.back();
+    frontier.pop_back();
+    for (TableId n : Neighbors(cur)) {
+      const int idx = index_of(n);
+      if (idx >= 0 && !seen[idx]) {
+        seen[idx] = true;
+        ++seen_count;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return seen_count == tables.size();
+}
+
+}  // namespace raqo::catalog

@@ -1,0 +1,58 @@
+#ifndef RAQO_CATALOG_JOIN_GRAPH_H_
+#define RAQO_CATALOG_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace raqo::catalog {
+
+/// An (equi-)join edge between two tables with its join selectivity, i.e.
+/// |A join B| = sel * |A| * |B|. The paper keeps the TPC-H join edges and
+/// selectivities and reuses TPC-H-like selectivities for random schemas
+/// (Section VII, Setup).
+struct JoinEdge {
+  TableId left = kInvalidTableId;
+  TableId right = kInvalidTableId;
+  double selectivity = 1.0;
+  /// Human-readable predicate, e.g. "o_orderkey = l_orderkey".
+  std::string predicate;
+};
+
+/// The join graph over a catalog's tables: which pairs can be joined and
+/// how selective those joins are.
+class JoinGraph {
+ public:
+  JoinGraph() = default;
+
+  /// Adds an edge; validates ids are distinct, non-negative, and the
+  /// selectivity lies in (0, 1].
+  Status AddEdge(TableId left, TableId right, double selectivity,
+                 std::string predicate = "");
+
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// True if some edge connects a and b (in either direction).
+  bool HasEdge(TableId a, TableId b) const;
+
+  /// Selectivity of the edge between a and b, or 1.0 when no edge exists
+  /// (cross product).
+  double EdgeSelectivity(TableId a, TableId b) const;
+
+  /// Tables adjacent to `t`.
+  std::vector<TableId> Neighbors(TableId t) const;
+
+  /// True when the given table set is connected under the join edges.
+  /// An empty set is trivially connected; a singleton too.
+  bool IsConnected(const std::vector<TableId>& tables) const;
+
+ private:
+  std::vector<JoinEdge> edges_;
+};
+
+}  // namespace raqo::catalog
+
+#endif  // RAQO_CATALOG_JOIN_GRAPH_H_

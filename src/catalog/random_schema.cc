@@ -1,0 +1,94 @@
+#include "catalog/random_schema.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace raqo::catalog {
+
+Result<Catalog> BuildRandomCatalog(const RandomSchemaOptions& options) {
+  if (options.num_tables < 1) {
+    return Status::InvalidArgument("random schema needs at least one table");
+  }
+  if (options.min_row_bytes <= 0 || options.max_row_bytes < options.min_row_bytes ||
+      options.min_rows <= 0 || options.max_rows < options.min_rows) {
+    return Status::InvalidArgument("random schema bounds are inconsistent");
+  }
+
+  Rng rng(options.seed);
+  Catalog cat;
+  for (int i = 0; i < options.num_tables; ++i) {
+    TableDef def;
+    def.name = StrPrintf("t%03d", i);
+    def.row_bytes = rng.Uniform(options.min_row_bytes, options.max_row_bytes);
+    def.row_count = rng.Uniform(options.min_rows, options.max_rows);
+    RAQO_ASSIGN_OR_RETURN(TableId id, cat.AddTable(std::move(def)));
+    (void)id;
+  }
+
+  auto fk_like_selectivity = [&cat](TableId a, TableId b) {
+    return 1.0 /
+           std::max(cat.table(a).row_count, cat.table(b).row_count);
+  };
+
+  // Random spanning tree: table i joins a random earlier table.
+  for (int i = 1; i < options.num_tables; ++i) {
+    const auto j = static_cast<TableId>(rng.UniformInt(0, i - 1));
+    const auto ti = static_cast<TableId>(i);
+    RAQO_RETURN_IF_ERROR(cat.AddJoin(
+        ti, j, fk_like_selectivity(ti, j),
+        StrPrintf("t%03d.fk = t%03d.pk", i, j)));
+  }
+  // Extra random edges for a denser graph.
+  const int extras = static_cast<int>(options.extra_edge_fraction *
+                                      options.num_tables);
+  for (int e = 0; e < extras && options.num_tables >= 2; ++e) {
+    const auto a =
+        static_cast<TableId>(rng.UniformInt(0, options.num_tables - 1));
+    auto b = static_cast<TableId>(rng.UniformInt(0, options.num_tables - 1));
+    if (a == b) continue;
+    if (cat.join_graph().HasEdge(a, b)) continue;
+    RAQO_RETURN_IF_ERROR(cat.AddJoin(a, b, fk_like_selectivity(a, b),
+                                     StrPrintf("t%03d.x = t%03d.y", a, b)));
+  }
+  return cat;
+}
+
+Result<std::vector<TableId>> RandomQueryTables(const Catalog& catalog,
+                                               int num_relations,
+                                               uint64_t seed) {
+  if (num_relations < 1 ||
+      static_cast<size_t>(num_relations) > catalog.num_tables()) {
+    return Status::InvalidArgument(
+        "query relation count out of range for this catalog");
+  }
+  Rng rng(seed);
+  std::vector<TableId> chosen = {0};
+  std::vector<bool> in_query(catalog.num_tables(), false);
+  in_query[0] = true;
+  while (static_cast<int>(chosen.size()) < num_relations) {
+    // Frontier: neighbors of the chosen set not yet included.
+    std::vector<TableId> frontier;
+    for (TableId t : chosen) {
+      for (TableId n : catalog.join_graph().Neighbors(t)) {
+        if (!in_query[static_cast<size_t>(n)]) frontier.push_back(n);
+      }
+    }
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    if (frontier.empty()) {
+      return Status::FailedPrecondition(
+          "join graph disconnected; cannot grow the query");
+    }
+    const auto pick = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(frontier.size()) - 1));
+    chosen.push_back(frontier[pick]);
+    in_query[static_cast<size_t>(frontier[pick])] = true;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace raqo::catalog

@@ -1,0 +1,45 @@
+#ifndef RAQO_CATALOG_RANDOM_SCHEMA_H_
+#define RAQO_CATALOG_RANDOM_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace raqo::catalog {
+
+/// Parameters of the randomly generated schema used by the paper's
+/// scalability evaluation (Section VII, Setup): "a random number of tables,
+/// each of which have a randomly picked row size between 100 and 200 bytes,
+/// and a randomly picked number of rows between 100K and 2M. We then
+/// randomly generate join edges to create the join graph (with similar join
+/// selectivities as in the TPC-H schema)."
+struct RandomSchemaOptions {
+  int num_tables = 100;
+  uint64_t seed = 42;
+  double min_row_bytes = 100.0;
+  double max_row_bytes = 200.0;
+  double min_rows = 100'000.0;
+  double max_rows = 2'000'000.0;
+  /// Expected extra (non-spanning-tree) join edges per table; the spanning
+  /// tree alone already makes every query connected.
+  double extra_edge_fraction = 0.3;
+};
+
+/// Generates the random schema. Every table is reachable from every other
+/// (a random spanning tree is always embedded), so any subset prefix forms
+/// a valid join query. Selectivities follow the TPC-H foreign-key style:
+/// 1 / max(row counts of the two tables).
+Result<Catalog> BuildRandomCatalog(const RandomSchemaOptions& options);
+
+/// A query joining `num_relations` tables of the random schema, chosen as a
+/// connected subgraph (grown from table 0 through join edges) so that the
+/// paper's "queries having increasing number of joins" sweep is valid.
+Result<std::vector<TableId>> RandomQueryTables(const Catalog& catalog,
+                                               int num_relations,
+                                               uint64_t seed);
+
+}  // namespace raqo::catalog
+
+#endif  // RAQO_CATALOG_RANDOM_SCHEMA_H_

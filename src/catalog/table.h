@@ -1,0 +1,75 @@
+#ifndef RAQO_CATALOG_TABLE_H_
+#define RAQO_CATALOG_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raqo::catalog {
+
+/// Identifies a table inside one Catalog; dense, starting at 0.
+using TableId = int32_t;
+
+/// Sentinel for "no table".
+inline constexpr TableId kInvalidTableId = -1;
+
+/// Column-level statistics: the number of distinct values drives derived
+/// join selectivities (the classic 1/max(ndv) estimate); the value range,
+/// when present, drives range-filter selectivities under the uniformity
+/// assumption.
+struct ColumnDef {
+  std::string name;
+  double distinct_values = 0.0;
+  /// Value range of the column; meaningful only when has_range is set.
+  bool has_range = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// Base-table statistics the optimizer and simulator need: cardinality,
+/// average row width, and (optionally) per-column distinct counts. These
+/// play the role of ANALYZE statistics in a real system.
+struct TableDef {
+  TableDef() = default;
+  TableDef(std::string table_name, double rows, double bytes_per_row,
+           std::vector<ColumnDef> column_stats = {})
+      : name(std::move(table_name)),
+        row_count(rows),
+        row_bytes(bytes_per_row),
+        columns(std::move(column_stats)) {}
+
+  std::string name;
+  /// Number of rows in the base table.
+  double row_count = 0.0;
+  /// Average bytes per row (uncompressed logical width).
+  double row_bytes = 0.0;
+  /// Column statistics; optional — join edges can also carry explicit
+  /// selectivities.
+  std::vector<ColumnDef> columns;
+
+  /// Total logical size of the table in bytes.
+  double total_bytes() const { return row_count * row_bytes; }
+  /// Total logical size in GB (the unit used throughout the paper).
+  double total_gb() const { return total_bytes() / (1024.0 * 1024.0 * 1024.0); }
+
+  /// Looks a column up by name; nullptr when absent.
+  const ColumnDef* FindColumn(const std::string& column_name) const {
+    for (const ColumnDef& c : columns) {
+      if (c.name == column_name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// Converts GB to bytes; the paper quotes all data sizes in GB/MB.
+inline constexpr double GbToBytes(double gb) {
+  return gb * 1024.0 * 1024.0 * 1024.0;
+}
+inline constexpr double MbToBytes(double mb) { return mb * 1024.0 * 1024.0; }
+inline constexpr double BytesToGb(double bytes) {
+  return bytes / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace raqo::catalog
+
+#endif  // RAQO_CATALOG_TABLE_H_

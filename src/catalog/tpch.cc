@@ -1,0 +1,136 @@
+#include "catalog/tpch.h"
+
+#include "common/logging.h"
+
+namespace raqo::catalog {
+
+namespace {
+
+/// Registers a table, CHECK-failing on error (the TPC-H definitions are
+/// static and known-valid).
+TableId MustAdd(Catalog& cat, const char* name, double rows,
+                double row_bytes, std::vector<ColumnDef> columns) {
+  TableDef def;
+  def.name = name;
+  def.row_count = rows;
+  def.row_bytes = row_bytes;
+  def.columns = std::move(columns);
+  Result<TableId> r = cat.AddTable(std::move(def));
+  RAQO_CHECK(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+void MustJoinOnColumns(Catalog& cat, TableId a, const char* col_a,
+                       TableId b, const char* col_b) {
+  Status s = cat.AddJoinOnColumns(a, col_a, b, col_b);
+  RAQO_CHECK(s.ok()) << s.ToString();
+}
+
+}  // namespace
+
+const char* TpchQueryName(TpchQuery query) {
+  switch (query) {
+    case TpchQuery::kQ12:
+      return "Q12";
+    case TpchQuery::kQ3:
+      return "Q3";
+    case TpchQuery::kQ2:
+      return "Q2";
+    case TpchQuery::kAll:
+      return "All";
+  }
+  return "?";
+}
+
+Catalog BuildTpchCatalog(double scale_factor) {
+  RAQO_CHECK(scale_factor > 0.0) << "scale factor must be positive";
+  const double sf = scale_factor;
+  Catalog cat;
+
+  // Row counts per the TPC-H specification; average row widths
+  // approximate the uncompressed logical widths; distinct counts of the
+  // key columns follow the key domains, so the derived join
+  // selectivities reproduce the benchmark's 1/|referenced| foreign-key
+  // estimates.
+  const TableId region =
+      MustAdd(cat, "region", 5, 120, {{"r_regionkey", 5}});
+  const TableId nation = MustAdd(cat, "nation", 25, 130,
+                                 {{"n_nationkey", 25}, {"n_regionkey", 5}});
+  const TableId supplier =
+      MustAdd(cat, "supplier", 10'000 * sf, 145,
+              {{"s_suppkey", 10'000 * sf}, {"s_nationkey", 25}});
+  const TableId customer =
+      MustAdd(cat, "customer", 150'000 * sf, 165,
+              {{"c_custkey", 150'000 * sf}, {"c_nationkey", 25}});
+  const TableId part =
+      MustAdd(cat, "part", 200'000 * sf, 120, {{"p_partkey", 200'000 * sf}});
+  const TableId partsupp =
+      MustAdd(cat, "partsupp", 800'000 * sf, 145,
+              {{"ps_partkey", 200'000 * sf}, {"ps_suppkey", 10'000 * sf}});
+  // Non-key columns carry value ranges (uniformity-based range-filter
+  // selectivities): totalprice in dollars, quantity in units, dates as
+  // days since 1992-01-01 (the TPC-H date domain spans ~2,526 days).
+  const TableId orders =
+      MustAdd(cat, "orders", 1'500'000 * sf, 110,
+              {{"o_orderkey", 1'500'000 * sf},
+               {"o_custkey", 150'000 * sf},
+               {"o_totalprice", 1'400'000 * sf, true, 850.0, 560'000.0},
+               {"o_orderdate", 2'406, true, 0.0, 2'405.0}});
+  const TableId lineitem =
+      MustAdd(cat, "lineitem", 6'000'000 * sf, 130,
+              {{"l_orderkey", 1'500'000 * sf},
+               {"l_partkey", 200'000 * sf},
+               {"l_suppkey", 10'000 * sf},
+               {"l_quantity", 50, true, 1.0, 50.0},
+               {"l_shipdate", 2'526, true, 0.0, 2'525.0}});
+
+  // Foreign-key join edges; selectivities derive from the key columns'
+  // distinct counts (1/max(ndv)).
+  MustJoinOnColumns(cat, nation, "n_regionkey", region, "r_regionkey");
+  MustJoinOnColumns(cat, supplier, "s_nationkey", nation, "n_nationkey");
+  MustJoinOnColumns(cat, customer, "c_nationkey", nation, "n_nationkey");
+  MustJoinOnColumns(cat, partsupp, "ps_partkey", part, "p_partkey");
+  MustJoinOnColumns(cat, partsupp, "ps_suppkey", supplier, "s_suppkey");
+  MustJoinOnColumns(cat, orders, "o_custkey", customer, "c_custkey");
+  MustJoinOnColumns(cat, lineitem, "l_orderkey", orders, "o_orderkey");
+  MustJoinOnColumns(cat, lineitem, "l_partkey", part, "p_partkey");
+  MustJoinOnColumns(cat, lineitem, "l_suppkey", supplier, "s_suppkey");
+  // The lineitem-partsupp edge joins on the composite (partkey, suppkey)
+  // key, which column-level distinct counts cannot express; its
+  // selectivity is given explicitly as 1/|partsupp|.
+  RAQO_CHECK(cat.AddJoin(lineitem, partsupp, 1.0 / (800'000 * sf),
+                         "l_partkey = ps_partkey and l_suppkey = ps_suppkey")
+                 .ok());
+
+  return cat;
+}
+
+Result<std::vector<TableId>> TpchQueryTables(const Catalog& catalog,
+                                             TpchQuery query) {
+  auto find = [&catalog](const char* name) { return catalog.FindTable(name); };
+  switch (query) {
+    case TpchQuery::kQ12: {
+      RAQO_ASSIGN_OR_RETURN(TableId orders, find("orders"));
+      RAQO_ASSIGN_OR_RETURN(TableId lineitem, find("lineitem"));
+      return std::vector<TableId>{orders, lineitem};
+    }
+    case TpchQuery::kQ3: {
+      RAQO_ASSIGN_OR_RETURN(TableId customer, find("customer"));
+      RAQO_ASSIGN_OR_RETURN(TableId orders, find("orders"));
+      RAQO_ASSIGN_OR_RETURN(TableId lineitem, find("lineitem"));
+      return std::vector<TableId>{customer, orders, lineitem};
+    }
+    case TpchQuery::kQ2: {
+      RAQO_ASSIGN_OR_RETURN(TableId part, find("part"));
+      RAQO_ASSIGN_OR_RETURN(TableId supplier, find("supplier"));
+      RAQO_ASSIGN_OR_RETURN(TableId partsupp, find("partsupp"));
+      RAQO_ASSIGN_OR_RETURN(TableId nation, find("nation"));
+      return std::vector<TableId>{part, supplier, partsupp, nation};
+    }
+    case TpchQuery::kAll:
+      return catalog.AllTableIds();
+  }
+  return Status::InvalidArgument("unknown TPC-H query");
+}
+
+}  // namespace raqo::catalog

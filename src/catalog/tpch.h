@@ -1,0 +1,38 @@
+#ifndef RAQO_CATALOG_TPCH_H_
+#define RAQO_CATALOG_TPCH_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace raqo::catalog {
+
+/// Well-known TPC-H evaluation queries used by the paper (Section VII):
+/// Q12 (single join), Q3 (two joins), Q2 (three joins), and All (joining
+/// every table in the schema).
+enum class TpchQuery {
+  kQ12,
+  kQ3,
+  kQ2,
+  kAll,
+};
+
+/// Short label: "Q12", "Q3", "Q2", "All".
+const char* TpchQueryName(TpchQuery query);
+
+/// Builds the 8-table TPC-H schema with the benchmark's foreign-key join
+/// edges; selectivities follow the classic 1/|referenced| rule so that a
+/// key/foreign-key join keeps the fact side's cardinality. Row counts scale
+/// linearly with `scale_factor` except the fixed nation/region tables.
+/// The paper runs at scale factor 100 (lineitem ~ 77 GB).
+Catalog BuildTpchCatalog(double scale_factor);
+
+/// The relation set of an evaluation query, as table ids into `catalog`.
+/// Fails if the catalog does not contain the TPC-H tables.
+Result<std::vector<TableId>> TpchQueryTables(const Catalog& catalog,
+                                             TpchQuery query);
+
+}  // namespace raqo::catalog
+
+#endif  // RAQO_CATALOG_TPCH_H_

@@ -1,0 +1,59 @@
+#ifndef RAQO_COMMON_LOGGING_H_
+#define RAQO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace raqo {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only by RAQO_CHECK; library code reports recoverable errors through
+/// Status, never by aborting.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed CheckFailure expression into void so both branches of
+/// the RAQO_CHECK ternary have the same type. operator& binds looser than
+/// operator<<, so all streamed values reach the CheckFailure first.
+class Voidify {
+ public:
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace raqo
+
+/// Aborts with a message when `condition` is false. Supports streaming
+/// context: RAQO_CHECK(n > 0) << "n was " << n;
+/// For programmer errors (broken invariants), not for data-dependent
+/// failures — those go through Status.
+#define RAQO_CHECK(condition)                                         \
+  (condition) ? static_cast<void>(0)                                  \
+              : ::raqo::internal_logging::Voidify() &                 \
+                    ::raqo::internal_logging::CheckFailure(           \
+                        __FILE__, __LINE__, #condition)
+
+#define RAQO_DCHECK(condition) RAQO_CHECK(condition)
+
+#endif  // RAQO_COMMON_LOGGING_H_

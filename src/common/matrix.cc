@@ -1,0 +1,140 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace raqo {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  RAQO_CHECK(rows > 0 && cols > 0) << "Matrix dimensions must be positive";
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  RAQO_CHECK(!rows.empty()) << "FromRows requires at least one row";
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    RAQO_CHECK(rows[r].size() == m.cols_) << "ragged rows in FromRows";
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  RAQO_DCHECK(r < rows_ && c < cols_) << "Matrix index out of range";
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  RAQO_DCHECK(r < rows_ && c < cols_) << "Matrix index out of range";
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  RAQO_CHECK(cols_ == other.rows_) << "Multiply shape mismatch";
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+void Matrix::AddToDiagonal(double lambda) {
+  const size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (size_t i = 0; i < n; ++i) At(i, i) += lambda;
+}
+
+Result<std::vector<double>> Matrix::Solve(const std::vector<double>& b) const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("Solve requires a square matrix");
+  }
+  if (b.size() != rows_) {
+    return Status::InvalidArgument("Solve rhs size mismatch");
+  }
+  const size_t n = rows_;
+  // Augmented working copy.
+  std::vector<double> a = data_;
+  std::vector<double> x = b;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: find the largest |entry| in this column.
+    size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition(
+          "Solve: matrix is singular or ill-conditioned");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(x[col], x[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      x[r] -= factor * x[col];
+    }
+  }
+  // Back substitution.
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = x[ri];
+    for (size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * x[c];
+    x[ri] = sum / a[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  RAQO_CHECK(v.size() == cols_) << "MultiplyVector shape mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += At(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      out += StrPrintf("%s%.6g", j ? ", " : "", At(i, j));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace raqo

@@ -1,0 +1,62 @@
+#ifndef RAQO_COMMON_MATRIX_H_
+#define RAQO_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace raqo {
+
+/// Dense row-major matrix of doubles. Sized for the small systems that the
+/// cost-model regression solves (tens of columns), not for HPC use.
+class Matrix {
+ public:
+  /// Creates a rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols);
+
+  /// Creates a matrix from nested initializer data; all rows must have the
+  /// same length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Adds lambda to every diagonal entry (ridge regularization).
+  void AddToDiagonal(double lambda);
+
+  /// Solves A x = b by Gaussian elimination with partial pivoting.
+  /// A is this matrix (must be square, rows() == b.size()). Returns
+  /// InvalidArgument for shape mismatches and FailedPrecondition when the
+  /// system is (numerically) singular.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+  /// Multiplies this matrix by a vector; requires cols() == v.size().
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  /// Human-readable rendering, mainly for debugging.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_MATRIX_H_

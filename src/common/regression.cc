@@ -1,0 +1,89 @@
+#include "common/regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+
+namespace raqo {
+
+double LinearModel::Predict(const std::vector<double>& features) const {
+  const size_t n_features =
+      has_intercept ? weights.size() - 1 : weights.size();
+  RAQO_CHECK(features.size() == n_features)
+      << "Predict feature arity mismatch: " << features.size() << " vs "
+      << n_features;
+  double sum = has_intercept ? weights.back() : 0.0;
+  for (size_t i = 0; i < n_features; ++i) sum += weights[i] * features[i];
+  return sum;
+}
+
+Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& y,
+                           const OlsOptions& options) {
+  if (rows.empty()) return Status::InvalidArgument("FitOls: no observations");
+  if (rows.size() != y.size()) {
+    return Status::InvalidArgument("FitOls: X/y size mismatch");
+  }
+  const size_t base_cols = rows[0].size();
+  if (base_cols == 0) return Status::InvalidArgument("FitOls: empty features");
+  const size_t cols = base_cols + (options.fit_intercept ? 1 : 0);
+  if (rows.size() < cols) {
+    return Status::InvalidArgument(
+        "FitOls: fewer observations than unknowns");
+  }
+
+  Matrix x(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != base_cols) {
+      return Status::InvalidArgument("FitOls: ragged feature rows");
+    }
+    for (size_t c = 0; c < base_cols; ++c) x.At(r, c) = rows[r][c];
+    if (options.fit_intercept) x.At(r, base_cols) = 1.0;
+  }
+
+  Matrix xt = x.Transposed();
+  Matrix xtx = xt.Multiply(x);
+  xtx.AddToDiagonal(options.ridge_lambda);
+  std::vector<double> xty = xt.MultiplyVector(y);
+
+  RAQO_ASSIGN_OR_RETURN(std::vector<double> w, xtx.Solve(xty));
+  LinearModel model;
+  model.weights = std::move(w);
+  model.has_intercept = options.fit_intercept;
+  return model;
+}
+
+double RSquared(const LinearModel& model,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& y) {
+  RAQO_CHECK(rows.size() == y.size());
+  RAQO_CHECK(!y.empty());
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double pred = model.Predict(rows[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Rmse(const LinearModel& model,
+            const std::vector<std::vector<double>>& rows,
+            const std::vector<double>& y) {
+  RAQO_CHECK(rows.size() == y.size());
+  RAQO_CHECK(!y.empty());
+  double ss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double err = y[i] - model.Predict(rows[i]);
+    ss += err * err;
+  }
+  return std::sqrt(ss / static_cast<double>(y.size()));
+}
+
+}  // namespace raqo

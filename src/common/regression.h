@@ -1,0 +1,53 @@
+#ifndef RAQO_COMMON_REGRESSION_H_
+#define RAQO_COMMON_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace raqo {
+
+/// A fitted linear model y = w . x (optionally with an intercept folded in
+/// as an extra trailing weight). This is the learner behind the paper's
+/// cost model (Section VI-A), which regresses operator runtimes onto the
+/// feature vector [ss, ss^2, cs, cs^2, nc, nc^2, cs*nc].
+struct LinearModel {
+  std::vector<double> weights;
+  bool has_intercept = false;
+
+  /// Predicted value for a raw feature vector (without the intercept
+  /// column; it is appended internally when has_intercept is set).
+  double Predict(const std::vector<double>& features) const;
+};
+
+/// Options controlling the ordinary-least-squares fit.
+struct OlsOptions {
+  /// Ridge regularization strength added to the normal-equation diagonal.
+  /// A small positive value keeps near-collinear profiles solvable.
+  double ridge_lambda = 1e-9;
+  /// Whether to fit an intercept term. The paper's published coefficient
+  /// vectors have no explicit intercept, so the default is off.
+  bool fit_intercept = false;
+};
+
+/// Fits y ~ X via the normal equations (X^T X + lambda I) w = X^T y.
+/// `rows` holds one feature vector per observation; all must be the same
+/// length and there must be at least as many observations as unknowns.
+Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& y,
+                           const OlsOptions& options = {});
+
+/// Coefficient of determination of `model` on the given data (1 = perfect).
+double RSquared(const LinearModel& model,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<double>& y);
+
+/// Root mean squared prediction error of `model` on the given data.
+double Rmse(const LinearModel& model,
+            const std::vector<std::vector<double>>& rows,
+            const std::vector<double>& y);
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_REGRESSION_H_

@@ -1,0 +1,87 @@
+#ifndef RAQO_COMMON_RESULT_H_
+#define RAQO_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace raqo {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Modeled on arrow::Result / absl::StatusOr.
+///
+/// Typical use:
+///   Result<double> r = model.Predict(features);
+///   if (!r.ok()) return r.status();
+///   double cost = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. CHECK-fails if `status` is OK, since an OK
+  /// result must carry a value.
+  Result(Status status)  // NOLINT: implicit by design, mirrors StatusOr.
+      : status_(std::move(status)) {
+    RAQO_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT: implicit by design, mirrors StatusOr.
+      : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors CHECK-fail when the result is an error; callers must test
+  /// ok() first (or use ValueOr).
+  const T& value() const& {
+    RAQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    RAQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    RAQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its status on error and
+/// otherwise assigning the value into `lhs`.
+#define RAQO_ASSIGN_OR_RETURN(lhs, expr)                    \
+  RAQO_ASSIGN_OR_RETURN_IMPL_(                              \
+      RAQO_CONCAT_(_raqo_result_, __LINE__), lhs, expr)
+
+#define RAQO_CONCAT_INNER_(a, b) a##b
+#define RAQO_CONCAT_(a, b) RAQO_CONCAT_INNER_(a, b)
+#define RAQO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_RESULT_H_

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace raqo {
+
+namespace {
+
+// SplitMix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // All-zero state would be degenerate; SplitMix64 of any seed cannot
+  // produce four zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  RAQO_CHECK(lo < hi) << "Uniform bounds inverted: " << lo << " >= " << hi;
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RAQO_CHECK(lo <= hi) << "UniformInt bounds inverted";
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  RAQO_CHECK(rate > 0.0) << "Exponential rate must be positive";
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace raqo

@@ -1,0 +1,50 @@
+#ifndef RAQO_COMMON_RNG_H_
+#define RAQO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace raqo {
+
+/// Deterministic, seedable pseudo-random number generator (xoshiro256**)
+/// used everywhere randomness is needed so that experiments reproduce
+/// bit-for-bit across runs. Not cryptographically secure.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(Normal(mu, sigma)). Heavy-tailed; used for job
+  /// runtime distributions in the trace generator.
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda). Used for Poisson arrivals.
+  double Exponential(double rate);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  // Box-Muller produces pairs; cache the spare value.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_RNG_H_

@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace raqo {
+
+double Mean(const std::vector<double>& values) {
+  RAQO_CHECK(!values.empty()) << "Mean of empty vector";
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  RAQO_CHECK(!values.empty()) << "StdDev of empty vector";
+  const double mean = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  RAQO_CHECK(!values.empty()) << "Percentile of empty vector";
+  RAQO_CHECK(p >= 0.0 && p <= 100.0) << "Percentile out of range: " << p;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  RAQO_CHECK(!sorted_.empty()) << "EmpiricalCdf of empty sample set";
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::FractionAtOrBelow(double v) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), v);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::FractionAtOrAbove(double v) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), v);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  RAQO_CHECK(q >= 0.0 && q <= 1.0) << "Quantile out of range: " << q;
+  if (sorted_.size() == 1) return sorted_[0];
+  const double idx = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Points(size_t n) const {
+  RAQO_CHECK(n >= 2) << "Points requires at least two samples";
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(n - 1);
+    out.emplace_back(q, Quantile(q));
+  }
+  return out;
+}
+
+}  // namespace raqo

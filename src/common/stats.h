@@ -1,0 +1,46 @@
+#ifndef RAQO_COMMON_STATS_H_
+#define RAQO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace raqo {
+
+/// Arithmetic mean; requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; requires a non-empty input.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// An empirical CDF: sorted (value, cumulative fraction) points suitable
+/// for printing a distribution like the paper's Figure 1.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF from raw samples. Requires a non-empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= v.
+  double FractionAtOrBelow(double v) const;
+
+  /// Fraction of samples >= v.
+  double FractionAtOrAbove(double v) const;
+
+  /// Value at the given cumulative fraction q in [0, 1].
+  double Quantile(double q) const;
+
+  /// Evenly spaced (fraction, value) points for plotting, `n` of them.
+  std::vector<std::pair<double, double>> Points(size_t n) const;
+
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_STATS_H_

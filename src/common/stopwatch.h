@@ -1,0 +1,35 @@
+#ifndef RAQO_COMMON_STOPWATCH_H_
+#define RAQO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace raqo {
+
+/// Measures wall-clock time with a monotonic clock. Used to report planner
+/// runtimes (Figures 12-15 of the paper).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction / Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_STOPWATCH_H_

@@ -1,0 +1,25 @@
+#ifndef RAQO_COMMON_STRINGS_H_
+#define RAQO_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace raqo {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the parts with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// Renders a byte count with a binary-ish human suffix, e.g. "7.5 GB".
+std::string HumanBytes(double bytes);
+
+/// Renders a duration in seconds as "123.4 s" / "1.2 ms" as appropriate.
+std::string HumanSeconds(double seconds);
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_STRINGS_H_

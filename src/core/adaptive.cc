@@ -1,0 +1,65 @@
+#include "core/adaptive.h"
+
+#include "common/logging.h"
+
+namespace raqo::core {
+
+AdaptiveRaqo::AdaptiveRaqo(RaqoPlanner* planner, AdaptiveOptions options)
+    : planner_(planner), options_(options) {
+  RAQO_CHECK(planner != nullptr);
+  RAQO_CHECK(options_.reoptimize_threshold >= 1.0)
+      << "a threshold below 1 would re-optimize even when strictly worse";
+}
+
+Result<const JointPlan*> AdaptiveRaqo::Submit(
+    const std::vector<catalog::TableId>& tables) {
+  RAQO_ASSIGN_OR_RETURN(JointPlan plan, planner_->Plan(tables));
+  tables_ = tables;
+  current_ = std::move(plan);
+  has_plan_ = true;
+  return &current_;
+}
+
+Result<AdaptiveRaqo::ChangeEvent> AdaptiveRaqo::OnClusterChange(
+    const resource::ClusterConditions& conditions) {
+  if (!has_plan_) {
+    return Status::FailedPrecondition(
+        "no query submitted; call Submit first");
+  }
+  planner_->UpdateClusterConditions(conditions);
+
+  ChangeEvent event;
+
+  // Option A: keep the shape, refresh only its resources.
+  Result<JointPlan> kept = planner_->PlanResourcesForPlan(*current_.plan);
+  if (!kept.ok()) {
+    if (!kept.status().IsResourceExhausted() &&
+        !kept.status().IsFailedPrecondition()) {
+      return kept.status();
+    }
+    event.old_plan_infeasible = true;
+  } else {
+    event.kept_cost_seconds = kept->cost.seconds;
+  }
+
+  // Option B: re-optimize from scratch.
+  RAQO_ASSIGN_OR_RETURN(JointPlan fresh, planner_->Plan(tables_));
+  event.replanned_cost_seconds = fresh.cost.seconds;
+
+  if (event.old_plan_infeasible ||
+      event.kept_cost_seconds >
+          fresh.cost.seconds * options_.reoptimize_threshold) {
+    current_ = std::move(fresh);
+    event.reoptimized = true;
+  } else {
+    current_ = *std::move(kept);
+  }
+  return event;
+}
+
+const JointPlan& AdaptiveRaqo::current() const {
+  RAQO_CHECK(has_plan_) << "no active plan";
+  return current_;
+}
+
+}  // namespace raqo::core

@@ -1,0 +1,69 @@
+#ifndef RAQO_CORE_ADAPTIVE_H_
+#define RAQO_CORE_ADAPTIVE_H_
+
+#include <vector>
+
+#include "core/raqo_planner.h"
+
+namespace raqo::core {
+
+/// Options of the adaptive re-optimization policy.
+struct AdaptiveOptions {
+  /// Re-optimize when keeping the current plan shape (with resources
+  /// re-planned for the new conditions) is more than this factor worse
+  /// than a fresh joint plan. 1.0 re-optimizes on any improvement;
+  /// higher values favor plan stability.
+  double reoptimize_threshold = 1.15;
+};
+
+/// Implements "Adaptive RAQO" (Section VIII): "from the moment a query
+/// gets optimized until the moment its execution begins, the condition of
+/// the cluster might change ... we might need to adapt/re-optimize the
+/// query". The driver holds the current joint plan for a query; on every
+/// cluster-condition change it re-plans the *resources* of the current
+/// plan shape, compares against a full re-optimization, and switches only
+/// when the gap justifies it (or the old shape became infeasible).
+class AdaptiveRaqo {
+ public:
+  /// The planner is borrowed and must outlive the driver.
+  AdaptiveRaqo(RaqoPlanner* planner,
+               AdaptiveOptions options = AdaptiveOptions());
+
+  /// Plans the query under the current conditions and installs the
+  /// result as the active plan.
+  Result<const JointPlan*> Submit(
+      const std::vector<catalog::TableId>& tables);
+
+  /// What happened on a cluster change.
+  struct ChangeEvent {
+    /// True when the active plan was replaced by a re-optimized one.
+    bool reoptimized = false;
+    /// True when the old shape could not run at all under the new
+    /// conditions (re-optimization was forced).
+    bool old_plan_infeasible = false;
+    /// Cost of keeping the old shape under the new conditions (resources
+    /// re-planned); meaningless when infeasible.
+    double kept_cost_seconds = 0.0;
+    /// Cost of the fresh joint plan under the new conditions.
+    double replanned_cost_seconds = 0.0;
+  };
+
+  /// Reacts to new cluster conditions reported by the resource manager.
+  /// Requires a submitted query.
+  Result<ChangeEvent> OnClusterChange(
+      const resource::ClusterConditions& conditions);
+
+  /// The active joint plan (valid after a successful Submit).
+  const JointPlan& current() const;
+
+ private:
+  RaqoPlanner* planner_;
+  AdaptiveOptions options_;
+  std::vector<catalog::TableId> tables_;
+  JointPlan current_;
+  bool has_plan_ = false;
+};
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_ADAPTIVE_H_

@@ -1,0 +1,82 @@
+#include "core/container_reuse.h"
+
+#include <vector>
+
+namespace raqo::core {
+
+Result<ReuseAnalysis> AnalyzeContainerReuse(
+    sim::ExecutionSimulator& simulator, const plan::PlanNode& joint_plan) {
+  // Collect the distinct per-operator configurations; they are the
+  // harmonization candidates (some operator wanted each of them).
+  std::vector<resource::ResourceConfig> candidates;
+  bool missing = false;
+  joint_plan.VisitJoins([&](const plan::PlanNode& join) {
+    if (!join.resources().has_value()) {
+      missing = true;
+      return;
+    }
+    const resource::ResourceConfig& config = *join.resources();
+    bool seen = false;
+    for (const resource::ResourceConfig& c : candidates) {
+      if (c == config) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) candidates.push_back(config);
+  });
+  if (missing) {
+    return Status::FailedPrecondition(
+        "plan has joins without resource requests; run resource planning "
+        "first");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("plan has no join operators");
+  }
+
+  sim::RunPlanOptions reuse;
+  reuse.reuse_containers = true;
+
+  ReuseAnalysis analysis;
+  RAQO_ASSIGN_OR_RETURN(
+      sim::SimPlanResult per_op,
+      simulator.RunPlan(joint_plan, sim::ExecParams{}, reuse));
+  analysis.per_operator_seconds = per_op.seconds;
+
+  analysis.harmonized_seconds = per_op.seconds;
+  analysis.harmonized_config = candidates.front();
+  for (const resource::ResourceConfig& candidate : candidates) {
+    std::unique_ptr<plan::PlanNode> uniform = joint_plan.Clone();
+    uniform->VisitJoins(
+        [&](plan::PlanNode& join) { join.set_resources(candidate); });
+    Result<sim::SimPlanResult> run =
+        simulator.RunPlan(*uniform, sim::ExecParams{}, reuse);
+    if (!run.ok()) {
+      // A shared configuration that cannot run every operator (e.g. too
+      // small for some broadcast) is simply not a viable candidate.
+      if (run.status().IsResourceExhausted()) continue;
+      return run.status();
+    }
+    if (run->seconds < analysis.harmonized_seconds) {
+      analysis.harmonized_seconds = run->seconds;
+      analysis.harmonized_config = candidate;
+      analysis.harmonize_wins = true;
+    }
+  }
+  return analysis;
+}
+
+Result<std::unique_ptr<plan::PlanNode>> ApplyContainerReuse(
+    sim::ExecutionSimulator& simulator, const plan::PlanNode& joint_plan) {
+  RAQO_ASSIGN_OR_RETURN(ReuseAnalysis analysis,
+                        AnalyzeContainerReuse(simulator, joint_plan));
+  std::unique_ptr<plan::PlanNode> out = joint_plan.Clone();
+  if (analysis.harmonize_wins) {
+    out->VisitJoins([&](plan::PlanNode& join) {
+      join.set_resources(analysis.harmonized_config);
+    });
+  }
+  return out;
+}
+
+}  // namespace raqo::core

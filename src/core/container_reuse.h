@@ -1,0 +1,51 @@
+#ifndef RAQO_CORE_CONTAINER_REUSE_H_
+#define RAQO_CORE_CONTAINER_REUSE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "resource/cluster_conditions.h"
+#include "sim/simulator.h"
+
+namespace raqo::core {
+
+/// Outcome of the per-operator vs harmonized resource analysis.
+struct ReuseAnalysis {
+  /// Simulated runtime with each operator's own resources (reuse applies
+  /// only where neighboring stages happen to match).
+  double per_operator_seconds = 0.0;
+  /// Best simulated runtime with a single configuration shared by every
+  /// operator (all stages after the first reuse containers).
+  double harmonized_seconds = 0.0;
+  /// The winning shared configuration.
+  resource::ResourceConfig harmonized_config;
+  /// True when harmonizing beats the per-operator assignment.
+  bool harmonize_wins = false;
+
+  double speedup() const {
+    return harmonized_seconds > 0.0
+               ? per_operator_seconds / harmonized_seconds
+               : 0.0;
+  }
+};
+
+/// Explores the trade-off the paper's research agenda raises
+/// (Section VIII, "RAQO on arbitrary queries", point iii): per-operator
+/// resource choices extract the best per-stage performance, but keeping
+/// resources *constant* across operators lets the runtime reuse
+/// containers and skip per-stage startup. The analysis simulates the
+/// joint plan as-is and under each distinct per-operator configuration
+/// promoted to a plan-wide configuration (with reuse), and reports which
+/// wins. Every join of `joint_plan` must carry a resource request.
+Result<ReuseAnalysis> AnalyzeContainerReuse(
+    sim::ExecutionSimulator& simulator, const plan::PlanNode& joint_plan);
+
+/// Convenience: clones `joint_plan` and, when harmonizing wins, rewrites
+/// every join's resources to the winning shared configuration.
+Result<std::unique_ptr<plan::PlanNode>> ApplyContainerReuse(
+    sim::ExecutionSimulator& simulator, const plan::PlanNode& joint_plan);
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_CONTAINER_REUSE_H_

@@ -1,0 +1,338 @@
+#include "core/csb_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace raqo::core {
+
+namespace {
+
+/// Index of the child covering `key` in an internal node with `count`
+/// separators: the number of separators <= key (separator semantics:
+/// a separator is the smallest key of its right subtree).
+int RouteChild(const double* keys, int count, double key) {
+  int lo = 0;
+  int hi = count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (key < keys[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+CsbTree::CsbTree() = default;
+
+int32_t CsbTree::AllocateGroup(int n) {
+  const auto base = static_cast<int32_t>(pool_.size());
+  pool_.resize(pool_.size() + static_cast<size_t>(n));
+  return base;
+}
+
+bool CsbTree::Insert(double key, int64_t value) {
+  RAQO_CHECK(!std::isnan(key)) << "CsbTree cannot index NaN keys";
+  if (root_ < 0) {
+    root_ = AllocateGroup(1);
+    Node& root = pool_[static_cast<size_t>(root_)];
+    root.is_leaf = 1;
+    root.count = 1;
+    root.keys[0] = key;
+    root.values[0] = value;
+    size_ = 1;
+    height_ = 1;
+    return true;
+  }
+
+  // Recursive insert; a split at any level bubbles a (separator, right
+  // node) pair up to the caller, which re-allocates its child group.
+  struct SplitInfo {
+    double separator;
+    Node right;
+  };
+
+  bool inserted = false;
+  std::function<std::optional<SplitInfo>(int32_t)> insert_rec =
+      [&](int32_t idx) -> std::optional<SplitInfo> {
+    // Work on a copy of the header fields; pool_ may be re-allocated by
+    // child group allocations below, so always re-index via pool_[idx].
+    if (pool_[static_cast<size_t>(idx)].is_leaf) {
+      Node& leaf = pool_[static_cast<size_t>(idx)];
+      const int pos =
+          static_cast<int>(std::lower_bound(leaf.keys,
+                                            leaf.keys + leaf.count, key) -
+                           leaf.keys);
+      if (pos < leaf.count && leaf.keys[pos] == key) {
+        leaf.values[pos] = value;  // overwrite existing key
+        inserted = false;
+        return std::nullopt;
+      }
+      inserted = true;
+      ++size_;
+      if (leaf.count < kNodeKeys) {
+        for (int i = leaf.count; i > pos; --i) {
+          leaf.keys[i] = leaf.keys[i - 1];
+          leaf.values[i] = leaf.values[i - 1];
+        }
+        leaf.keys[pos] = key;
+        leaf.values[pos] = value;
+        ++leaf.count;
+        return std::nullopt;
+      }
+      // Leaf split: merge the new entry into a temp array, halve it.
+      double tmp_keys[kNodeKeys + 1];
+      int64_t tmp_values[kNodeKeys + 1];
+      for (int i = 0, j = 0; i <= kNodeKeys; ++i) {
+        if (i == pos) {
+          tmp_keys[i] = key;
+          tmp_values[i] = value;
+        } else {
+          tmp_keys[i] = leaf.keys[j];
+          tmp_values[i] = leaf.values[j];
+          ++j;
+        }
+      }
+      const int total = kNodeKeys + 1;
+      const int left_n = (total + 1) / 2;
+      leaf.count = static_cast<uint16_t>(left_n);
+      for (int i = 0; i < left_n; ++i) {
+        leaf.keys[i] = tmp_keys[i];
+        leaf.values[i] = tmp_values[i];
+      }
+      SplitInfo split;
+      split.right = Node();
+      split.right.is_leaf = 1;
+      split.right.count = static_cast<uint16_t>(total - left_n);
+      for (int i = left_n; i < total; ++i) {
+        split.right.keys[i - left_n] = tmp_keys[i];
+        split.right.values[i - left_n] = tmp_values[i];
+      }
+      split.separator = split.right.keys[0];
+      return split;
+    }
+
+    // Internal node.
+    int pos;
+    int32_t child_idx;
+    {
+      const Node& node = pool_[static_cast<size_t>(idx)];
+      pos = RouteChild(node.keys, node.count, key);
+      child_idx = node.first_child + pos;
+    }
+    std::optional<SplitInfo> child_split = insert_rec(child_idx);
+    if (!child_split.has_value()) return std::nullopt;
+
+    // The child split: its new right sibling must sit directly after it
+    // inside this node's (contiguous) child group, so the group is
+    // re-allocated one slot larger — the CSB+ trade-off.
+    const Node node_copy = pool_[static_cast<size_t>(idx)];
+    const int old_children = node_copy.count + 1;
+
+    if (node_copy.count < kNodeKeys) {
+      const int32_t new_base = AllocateGroup(old_children + 1);
+      for (int i = 0; i <= pos; ++i) {
+        pool_[static_cast<size_t>(new_base + i)] =
+            pool_[static_cast<size_t>(node_copy.first_child + i)];
+      }
+      pool_[static_cast<size_t>(new_base + pos + 1)] = child_split->right;
+      for (int i = pos + 1; i < old_children; ++i) {
+        pool_[static_cast<size_t>(new_base + i + 1)] =
+            pool_[static_cast<size_t>(node_copy.first_child + i)];
+      }
+      Node& node = pool_[static_cast<size_t>(idx)];
+      node = node_copy;
+      for (int i = node.count; i > pos; --i) node.keys[i] = node.keys[i - 1];
+      node.keys[pos] = child_split->separator;
+      ++node.count;
+      node.first_child = new_base;
+      return std::nullopt;
+    }
+
+    // This internal node is full too: split it into two nodes, each with
+    // its own freshly allocated child group.
+    const int total_children = kNodeKeys + 2;
+    std::vector<Node> children(static_cast<size_t>(total_children));
+    std::vector<double> seps(static_cast<size_t>(kNodeKeys + 1));
+    {
+      int j = 0;
+      for (int i = 0; i < total_children; ++i) {
+        if (i == pos + 1) {
+          children[static_cast<size_t>(i)] = child_split->right;
+        } else {
+          children[static_cast<size_t>(i)] =
+              pool_[static_cast<size_t>(node_copy.first_child + j)];
+          ++j;
+        }
+      }
+      j = 0;
+      for (int i = 0; i <= kNodeKeys; ++i) {
+        if (i == pos) {
+          seps[static_cast<size_t>(i)] = child_split->separator;
+        } else {
+          seps[static_cast<size_t>(i)] = node_copy.keys[j];
+          ++j;
+        }
+      }
+    }
+    const int left_children = total_children / 2 + 1;
+    const int right_children = total_children - left_children;
+
+    const int32_t left_base = AllocateGroup(left_children);
+    const int32_t right_base = AllocateGroup(right_children);
+    for (int i = 0; i < left_children; ++i) {
+      pool_[static_cast<size_t>(left_base + i)] =
+          children[static_cast<size_t>(i)];
+    }
+    for (int i = 0; i < right_children; ++i) {
+      pool_[static_cast<size_t>(right_base + i)] =
+          children[static_cast<size_t>(left_children + i)];
+    }
+
+    SplitInfo split;
+    split.separator = seps[static_cast<size_t>(left_children - 1)];
+    split.right = Node();
+    split.right.is_leaf = 0;
+    split.right.first_child = right_base;
+    split.right.count = static_cast<uint16_t>(right_children - 1);
+    for (int i = 0; i < right_children - 1; ++i) {
+      split.right.keys[i] = seps[static_cast<size_t>(left_children + i)];
+    }
+
+    Node& node = pool_[static_cast<size_t>(idx)];
+    node.is_leaf = 0;
+    node.first_child = left_base;
+    node.count = static_cast<uint16_t>(left_children - 1);
+    for (int i = 0; i < left_children - 1; ++i) {
+      node.keys[i] = seps[static_cast<size_t>(i)];
+    }
+    return split;
+  };
+
+  std::optional<SplitInfo> root_split = insert_rec(root_);
+  if (root_split.has_value()) {
+    // Grow a new root whose two children (old root, split-off right) form
+    // a contiguous group.
+    const int32_t group = AllocateGroup(2);
+    pool_[static_cast<size_t>(group)] = pool_[static_cast<size_t>(root_)];
+    pool_[static_cast<size_t>(group + 1)] = root_split->right;
+    const int32_t new_root = AllocateGroup(1);
+    Node& root = pool_[static_cast<size_t>(new_root)];
+    root.is_leaf = 0;
+    root.count = 1;
+    root.first_child = group;
+    root.keys[0] = root_split->separator;
+    root_ = new_root;
+    ++height_;
+  }
+  return inserted;
+}
+
+std::optional<int64_t> CsbTree::Find(double key) const {
+  if (root_ < 0) return std::nullopt;
+  int32_t idx = root_;
+  while (!pool_[static_cast<size_t>(idx)].is_leaf) {
+    const Node& node = pool_[static_cast<size_t>(idx)];
+    idx = node.first_child + RouteChild(node.keys, node.count, key);
+  }
+  const Node& leaf = pool_[static_cast<size_t>(idx)];
+  const int pos = static_cast<int>(
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key) - leaf.keys);
+  if (pos < leaf.count && leaf.keys[pos] == key) return leaf.values[pos];
+  return std::nullopt;
+}
+
+void CsbTree::Scan(double lo, double hi,
+                   const std::function<void(double, int64_t)>& fn) const {
+  if (root_ < 0 || lo > hi) return;
+  std::function<void(int32_t)> visit = [&](int32_t idx) {
+    const Node& node = pool_[static_cast<size_t>(idx)];
+    if (node.is_leaf) {
+      const int start = static_cast<int>(
+          std::lower_bound(node.keys, node.keys + node.count, lo) -
+          node.keys);
+      for (int i = start; i < node.count && node.keys[i] <= hi; ++i) {
+        fn(node.keys[i], node.values[i]);
+      }
+      return;
+    }
+    const int first = RouteChild(node.keys, node.count, lo);
+    const int last = RouteChild(node.keys, node.count, hi);
+    for (int i = first; i <= last; ++i) visit(node.first_child + i);
+  };
+  visit(root_);
+}
+
+Status CsbTree::CheckNode(int32_t index, double lo, double hi,
+                          int depth) const {
+  const Node& node = pool_[static_cast<size_t>(index)];
+  for (int i = 0; i + 1 < node.count; ++i) {
+    if (!(node.keys[i] < node.keys[i + 1])) {
+      return Status::Internal("keys not strictly increasing in node " +
+                              std::to_string(index));
+    }
+  }
+  for (int i = 0; i < node.count; ++i) {
+    if (node.keys[i] < lo || node.keys[i] >= hi) {
+      return Status::Internal(StrPrintf(
+          "key %g outside subtree bounds [%g, %g)", node.keys[i], lo, hi));
+    }
+  }
+  if (node.is_leaf) {
+    if (depth + 1 != height_) {
+      return Status::Internal("leaf at wrong depth");
+    }
+    return Status::OK();
+  }
+  if (node.count < 1) {
+    return Status::Internal("internal node with no separators");
+  }
+  if (node.first_child < 0 ||
+      node.first_child + node.count >=
+          static_cast<int32_t>(pool_.size())) {
+    return Status::Internal("child group out of pool bounds");
+  }
+  for (int i = 0; i <= node.count; ++i) {
+    const double child_lo = (i == 0) ? lo : node.keys[i - 1];
+    const double child_hi = (i == node.count) ? hi : node.keys[i];
+    RAQO_RETURN_IF_ERROR(
+        CheckNode(node.first_child + i, child_lo, child_hi, depth + 1));
+  }
+  return Status::OK();
+}
+
+Status CsbTree::CheckInvariants() const {
+  if (root_ < 0) {
+    return size_ == 0 ? Status::OK()
+                      : Status::Internal("empty tree with nonzero size");
+  }
+  RAQO_RETURN_IF_ERROR(
+      CheckNode(root_, -std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::infinity(), 0));
+  // The scan must see exactly size_ keys, in order.
+  size_t seen = 0;
+  double prev = -std::numeric_limits<double>::infinity();
+  bool ordered = true;
+  Scan(-std::numeric_limits<double>::infinity(),
+       std::numeric_limits<double>::infinity(),
+       [&](double k, int64_t) {
+         if (k <= prev) ordered = false;
+         prev = k;
+         ++seen;
+       });
+  if (!ordered) return Status::Internal("scan out of order");
+  if (seen != size_) {
+    return Status::Internal(StrPrintf("scan saw %zu keys, size is %zu",
+                                      seen, size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace raqo::core

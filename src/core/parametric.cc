@@ -1,0 +1,72 @@
+#include "core/parametric.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace raqo::core {
+
+namespace {
+
+/// Distance between cluster conditions in log space of the capacity
+/// maxima.
+double ConditionDistance(const resource::ClusterConditions& a,
+                         const resource::ClusterConditions& b) {
+  const double dcs = std::log(a.max().container_size_gb()) -
+                     std::log(b.max().container_size_gb());
+  const double dnc = std::log(a.max().num_containers()) -
+                     std::log(b.max().num_containers());
+  return dcs * dcs + dnc * dnc;
+}
+
+}  // namespace
+
+Result<ParametricPlanSet> ParametricPlanSet::Build(
+    RaqoPlanner& planner, const std::vector<catalog::TableId>& tables,
+    const std::vector<resource::ClusterConditions>& representatives) {
+  if (representatives.empty()) {
+    return Status::InvalidArgument(
+        "parametric plan set needs at least one representative condition");
+  }
+  ParametricPlanSet set;
+  for (const resource::ClusterConditions& conditions : representatives) {
+    planner.UpdateClusterConditions(conditions);
+    RAQO_ASSIGN_OR_RETURN(JointPlan plan, planner.Plan(tables));
+    Entry entry{conditions, std::move(plan)};
+    set.entries_.push_back(std::move(entry));
+  }
+  return set;
+}
+
+const JointPlan& ParametricPlanSet::PlanFor(
+    const resource::ClusterConditions& current) const {
+  RAQO_CHECK(!entries_.empty()) << "empty parametric plan set";
+  size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const double d = ConditionDistance(entries_[i].conditions, current);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return entries_[best].plan;
+}
+
+int ParametricPlanSet::DistinctShapes() const {
+  int distinct = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (entries_[i].plan.plan->StructurallyEquals(*entries_[j].plan.plan)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace raqo::core

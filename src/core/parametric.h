@@ -1,0 +1,52 @@
+#ifndef RAQO_CORE_PARAMETRIC_H_
+#define RAQO_CORE_PARAMETRIC_H_
+
+#include <vector>
+
+#include "core/raqo_planner.h"
+
+namespace raqo::core {
+
+/// Answers the paper's research-agenda question "what should be the RAQO
+/// output: a decision tree, a machine learning model, or analytical
+/// formulas?" with the *parametric plan* option its related work
+/// discusses (dynamic query evaluation plans [37], parametric query
+/// optimization [38]): joint plans are precomputed for representative
+/// cluster conditions at optimization time, and at execution time the
+/// plan for the nearest condition is dispatched without re-running the
+/// optimizer.
+class ParametricPlanSet {
+ public:
+  /// One precomputed alternative.
+  struct Entry {
+    resource::ClusterConditions conditions;
+    JointPlan plan;
+  };
+
+  /// Optimizes `tables` once per representative condition. The planner's
+  /// cluster conditions are updated along the way (and left at the last
+  /// representative). Fails when `representatives` is empty or any
+  /// planning run fails.
+  static Result<ParametricPlanSet> Build(
+      RaqoPlanner& planner, const std::vector<catalog::TableId>& tables,
+      const std::vector<resource::ClusterConditions>& representatives);
+
+  /// The precomputed plan for the representative condition nearest to
+  /// `current` (log-space distance over the two capacity maxima — the
+  /// ratios matter, not the absolute container counts).
+  const JointPlan& PlanFor(
+      const resource::ClusterConditions& current) const;
+
+  /// Number of distinct plan *shapes* across the entries (how much the
+  /// optimal plan actually varies over the condition space).
+  int DistinctShapes() const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_PARAMETRIC_H_

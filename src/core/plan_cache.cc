@@ -1,0 +1,161 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace raqo::core {
+
+void SortedArrayIndex::Insert(const CachedResourcePlan& plan) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), plan.key_gb,
+      [](const CachedResourcePlan& e, double k) { return e.key_gb < k; });
+  if (it != entries_.end() && it->key_gb == plan.key_gb) {
+    *it = plan;  // overwrite
+    return;
+  }
+  entries_.insert(it, plan);
+}
+
+std::optional<CachedResourcePlan> SortedArrayIndex::FindExact(
+    double key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const CachedResourcePlan& e, double k) { return e.key_gb < k; });
+  if (it != entries_.end() && it->key_gb == key) return *it;
+  return std::nullopt;
+}
+
+std::vector<CachedResourcePlan> SortedArrayIndex::FindNeighbors(
+    double key, double threshold) const {
+  std::vector<CachedResourcePlan> out;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key - threshold,
+      [](const CachedResourcePlan& e, double k) { return e.key_gb < k; });
+  for (; it != entries_.end() && it->key_gb <= key + threshold; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void CsbTreeIndex::Insert(const CachedResourcePlan& plan) {
+  if (std::optional<int64_t> existing = tree_.Find(plan.key_gb)) {
+    payloads_[static_cast<size_t>(*existing)] = plan;
+    return;
+  }
+  payloads_.push_back(plan);
+  tree_.Insert(plan.key_gb, static_cast<int64_t>(payloads_.size() - 1));
+}
+
+std::optional<CachedResourcePlan> CsbTreeIndex::FindExact(double key) const {
+  if (std::optional<int64_t> handle = tree_.Find(key)) {
+    return payloads_[static_cast<size_t>(*handle)];
+  }
+  return std::nullopt;
+}
+
+std::vector<CachedResourcePlan> CsbTreeIndex::FindNeighbors(
+    double key, double threshold) const {
+  std::vector<CachedResourcePlan> out;
+  tree_.Scan(key - threshold, key + threshold, [&](double, int64_t handle) {
+    out.push_back(payloads_[static_cast<size_t>(handle)]);
+  });
+  return out;
+}
+
+const char* CacheLookupModeName(CacheLookupMode mode) {
+  switch (mode) {
+    case CacheLookupMode::kExact:
+      return "exact";
+    case CacheLookupMode::kNearestNeighbor:
+      return "nearest-neighbor";
+    case CacheLookupMode::kWeightedAverage:
+      return "weighted-average";
+  }
+  return "?";
+}
+
+ResourcePlanCache::ResourcePlanCache(CacheLookupMode mode,
+                                     double threshold_gb,
+                                     CacheIndexKind index_kind)
+    : mode_(mode), threshold_gb_(threshold_gb), index_kind_(index_kind) {
+  RAQO_CHECK(threshold_gb >= 0.0) << "cache threshold must be non-negative";
+}
+
+ResourcePlanIndex& ResourcePlanCache::IndexFor(
+    const std::string& model_name) {
+  std::unique_ptr<ResourcePlanIndex>& slot = per_model_[model_name];
+  if (slot == nullptr) {
+    if (index_kind_ == CacheIndexKind::kCsbTree) {
+      slot = std::make_unique<CsbTreeIndex>();
+    } else {
+      slot = std::make_unique<SortedArrayIndex>();
+    }
+  }
+  return *slot;
+}
+
+std::optional<CachedResourcePlan> ResourcePlanCache::Lookup(
+    const std::string& model_name, double key_gb) {
+  ResourcePlanIndex& index = IndexFor(model_name);
+
+  // All modes try an exact match first.
+  if (std::optional<CachedResourcePlan> exact = index.FindExact(key_gb)) {
+    ++stats_.hits;
+    return exact;
+  }
+  if (mode_ != CacheLookupMode::kExact && threshold_gb_ > 0.0) {
+    const std::vector<CachedResourcePlan> neighbors =
+        index.FindNeighbors(key_gb, threshold_gb_);
+    if (!neighbors.empty()) {
+      ++stats_.hits;
+      if (mode_ == CacheLookupMode::kNearestNeighbor) {
+        const CachedResourcePlan* best = &neighbors[0];
+        for (const CachedResourcePlan& n : neighbors) {
+          if (std::fabs(n.key_gb - key_gb) <
+              std::fabs(best->key_gb - key_gb)) {
+            best = &n;
+          }
+        }
+        return *best;
+      }
+      // Weighted average: inverse-distance weighting of the neighboring
+      // resource configurations and costs.
+      double weight_sum = 0.0;
+      double cs = 0.0;
+      double nc = 0.0;
+      double cost = 0.0;
+      for (const CachedResourcePlan& n : neighbors) {
+        const double w = 1.0 / (std::fabs(n.key_gb - key_gb) + 1e-9);
+        weight_sum += w;
+        cs += w * n.config.container_size_gb();
+        nc += w * n.config.num_containers();
+        cost += w * n.cost;
+      }
+      CachedResourcePlan blended;
+      blended.key_gb = key_gb;
+      blended.config = resource::ResourceConfig(cs / weight_sum,
+                                                nc / weight_sum);
+      blended.cost = cost / weight_sum;
+      return blended;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResourcePlanCache::Insert(const std::string& model_name,
+                               const CachedResourcePlan& plan) {
+  IndexFor(model_name).Insert(plan);
+}
+
+void ResourcePlanCache::Clear() { per_model_.clear(); }
+
+size_t ResourcePlanCache::size() const {
+  size_t total = 0;
+  for (const auto& [name, index] : per_model_) total += index->size();
+  return total;
+}
+
+}  // namespace raqo::core

@@ -1,0 +1,147 @@
+#ifndef RAQO_CORE_PLAN_CACHE_H_
+#define RAQO_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/csb_tree.h"
+#include "resource/resource_config.h"
+
+namespace raqo::core {
+
+/// A cached resource plan: the best configuration found for some data
+/// characteristic (the smaller input size) plus its predicted cost.
+struct CachedResourcePlan {
+  double key_gb = 0.0;
+  resource::ResourceConfig config;
+  double cost = 0.0;
+};
+
+/// Index over data-characteristic keys (Section VI-B.3). Two layouts are
+/// provided: the paper's default "sorted array of keys, with automatic
+/// resizing, binary search for lookup", and the CSB+-Tree it suggests for
+/// larger workloads.
+class ResourcePlanIndex {
+ public:
+  virtual ~ResourcePlanIndex() = default;
+
+  /// Inserts or overwrites the entry at `plan.key_gb`.
+  virtual void Insert(const CachedResourcePlan& plan) = 0;
+
+  /// Exact-key lookup.
+  virtual std::optional<CachedResourcePlan> FindExact(double key) const = 0;
+
+  /// All entries with |entry.key - key| <= threshold, ascending by key.
+  virtual std::vector<CachedResourcePlan> FindNeighbors(
+      double key, double threshold) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Sorted dynamic array with binary search (the prototype layout in the
+/// paper).
+class SortedArrayIndex : public ResourcePlanIndex {
+ public:
+  void Insert(const CachedResourcePlan& plan) override;
+  std::optional<CachedResourcePlan> FindExact(double key) const override;
+  std::vector<CachedResourcePlan> FindNeighbors(
+      double key, double threshold) const override;
+  size_t size() const override { return entries_.size(); }
+  const char* name() const override { return "sorted-array"; }
+
+ private:
+  std::vector<CachedResourcePlan> entries_;  // ascending by key_gb
+};
+
+/// CSB+-Tree-backed index ("We could also layout the array as a
+/// CSB+-Tree for larger workloads").
+class CsbTreeIndex : public ResourcePlanIndex {
+ public:
+  void Insert(const CachedResourcePlan& plan) override;
+  std::optional<CachedResourcePlan> FindExact(double key) const override;
+  std::vector<CachedResourcePlan> FindNeighbors(
+      double key, double threshold) const override;
+  size_t size() const override { return payloads_.size(); }
+  const char* name() const override { return "csb-tree"; }
+
+ private:
+  CsbTree tree_;
+  /// Payload store; the tree maps key -> index into this vector.
+  std::vector<CachedResourcePlan> payloads_;
+};
+
+/// Cache lookup behaviours (Section VI-B.3).
+enum class CacheLookupMode {
+  /// Hit only on an exactly matching data characteristic.
+  kExact,
+  /// Hit on the nearest key within the threshold.
+  kNearestNeighbor,
+  /// Hit on the distance-weighted average of all neighbors within the
+  /// threshold.
+  kWeightedAverage,
+};
+
+const char* CacheLookupModeName(CacheLookupMode mode);
+
+/// Index layout selector.
+enum class CacheIndexKind {
+  kSortedArray,
+  kCsbTree,
+};
+
+/// Hit/miss counters.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+/// The resource-plan cache: per cost model (SMJ, BHJ, ...) an index of
+/// data-characteristic keys pointing at the best resource configuration
+/// found for them. "A resource configuration computed for one join
+/// operator in a query tree could be applied to another join operator in
+/// the same tree in case they have similar data characteristics", and
+/// across queries in a workload when the cache is kept warm.
+class ResourcePlanCache {
+ public:
+  ResourcePlanCache(CacheLookupMode mode, double threshold_gb,
+                    CacheIndexKind index_kind = CacheIndexKind::kSortedArray);
+
+  /// Looks up a plan for (model, smaller input size). Updates hit/miss
+  /// statistics.
+  std::optional<CachedResourcePlan> Lookup(const std::string& model_name,
+                                           double key_gb);
+
+  /// Records the plan computed for (model, key).
+  void Insert(const std::string& model_name, const CachedResourcePlan& plan);
+
+  /// Drops every entry (the paper clears the cache between queries unless
+  /// evaluating across-query caching).
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  CacheLookupMode mode() const { return mode_; }
+  double threshold_gb() const { return threshold_gb_; }
+
+  /// Total entries across all models.
+  size_t size() const;
+
+ private:
+  ResourcePlanIndex& IndexFor(const std::string& model_name);
+
+  CacheLookupMode mode_;
+  double threshold_gb_;
+  CacheIndexKind index_kind_;
+  CacheStats stats_;
+  std::map<std::string, std::unique_ptr<ResourcePlanIndex>> per_model_;
+};
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_PLAN_CACHE_H_

@@ -1,0 +1,150 @@
+#include "core/raqo_cost_evaluator.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "cost/features.h"
+
+namespace raqo::core {
+
+RaqoCostEvaluator::RaqoCostEvaluator(cost::JoinCostModels models,
+                                     resource::ClusterConditions cluster,
+                                     resource::PricingModel pricing,
+                                     RaqoEvaluatorOptions options)
+    : models_(std::move(models)),
+      cluster_(cluster),
+      pricing_(pricing),
+      options_(options) {
+  switch (options_.search) {
+    case ResourceSearch::kBruteForce:
+      planner_ = std::make_unique<BruteForceResourcePlanner>();
+      break;
+    case ResourceSearch::kHillClimb:
+      planner_ = std::make_unique<HillClimbResourcePlanner>();
+      break;
+    case ResourceSearch::kAcceleratedHillClimb:
+      planner_ = std::make_unique<AcceleratedHillClimbResourcePlanner>();
+      break;
+  }
+  if (options_.use_cache) {
+    cache_ = std::make_unique<ResourcePlanCache>(
+        options_.cache_mode, options_.cache_threshold_gb,
+        options_.cache_index);
+  }
+}
+
+void RaqoCostEvaluator::UpdateClusterConditions(
+    resource::ClusterConditions cluster) {
+  cluster_ = cluster;
+  ClearCache();
+}
+
+void RaqoCostEvaluator::ClearCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+CacheStats RaqoCostEvaluator::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CacheStats{};
+}
+
+void RaqoCostEvaluator::ResetCacheStats() {
+  if (cache_ != nullptr) cache_->ResetStats();
+}
+
+size_t RaqoCostEvaluator::cache_size() const {
+  return cache_ != nullptr ? cache_->size() : 0;
+}
+
+Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
+    const optimizer::JoinContext& context) {
+  const double ss_gb = context.smaller_gb();
+  const cost::OperatorCostModel& model = models_.ForImpl(context.impl);
+
+  // Restrict the search to the feasible sub-grid. For a broadcast join
+  // the container must hold the build side, so the smallest feasible
+  // container size may exceed the cluster minimum.
+  resource::ClusterConditions search_cluster = cluster_;
+  if (context.impl == plan::JoinImpl::kBroadcastHashJoin) {
+    const double min_cs = ss_gb / options_.bhj_capacity_factor;
+    if (min_cs > cluster_.max().container_size_gb() + 1e-9) {
+      return Status::ResourceExhausted(StrPrintf(
+          "BHJ build side %.2f GB fits no container up to %.2f GB", ss_gb,
+          cluster_.max().container_size_gb()));
+    }
+    if (min_cs > cluster_.min().container_size_gb()) {
+      // Snap the minimum container size up onto the grid.
+      const double step = cluster_.step().container_size_gb();
+      const double base = cluster_.min().container_size_gb();
+      const double snapped =
+          base + std::ceil((min_cs - base) / step - 1e-9) * step;
+      resource::ResourceConfig new_min = cluster_.min();
+      new_min.set_container_size_gb(
+          std::min(snapped, cluster_.max().container_size_gb()));
+      RAQO_ASSIGN_OR_RETURN(
+          search_cluster,
+          resource::ClusterConditions::Create(new_min, cluster_.max(),
+                                              cluster_.step()));
+    }
+  }
+
+  const double ls_gb = context.larger_gb();
+  auto objective = [&](const resource::ResourceConfig& config) {
+    cost::JoinFeatures features;
+    features.smaller_gb = ss_gb;
+    features.larger_gb = ls_gb;
+    features.container_size_gb = config.container_size_gb();
+    features.num_containers = config.num_containers();
+    const double seconds = model.PredictSeconds(features);
+    const double dollars = pricing_.Cost(config, seconds);
+    return cost::CostVector{seconds, dollars}.Weighted(options_.time_weight);
+  };
+
+  // Cache lookup first (Section VI-C), keyed by the data characteristic.
+  if (cache_ != nullptr) {
+    if (std::optional<CachedResourcePlan> hit =
+            cache_->Lookup(model.name(), ss_gb)) {
+      // Weighted-average hits can produce off-grid configurations; snap
+      // back onto the allocatable grid.
+      const resource::ResourceConfig config =
+          cluster_.SnapToGrid(hit->config);
+      cost::JoinFeatures features;
+      features.smaller_gb = ss_gb;
+      features.larger_gb = ls_gb;
+      features.container_size_gb = config.container_size_gb();
+      features.num_containers = config.num_containers();
+      const double seconds = model.PredictSeconds(features);
+      optimizer::OperatorCost out;
+      out.cost.seconds = seconds;
+      out.cost.dollars = pricing_.Cost(config, seconds);
+      out.resources = config;
+      return out;
+    }
+  }
+
+  Result<ResourcePlanResult> planned =
+      planner_->PlanResources(objective, search_cluster);
+  if (!planned.ok()) return planned.status();
+  AddResourceConfigsExplored(planned->configs_explored);
+
+  if (cache_ != nullptr) {
+    CachedResourcePlan entry;
+    entry.key_gb = ss_gb;
+    entry.config = planned->config;
+    entry.cost = planned->cost;
+    cache_->Insert(model.name(), entry);
+  }
+
+  cost::JoinFeatures features;
+  features.smaller_gb = ss_gb;
+  features.larger_gb = ls_gb;
+  features.container_size_gb = planned->config.container_size_gb();
+  features.num_containers = planned->config.num_containers();
+  const double seconds = model.PredictSeconds(features);
+  optimizer::OperatorCost out;
+  out.cost.seconds = seconds;
+  out.cost.dollars = pricing_.Cost(planned->config, seconds);
+  out.resources = planned->config;
+  return out;
+}
+
+}  // namespace raqo::core

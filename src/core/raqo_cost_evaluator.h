@@ -1,0 +1,90 @@
+#ifndef RAQO_CORE_RAQO_COST_EVALUATOR_H_
+#define RAQO_CORE_RAQO_COST_EVALUATOR_H_
+
+#include <memory>
+
+#include "core/plan_cache.h"
+#include "core/resource_planner.h"
+#include "cost/cost_model.h"
+#include "optimizer/cost_evaluator.h"
+#include "resource/cluster_conditions.h"
+#include "resource/pricing.h"
+
+namespace raqo::core {
+
+/// Resource-search strategies of cost-based RAQO (Section VI-B), plus
+/// the accelerated-stride extension for very large clusters.
+enum class ResourceSearch {
+  kBruteForce,
+  kHillClimb,
+  kAcceleratedHillClimb,
+};
+
+/// Configuration of the RAQO cost evaluator.
+struct RaqoEvaluatorOptions {
+  ResourceSearch search = ResourceSearch::kHillClimb;
+
+  /// Resource-plan caching (off by default, matching the paper's setup
+  /// of clearing the cache before each query unless stated otherwise).
+  bool use_cache = false;
+  CacheLookupMode cache_mode = CacheLookupMode::kNearestNeighbor;
+  /// The "data delta threshold" of Figure 14, in GB of smaller-input
+  /// size.
+  double cache_threshold_gb = 0.01;
+  CacheIndexKind cache_index = CacheIndexKind::kSortedArray;
+
+  /// Objective weight for resource planning: 1.0 plans resources for pure
+  /// execution time, 0.0 for pure monetary cost.
+  double time_weight = 1.0;
+
+  /// Broadcast-join feasibility bound: the build side must satisfy
+  /// ss <= factor * container size. The resource search is restricted to
+  /// the feasible sub-grid (the climb then starts from the smallest
+  /// *feasible* configuration).
+  double bhj_capacity_factor = 1.14;
+};
+
+/// The heart of cost-based RAQO (Section VI-C): a PlanCostEvaluator whose
+/// getPlanCost "first performs the resource planning (or lookup in the
+/// cache) and then returns the sub-plan cost". Plugging this evaluator
+/// into the Selinger or FastRandomized planner turns either into a joint
+/// query-and-resource optimizer; as the query planner considers candidate
+/// sub-plans, the resource planner considers the resource space for each.
+class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
+ public:
+  RaqoCostEvaluator(cost::JoinCostModels models,
+                    resource::ClusterConditions cluster,
+                    resource::PricingModel pricing = resource::PricingModel(),
+                    RaqoEvaluatorOptions options = RaqoEvaluatorOptions());
+
+  /// Adaptive RAQO hook: replace the cluster conditions (e.g. after the
+  /// resource manager reports a load change). Cached plans computed for
+  /// the old conditions are dropped.
+  void UpdateClusterConditions(resource::ClusterConditions cluster);
+
+  const resource::ClusterConditions& cluster() const { return cluster_; }
+
+  /// Cache maintenance/statistics (zeroed stats when caching is off).
+  void ClearCache();
+  CacheStats cache_stats() const;
+  void ResetCacheStats();
+  size_t cache_size() const;
+
+  const RaqoEvaluatorOptions& options() const { return options_; }
+
+ protected:
+  Result<optimizer::OperatorCost> CostJoinImpl(
+      const optimizer::JoinContext& context) override;
+
+ private:
+  cost::JoinCostModels models_;
+  resource::ClusterConditions cluster_;
+  resource::PricingModel pricing_;
+  RaqoEvaluatorOptions options_;
+  std::unique_ptr<ResourcePlanner> planner_;
+  std::unique_ptr<ResourcePlanCache> cache_;
+};
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_RAQO_COST_EVALUATOR_H_

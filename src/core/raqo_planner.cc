@@ -1,0 +1,178 @@
+#include "core/raqo_planner.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "optimizer/fixed_resource_evaluator.h"
+#include "optimizer/plan_cost.h"
+#include "plan/cardinality.h"
+
+namespace raqo::core {
+
+const char* PlannerAlgorithmName(PlannerAlgorithm algorithm) {
+  switch (algorithm) {
+    case PlannerAlgorithm::kSelinger:
+      return "Selinger";
+    case PlannerAlgorithm::kFastRandomized:
+      return "FastRandomized";
+  }
+  return "?";
+}
+
+RaqoPlanner::RaqoPlanner(const catalog::Catalog* catalog,
+                         cost::JoinCostModels models,
+                         resource::ClusterConditions cluster,
+                         resource::PricingModel pricing,
+                         RaqoPlannerOptions options)
+    : catalog_(catalog),
+      models_(models),
+      pricing_(pricing),
+      options_(options),
+      evaluator_(models, cluster, pricing, options.evaluator) {}
+
+Result<JointPlan> RaqoPlanner::RunPlanner(
+    const std::vector<catalog::TableId>& tables,
+    optimizer::PlanCostEvaluator& evaluator) {
+  Result<optimizer::PlannedQuery> planned =
+      options_.algorithm == PlannerAlgorithm::kSelinger
+          ? optimizer::SelingerPlanner(options_.selinger)
+                .Plan(*catalog_, tables, evaluator)
+          : optimizer::FastRandomizedPlanner(options_.randomized)
+                .PlanBest(*catalog_, tables, evaluator);
+  if (!planned.ok()) return planned.status();
+  JointPlan out;
+  out.plan = std::move(planned->plan);
+  out.cost = planned->cost;
+  out.stats = planned->stats;
+  return out;
+}
+
+Result<JointPlan> RaqoPlanner::Plan(
+    const std::vector<catalog::TableId>& tables) {
+  if (options_.clear_cache_between_queries) evaluator_.ClearCache();
+  evaluator_.ResetCacheStats();
+  Result<JointPlan> result = RunPlanner(tables, evaluator_);
+  if (result.ok()) {
+    result->stats.cache_hits = evaluator_.cache_stats().hits;
+    result->stats.cache_misses = evaluator_.cache_stats().misses;
+  }
+  return result;
+}
+
+Result<JointPlan> RaqoPlanner::PlanForResources(
+    const std::vector<catalog::TableId>& tables,
+    const resource::ResourceConfig& resources) {
+  if (!evaluator_.cluster().Contains(resources)) {
+    return Status::InvalidArgument(
+        "requested resources " + resources.ToString() +
+        " are outside the cluster conditions " +
+        evaluator_.cluster().ToString());
+  }
+  optimizer::FixedResourceEvaluator fixed(
+      models_, resources, pricing_,
+      options_.evaluator.bhj_capacity_factor);
+  return RunPlanner(tables, fixed);
+}
+
+Result<JointPlan> RaqoPlanner::PlanResourcesForPlan(
+    const plan::PlanNode& plan) {
+  Stopwatch watch;
+  if (options_.clear_cache_between_queries) evaluator_.ClearCache();
+  evaluator_.ResetCounters();
+  plan::CardinalityEstimator estimator(catalog_);
+  JointPlan out;
+  out.plan = plan.Clone();
+  RAQO_ASSIGN_OR_RETURN(
+      out.cost, optimizer::EvaluatePlanCost(*out.plan, estimator, evaluator_,
+                                            /*attach_resources=*/true));
+  out.stats.operator_cost_calls = evaluator_.operator_cost_calls();
+  out.stats.resource_configs_explored =
+      evaluator_.resource_configs_explored();
+  out.stats.wall_ms = watch.ElapsedMillis();
+  return out;
+}
+
+Result<JointPlan> RaqoPlanner::PlanForMoneyBudget(
+    const std::vector<catalog::TableId>& tables, double max_dollars) {
+  if (max_dollars <= 0.0) {
+    return Status::InvalidArgument("money budget must be positive");
+  }
+  RAQO_ASSIGN_OR_RETURN(optimizer::MultiObjectiveResult multi,
+                        PlanFrontier(tables));
+  const optimizer::ParetoEntry* best = nullptr;
+  for (optimizer::ParetoEntry& entry : multi.frontier) {
+    if (entry.cost.dollars <= max_dollars &&
+        (best == nullptr || entry.cost.seconds < best->cost.seconds)) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) {
+    const optimizer::ParetoEntry* cheapest = multi.CheapestEntry();
+    return Status::NotFound(StrPrintf(
+        "no plan fits the $%.4f budget; the cheapest frontier plan costs "
+        "$%.4f",
+        max_dollars, cheapest != nullptr ? cheapest->cost.dollars : 0.0));
+  }
+  JointPlan out;
+  out.plan = best->plan->Clone();
+  out.cost = best->cost;
+  out.stats = multi.stats;
+  return out;
+}
+
+Result<optimizer::MultiObjectiveResult> RaqoPlanner::PlanFrontier(
+    const std::vector<catalog::TableId>& tables) {
+  if (options_.frontier_weights.empty()) {
+    return Status::InvalidArgument("frontier_weights must not be empty");
+  }
+  // One randomized pass per resource-objective weight: planning the
+  // resources for pure speed and for pure cheapness lands on different
+  // configurations, which is what spreads the (time, money) frontier.
+  optimizer::MultiObjectiveResult merged;
+  for (double weight : options_.frontier_weights) {
+    RaqoEvaluatorOptions eval_options = options_.evaluator;
+    eval_options.time_weight = weight;
+    RaqoCostEvaluator evaluator(models_, evaluator_.cluster(), pricing_,
+                                eval_options);
+    RAQO_ASSIGN_OR_RETURN(
+        optimizer::MultiObjectiveResult partial,
+        optimizer::FastRandomizedPlanner(options_.randomized)
+            .Plan(*catalog_, tables, evaluator));
+    merged.stats.wall_ms += partial.stats.wall_ms;
+    merged.stats.plans_considered += partial.stats.plans_considered;
+    merged.stats.operator_cost_calls += partial.stats.operator_cost_calls;
+    merged.stats.resource_configs_explored +=
+        partial.stats.resource_configs_explored;
+    for (optimizer::ParetoEntry& entry : partial.frontier) {
+      bool dominated = false;
+      for (const optimizer::ParetoEntry& existing : merged.frontier) {
+        if (existing.cost.Dominates(entry.cost)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      merged.frontier.erase(
+          std::remove_if(merged.frontier.begin(), merged.frontier.end(),
+                         [&](const optimizer::ParetoEntry& e) {
+                           return entry.cost.Dominates(e.cost);
+                         }),
+          merged.frontier.end());
+      merged.frontier.push_back(std::move(entry));
+    }
+  }
+  std::sort(merged.frontier.begin(), merged.frontier.end(),
+            [](const optimizer::ParetoEntry& a,
+               const optimizer::ParetoEntry& b) {
+              return a.cost.seconds < b.cost.seconds;
+            });
+  return merged;
+}
+
+void RaqoPlanner::UpdateClusterConditions(
+    resource::ClusterConditions cluster) {
+  evaluator_.UpdateClusterConditions(cluster);
+}
+
+}  // namespace raqo::core

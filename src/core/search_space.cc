@@ -1,0 +1,36 @@
+#include "core/search_space.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace raqo::core {
+
+std::string SearchSpaceSize::ToString() const {
+  return StrPrintf("joint 10^%.1f, independent 10^%.1f", log10_joint,
+                   log10_independent);
+}
+
+SearchSpaceSize ComputeSearchSpace(int num_relations, int num_impls,
+                                   int container_count_choices,
+                                   int container_size_choices) {
+  RAQO_CHECK(num_relations >= 1 && num_impls >= 1 &&
+             container_count_choices >= 1 && container_size_choices >= 1)
+      << "search-space arguments must be positive";
+  // log10(n!) via lgamma.
+  const double log10_factorial =
+      std::lgamma(static_cast<double>(num_relations) + 1.0) / std::log(10.0);
+  const double log10_per_op =
+      std::log10(static_cast<double>(num_impls)) +
+      std::log10(static_cast<double>(container_count_choices)) +
+      std::log10(static_cast<double>(container_size_choices));
+  SearchSpaceSize out;
+  out.log10_joint =
+      log10_factorial + static_cast<double>(num_relations) * log10_per_op;
+  out.log10_independent = log10_factorial + log10_per_op +
+                          std::log10(static_cast<double>(num_relations));
+  return out;
+}
+
+}  // namespace raqo::core

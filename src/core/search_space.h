@@ -1,0 +1,33 @@
+#ifndef RAQO_CORE_SEARCH_SPACE_H_
+#define RAQO_CORE_SEARCH_SPACE_H_
+
+#include <string>
+
+namespace raqo::core {
+
+/// The paper's search-space accounting (Section VI-B). For n relations,
+/// `a` operator implementations, `rp` possible container counts and `rc`
+/// possible container sizes:
+///   - joint per-operator resource choices: n! * (a * rp * rc)^n
+///   - with the paper's independence assumption (each join, sitting at a
+///     shuffle boundary, picks resources independently):
+///     n! * a * n * rp * rc
+/// Values explode quickly, so both are computed in log10.
+struct SearchSpaceSize {
+  /// log10 of n! * (a * rp * rc)^n.
+  double log10_joint = 0.0;
+  /// log10 of n! * a * n * rp * rc.
+  double log10_independent = 0.0;
+
+  /// e.g. "joint 10^42.3, independent 10^9.1".
+  std::string ToString() const;
+};
+
+/// Computes both sizes; arguments must be >= 1.
+SearchSpaceSize ComputeSearchSpace(int num_relations, int num_impls,
+                                   int container_count_choices,
+                                   int container_size_choices);
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_SEARCH_SPACE_H_

@@ -1,0 +1,38 @@
+#include "core/workload_runner.h"
+
+#include "common/logging.h"
+
+namespace raqo::core {
+
+WorkloadRunner::WorkloadRunner(RaqoPlanner* planner) : planner_(planner) {
+  RAQO_CHECK(planner != nullptr);
+}
+
+Result<WorkloadReport> WorkloadRunner::Run(
+    const std::vector<WorkloadQuery>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  WorkloadReport report;
+  for (const WorkloadQuery& query : workload) {
+    RAQO_ASSIGN_OR_RETURN(JointPlan plan, planner_->Plan(query.tables));
+    QueryRunReport entry;
+    entry.label = query.label;
+    entry.cost = plan.cost;
+    entry.wall_ms = plan.stats.wall_ms;
+    entry.resource_configs_explored = plan.stats.resource_configs_explored;
+    // Plan() resets the cache *statistics* before every query (only the
+    // cache contents persist across queries), so these are per-query.
+    entry.cache_hits = plan.stats.cache_hits;
+    entry.cache_misses = plan.stats.cache_misses;
+    report.total_wall_ms += entry.wall_ms;
+    report.total_resource_configs_explored +=
+        entry.resource_configs_explored;
+    report.total_cache_hits += entry.cache_hits;
+    report.total_cache_misses += entry.cache_misses;
+    report.queries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace raqo::core

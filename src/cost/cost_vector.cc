@@ -1,0 +1,11 @@
+#include "cost/cost_vector.h"
+
+#include "common/strings.h"
+
+namespace raqo::cost {
+
+std::string CostVector::ToString() const {
+  return StrPrintf("(%.3f s, $%.5f)", seconds, dollars);
+}
+
+}  // namespace raqo::cost

@@ -1,0 +1,51 @@
+#ifndef RAQO_COST_COST_VECTOR_H_
+#define RAQO_COST_COST_VECTOR_H_
+
+#include <string>
+
+namespace raqo::cost {
+
+/// A multi-objective cost: execution time and monetary cost. Both are
+/// functions of the query plan and the resource configuration, which is
+/// the paper's core argument for optimizing the two jointly
+/// (Section IV, key feature iv).
+struct CostVector {
+  double seconds = 0.0;
+  double dollars = 0.0;
+
+  CostVector operator+(const CostVector& o) const {
+    return CostVector{seconds + o.seconds, dollars + o.dollars};
+  }
+  CostVector& operator+=(const CostVector& o) {
+    seconds += o.seconds;
+    dollars += o.dollars;
+    return *this;
+  }
+
+  /// Pareto dominance: at least as good on both objectives and strictly
+  /// better on one.
+  bool Dominates(const CostVector& o) const {
+    return seconds <= o.seconds && dollars <= o.dollars &&
+           (seconds < o.seconds || dollars < o.dollars);
+  }
+
+  /// Epsilon-approximate dominance: this cost, inflated by (1 + eps),
+  /// still weakly dominates `o`. Used by the randomized multi-objective
+  /// planner's approximate Pareto archive.
+  bool ApproxDominates(const CostVector& o, double eps) const {
+    return seconds <= (1.0 + eps) * o.seconds &&
+           dollars <= (1.0 + eps) * o.dollars;
+  }
+
+  /// Scalarization for single-objective planners: time_weight * seconds +
+  /// (1 - time_weight) * dollars.
+  double Weighted(double time_weight) const {
+    return time_weight * seconds + (1.0 - time_weight) * dollars;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace raqo::cost
+
+#endif  // RAQO_COST_COST_VECTOR_H_

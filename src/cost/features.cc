@@ -1,0 +1,62 @@
+#include "cost/features.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace raqo::cost {
+
+size_t NumFeatures(FeatureSet set) {
+  return set == FeatureSet::kPaper ? kNumPaperFeatures
+                                   : kNumExtendedFeatures;
+}
+
+std::vector<double> ExpandFeatures(const JoinFeatures& f, FeatureSet set) {
+  double buffer[kMaxFeatures];
+  const size_t n = ExpandFeaturesInto(f, set, buffer);
+  return std::vector<double>(buffer, buffer + n);
+}
+
+size_t ExpandFeaturesInto(const JoinFeatures& f, FeatureSet set,
+                          double* out) {
+  const double ss = f.smaller_gb;
+  const double ls = f.larger_gb;
+  const double cs = f.container_size_gb;
+  const double nc = f.num_containers;
+  if (set == FeatureSet::kPaper) {
+    out[0] = ss;
+    out[1] = ss * ss;
+    out[2] = cs;
+    out[3] = cs * cs;
+    out[4] = nc;
+    out[5] = nc * nc;
+    out[6] = cs * nc;
+    return kNumPaperFeatures;
+  }
+  const double safe_nc = std::max(nc, 1e-9);
+  const double safe_cs = std::max(cs, 1e-9);
+  out[0] = ss;
+  out[1] = ls;
+  out[2] = ss / safe_nc;
+  out[3] = ls / safe_nc;
+  out[4] = ss * nc;
+  out[5] = nc;
+  out[6] = cs;
+  out[7] = ss / safe_cs;
+  out[8] = ls / safe_cs;
+  out[9] = 1.0 / safe_cs;
+  return kNumExtendedFeatures;
+}
+
+const std::vector<std::string>& FeatureNames(FeatureSet set) {
+  static const std::vector<std::string>* paper =
+      new std::vector<std::string>{"ss", "ss^2", "cs",   "cs^2",
+                                   "nc", "nc^2", "cs*nc"};
+  static const std::vector<std::string>* extended =
+      new std::vector<std::string>{"ss",    "ls", "ss/nc", "ls/nc",
+                                   "ss*nc", "nc", "cs",    "ss/cs",
+                                   "ls/cs", "1/cs"};
+  return set == FeatureSet::kPaper ? *paper : *extended;
+}
+
+}  // namespace raqo::cost

@@ -1,0 +1,62 @@
+#ifndef RAQO_COST_FEATURES_H_
+#define RAQO_COST_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace raqo::cost {
+
+/// The raw inputs of the cost model (Section VI-A): data characteristics
+/// of the join (its two input sizes) and the resource configuration.
+struct JoinFeatures {
+  /// Smaller input size in GB (`ss`, the paper's data characteristic).
+  double smaller_gb = 0.0;
+  /// Larger input size in GB. Used only by the extended feature set; the
+  /// paper's published model is blind to it.
+  double larger_gb = 0.0;
+  /// Container size in GB (`cs`).
+  double container_size_gb = 0.0;
+  /// Number of concurrent containers (`nc`).
+  double num_containers = 0.0;
+};
+
+/// Which feature expansion a model is trained/evaluated with.
+enum class FeatureSet {
+  /// The paper's exact feature vector: [ss, ss^2, cs, cs^2, nc, nc^2,
+  /// cs*nc]. Required for interpreting the published coefficient
+  /// vectors.
+  kPaper,
+  /// An extended set that also captures the larger input and the
+  /// hyperbolic scaling of parallel operators:
+  /// [ss, ls, ss/nc, ls/nc, ss*nc, nc, cs, ss/cs, ls/cs, 1/cs].
+  /// The paper lists cost-model tuning ("adding more features") as
+  /// future work; this is that extension, and it is the default for
+  /// models trained against the execution simulator.
+  kExtended,
+};
+
+/// Number of expanded features for each set.
+inline constexpr size_t kNumPaperFeatures = 7;
+inline constexpr size_t kNumExtendedFeatures = 10;
+/// Upper bound across all feature sets (for stack buffers).
+inline constexpr size_t kMaxFeatures = 16;
+size_t NumFeatures(FeatureSet set);
+
+/// Expands the raw inputs into the chosen feature vector.
+std::vector<double> ExpandFeatures(const JoinFeatures& f, FeatureSet set);
+
+/// Allocation-free variant for the planner hot path: writes into `out`
+/// (at least kMaxFeatures doubles) and returns the feature count.
+/// Resource planning evaluates the cost model hundreds of millions of
+/// times on the paper's largest clusters (Figure 15), so this path must
+/// not allocate.
+size_t ExpandFeaturesInto(const JoinFeatures& f, FeatureSet set,
+                          double* out);
+
+/// Names of the expanded features, aligned with ExpandFeatures output.
+const std::vector<std::string>& FeatureNames(FeatureSet set);
+
+}  // namespace raqo::cost
+
+#endif  // RAQO_COST_FEATURES_H_

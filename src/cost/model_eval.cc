@@ -1,0 +1,46 @@
+#include "cost/model_eval.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace raqo::cost {
+
+std::string ModelFitReport::ToString() const {
+  return StrPrintf("R^2=%.4f rmse=%.2fs mape=%.1f%% (n=%zu)", r_squared,
+                   rmse_seconds, mean_abs_pct_error, samples);
+}
+
+Result<ModelFitReport> EvaluateFit(
+    const OperatorCostModel& model,
+    const std::vector<ProfileSample>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("cannot evaluate a model on no samples");
+  }
+  double mean = 0.0;
+  for (const ProfileSample& s : samples) mean += s.seconds;
+  mean /= static_cast<double>(samples.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double abs_pct = 0.0;
+  for (const ProfileSample& s : samples) {
+    const double pred = model.PredictSeconds(s.features);
+    ss_res += (s.seconds - pred) * (s.seconds - pred);
+    ss_tot += (s.seconds - mean) * (s.seconds - mean);
+    if (s.seconds > 0.0) {
+      abs_pct += std::fabs(pred - s.seconds) / s.seconds;
+    }
+  }
+  ModelFitReport report;
+  report.samples = samples.size();
+  report.rmse_seconds =
+      std::sqrt(ss_res / static_cast<double>(samples.size()));
+  report.r_squared =
+      ss_tot == 0.0 ? (ss_res == 0.0 ? 1.0 : 0.0) : 1.0 - ss_res / ss_tot;
+  report.mean_abs_pct_error =
+      abs_pct / static_cast<double>(samples.size()) * 100.0;
+  return report;
+}
+
+}  // namespace raqo::cost

@@ -1,0 +1,32 @@
+#ifndef RAQO_COST_MODEL_EVAL_H_
+#define RAQO_COST_MODEL_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+
+namespace raqo::cost {
+
+/// Goodness-of-fit of a cost model against (held-out) profile samples.
+/// The paper's cost model is "a one-time investment for each system";
+/// this report is how that investment is audited before trusting the
+/// planner to it.
+struct ModelFitReport {
+  double r_squared = 0.0;
+  double rmse_seconds = 0.0;
+  /// Mean |prediction - truth| / truth, in percent.
+  double mean_abs_pct_error = 0.0;
+  size_t samples = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `model` on `samples`. Fails on an empty sample set.
+Result<ModelFitReport> EvaluateFit(const OperatorCostModel& model,
+                                   const std::vector<ProfileSample>& samples);
+
+}  // namespace raqo::cost
+
+#endif  // RAQO_COST_MODEL_EVAL_H_

@@ -1,0 +1,27 @@
+#ifndef RAQO_COST_MODEL_IO_H_
+#define RAQO_COST_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "cost/cost_model.h"
+
+namespace raqo::cost {
+
+/// Serializes a trained cost model to a small line-based text format.
+/// The paper calls training "a one-time investment for each system";
+/// persistence is how that investment is shipped to the optimizer fleet.
+/// Weights round-trip exactly (hex float encoding).
+std::string SerializeModel(const OperatorCostModel& model);
+
+/// Parses a model produced by SerializeModel. Fails with InvalidArgument
+/// on any malformed or truncated input.
+Result<OperatorCostModel> DeserializeModel(const std::string& text);
+
+/// Convenience: both models of a JoinCostModels pair, SMJ first.
+std::string SerializeModels(const JoinCostModels& models);
+Result<JoinCostModels> DeserializeModels(const std::string& text);
+
+}  // namespace raqo::cost
+
+#endif  // RAQO_COST_MODEL_IO_H_

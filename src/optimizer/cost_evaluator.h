@@ -1,0 +1,90 @@
+#ifndef RAQO_OPTIMIZER_COST_EVALUATOR_H_
+#define RAQO_OPTIMIZER_COST_EVALUATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/result.h"
+#include "cost/cost_vector.h"
+#include "plan/plan_node.h"
+#include "resource/resource_config.h"
+
+namespace raqo::optimizer {
+
+/// Describes one candidate join operator to be costed.
+struct JoinContext {
+  plan::JoinImpl impl = plan::JoinImpl::kSortMergeJoin;
+  /// Estimated input sizes in bytes.
+  double left_bytes = 0.0;
+  double right_bytes = 0.0;
+
+  double smaller_bytes() const {
+    return left_bytes < right_bytes ? left_bytes : right_bytes;
+  }
+  double larger_bytes() const {
+    return left_bytes < right_bytes ? right_bytes : left_bytes;
+  }
+  double smaller_gb() const {
+    return smaller_bytes() / (1024.0 * 1024.0 * 1024.0);
+  }
+  double larger_gb() const {
+    return larger_bytes() / (1024.0 * 1024.0 * 1024.0);
+  }
+};
+
+/// Cost of one join operator plus the resource configuration chosen for
+/// it (when the evaluator performs resource planning).
+struct OperatorCost {
+  cost::CostVector cost;
+  std::optional<resource::ResourceConfig> resources;
+};
+
+/// The extension point of Section VI-C: query planners cost candidate
+/// sub-plans exclusively through this interface, so swapping a
+/// fixed-resource evaluator (traditional QO) for a resource-planning one
+/// (RAQO) upgrades any planner without touching its enumeration logic.
+///
+/// Implementations may return ResourceExhausted when an operator cannot
+/// run at all (e.g. a broadcast build side that fits in no allowed
+/// container); planners treat such candidates as invalid and skip them.
+class PlanCostEvaluator {
+ public:
+  virtual ~PlanCostEvaluator() = default;
+
+  /// Costs one join operator; updates the exploration counters.
+  Result<OperatorCost> CostJoin(const JoinContext& context) {
+    ++operator_cost_calls_;
+    return CostJoinImpl(context);
+  }
+
+  /// Number of CostJoin invocations since the last reset.
+  int64_t operator_cost_calls() const { return operator_cost_calls_; }
+
+  /// Number of resource configurations examined since the last reset
+  /// (the paper's "#Resource-Iterations" metric; 0 for evaluators that do
+  /// no resource planning... the fixed-resource baseline counts 1 per
+  /// call since it prices exactly one configuration).
+  int64_t resource_configs_explored() const {
+    return resource_configs_explored_;
+  }
+
+  void ResetCounters() {
+    operator_cost_calls_ = 0;
+    resource_configs_explored_ = 0;
+  }
+
+ protected:
+  virtual Result<OperatorCost> CostJoinImpl(const JoinContext& context) = 0;
+
+  void AddResourceConfigsExplored(int64_t n) {
+    resource_configs_explored_ += n;
+  }
+
+ private:
+  int64_t operator_cost_calls_ = 0;
+  int64_t resource_configs_explored_ = 0;
+};
+
+}  // namespace raqo::optimizer
+
+#endif  // RAQO_OPTIMIZER_COST_EVALUATOR_H_

@@ -1,0 +1,40 @@
+#ifndef RAQO_OPTIMIZER_FIXED_RESOURCE_EVALUATOR_H_
+#define RAQO_OPTIMIZER_FIXED_RESOURCE_EVALUATOR_H_
+
+#include "cost/cost_model.h"
+#include "optimizer/cost_evaluator.h"
+#include "resource/pricing.h"
+#include "resource/resource_config.h"
+
+namespace raqo::optimizer {
+
+/// The traditional query-optimizer baseline ("QO" in the paper's
+/// evaluation): every operator is costed under one fixed resource
+/// configuration chosen up front, with no resource planning.
+class FixedResourceEvaluator : public PlanCostEvaluator {
+ public:
+  /// `bhj_capacity_factor` bounds the broadcast build side relative to
+  /// the container size (ss <= factor * cs); beyond it the operator is
+  /// reported infeasible, mirroring the OOM boundary of the execution
+  /// engine.
+  FixedResourceEvaluator(cost::JoinCostModels models,
+                         resource::ResourceConfig config,
+                         resource::PricingModel pricing =
+                             resource::PricingModel(),
+                         double bhj_capacity_factor = 1.14);
+
+  const resource::ResourceConfig& config() const { return config_; }
+
+ protected:
+  Result<OperatorCost> CostJoinImpl(const JoinContext& context) override;
+
+ private:
+  cost::JoinCostModels models_;
+  resource::ResourceConfig config_;
+  resource::PricingModel pricing_;
+  double bhj_capacity_factor_;
+};
+
+}  // namespace raqo::optimizer
+
+#endif  // RAQO_OPTIMIZER_FIXED_RESOURCE_EVALUATOR_H_

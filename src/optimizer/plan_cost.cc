@@ -1,0 +1,52 @@
+#include "optimizer/plan_cost.h"
+
+namespace raqo::optimizer {
+
+Result<cost::CostVector> EvaluatePlanCost(
+    plan::PlanNode& plan, plan::CardinalityEstimator& estimator,
+    PlanCostEvaluator& evaluator, bool attach_resources) {
+  cost::CostVector total;
+  Status failure = Status::OK();
+  plan.VisitJoins([&](plan::PlanNode& join) {
+    if (!failure.ok()) return;
+    JoinContext context;
+    context.impl = join.impl();
+    context.left_bytes = estimator.Estimate(join.left()->tables()).bytes();
+    context.right_bytes = estimator.Estimate(join.right()->tables()).bytes();
+    Result<OperatorCost> op = evaluator.CostJoin(context);
+    if (!op.ok()) {
+      failure = op.status();
+      return;
+    }
+    total += op->cost;
+    if (attach_resources && op->resources.has_value()) {
+      join.set_resources(*op->resources);
+    }
+  });
+  if (!failure.ok()) return failure;
+  return total;
+}
+
+Result<cost::CostVector> EvaluatePlanCostConst(
+    const plan::PlanNode& plan, plan::CardinalityEstimator& estimator,
+    PlanCostEvaluator& evaluator) {
+  cost::CostVector total;
+  Status failure = Status::OK();
+  plan.VisitJoins([&](const plan::PlanNode& join) {
+    if (!failure.ok()) return;
+    JoinContext context;
+    context.impl = join.impl();
+    context.left_bytes = estimator.Estimate(join.left()->tables()).bytes();
+    context.right_bytes = estimator.Estimate(join.right()->tables()).bytes();
+    Result<OperatorCost> op = evaluator.CostJoin(context);
+    if (!op.ok()) {
+      failure = op.status();
+      return;
+    }
+    total += op->cost;
+  });
+  if (!failure.ok()) return failure;
+  return total;
+}
+
+}  // namespace raqo::optimizer

@@ -1,0 +1,21 @@
+#include "optimizer/planner_result.h"
+
+namespace raqo::optimizer {
+
+const ParetoEntry* MultiObjectiveResult::FastestEntry() const {
+  const ParetoEntry* best = nullptr;
+  for (const ParetoEntry& e : frontier) {
+    if (best == nullptr || e.cost.seconds < best->cost.seconds) best = &e;
+  }
+  return best;
+}
+
+const ParetoEntry* MultiObjectiveResult::CheapestEntry() const {
+  const ParetoEntry* best = nullptr;
+  for (const ParetoEntry& e : frontier) {
+    if (best == nullptr || e.cost.dollars < best->cost.dollars) best = &e;
+  }
+  return best;
+}
+
+}  // namespace raqo::optimizer

@@ -1,0 +1,49 @@
+#ifndef RAQO_OPTIMIZER_SELINGER_H_
+#define RAQO_OPTIMIZER_SELINGER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "optimizer/cost_evaluator.h"
+#include "optimizer/planner_result.h"
+
+namespace raqo::optimizer {
+
+/// Options of the System R-style planner.
+struct SelingerOptions {
+  /// Scalarization weight: 1.0 optimizes pure execution time, 0.0 pure
+  /// monetary cost.
+  double time_weight = 1.0;
+  /// Joins are only placed along join-graph edges; when a query subset is
+  /// unreachable without a cross product, a cross-product fallback pass
+  /// runs for that subset.
+  bool avoid_cross_products = true;
+  /// Dynamic programming over subsets is exponential; refuse beyond this.
+  int max_tables = 20;
+};
+
+/// The traditional Selinger (System R) bottom-up dynamic-programming
+/// optimizer for left-deep join trees [13], one of the two query planners
+/// the paper integrates cost-based RAQO with (Section VII-A). Operator
+/// implementations (SMJ/BHJ) are chosen per join through the pluggable
+/// cost evaluator, which may or may not perform resource planning.
+class SelingerPlanner {
+ public:
+  explicit SelingerPlanner(SelingerOptions options = SelingerOptions())
+      : options_(options) {}
+
+  /// Plans the join of `tables` over `catalog`. The returned plan is
+  /// left-deep and covers exactly `tables`. The evaluator's counters are
+  /// reset at the start of the run and folded into the returned stats.
+  Result<PlannedQuery> Plan(const catalog::Catalog& catalog,
+                            const std::vector<catalog::TableId>& tables,
+                            PlanCostEvaluator& evaluator) const;
+
+ private:
+  SelingerOptions options_;
+};
+
+}  // namespace raqo::optimizer
+
+#endif  // RAQO_OPTIMIZER_SELINGER_H_

@@ -1,0 +1,160 @@
+#include "plan/plan_builder.h"
+
+#include <algorithm>
+
+namespace raqo::plan {
+
+Result<std::unique_ptr<PlanNode>> BuildLeftDeep(
+    const std::vector<catalog::TableId>& order,
+    const std::vector<JoinImpl>& impls) {
+  if (order.size() < 2) {
+    return Status::InvalidArgument("left-deep plan needs at least 2 tables");
+  }
+  if (impls.size() != order.size() - 1) {
+    return Status::InvalidArgument(
+        "left-deep plan needs exactly one join impl per join");
+  }
+  TableSet seen;
+  for (catalog::TableId t : order) {
+    if (t < 0 || t >= TableSet::kMaxTables) {
+      return Status::OutOfRange("table id out of supported range");
+    }
+    if (seen.Contains(t)) {
+      return Status::InvalidArgument("duplicate table in join order");
+    }
+    seen.Add(t);
+  }
+  std::unique_ptr<PlanNode> plan = PlanNode::MakeScan(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    plan = PlanNode::MakeJoin(impls[i - 1], std::move(plan),
+                              PlanNode::MakeScan(order[i]));
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<PlanNode>> BuildLeftDeep(
+    const std::vector<catalog::TableId>& order, JoinImpl impl) {
+  if (order.size() < 2) {
+    return Status::InvalidArgument("left-deep plan needs at least 2 tables");
+  }
+  return BuildLeftDeep(order,
+                       std::vector<JoinImpl>(order.size() - 1, impl));
+}
+
+Result<std::unique_ptr<PlanNode>> BuildRandomPlan(
+    const catalog::Catalog& catalog,
+    const std::vector<catalog::TableId>& tables, Rng& rng) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("cannot plan an empty table set");
+  }
+  std::vector<std::unique_ptr<PlanNode>> fragments;
+  fragments.reserve(tables.size());
+  TableSet seen;
+  // fragment_of[table id] -> index into `fragments` (or -1).
+  std::vector<int> fragment_of(TableSet::kMaxTables, -1);
+  for (catalog::TableId t : tables) {
+    if (seen.Contains(t)) {
+      return Status::InvalidArgument("duplicate table in query");
+    }
+    seen.Add(t);
+    fragment_of[static_cast<size_t>(t)] =
+        static_cast<int>(fragments.size());
+    fragments.push_back(PlanNode::MakeScan(t));
+  }
+
+  // Join-graph edges internal to the query; merges are driven by these so
+  // random plans avoid cross products whenever the query is connected.
+  std::vector<std::pair<catalog::TableId, catalog::TableId>> edges;
+  for (const catalog::JoinEdge& e : catalog.join_graph().edges()) {
+    if (seen.Contains(e.left) && seen.Contains(e.right)) {
+      edges.emplace_back(e.left, e.right);
+    }
+  }
+
+  size_t live_fragments = fragments.size();
+  while (live_fragments > 1) {
+    // Candidate edges: those whose endpoints sit in different fragments.
+    std::vector<std::pair<int, int>> candidates;
+    for (const auto& [a, b] : edges) {
+      const int fa = fragment_of[static_cast<size_t>(a)];
+      const int fb = fragment_of[static_cast<size_t>(b)];
+      if (fa != fb) candidates.emplace_back(fa, fb);
+    }
+    int pick_a;
+    int pick_b;
+    if (!candidates.empty()) {
+      const auto k = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(candidates.size()) - 1));
+      pick_a = candidates[k].first;
+      pick_b = candidates[k].second;
+    } else {
+      // Disconnected query: cross product between the first two live
+      // fragments.
+      pick_a = -1;
+      pick_b = -1;
+      for (size_t i = 0; i < fragments.size() && pick_b < 0; ++i) {
+        if (fragments[i] == nullptr) continue;
+        (pick_a < 0 ? pick_a : pick_b) = static_cast<int>(i);
+      }
+    }
+    const JoinImpl impl = rng.Bernoulli(0.5)
+                              ? JoinImpl::kSortMergeJoin
+                              : JoinImpl::kBroadcastHashJoin;
+    auto& left_slot = fragments[static_cast<size_t>(pick_a)];
+    auto& right_slot = fragments[static_cast<size_t>(pick_b)];
+    std::unique_ptr<PlanNode> merged =
+        rng.Bernoulli(0.5)
+            ? PlanNode::MakeJoin(impl, std::move(left_slot),
+                                 std::move(right_slot))
+            : PlanNode::MakeJoin(impl, std::move(right_slot),
+                                 std::move(left_slot));
+    // The merged fragment takes slot pick_a; retag its members.
+    for (catalog::TableId t : merged->tables().ToVector()) {
+      fragment_of[static_cast<size_t>(t)] = pick_a;
+    }
+    fragments[static_cast<size_t>(pick_a)] = std::move(merged);
+    fragments[static_cast<size_t>(pick_b)] = nullptr;
+    --live_fragments;
+  }
+  for (auto& fragment : fragments) {
+    if (fragment != nullptr) return std::move(fragment);
+  }
+  return Status::Internal("random plan construction lost every fragment");
+}
+
+Status ValidatePlan(const catalog::Catalog& catalog, const PlanNode& plan,
+                    const std::vector<catalog::TableId>& tables,
+                    bool require_connected_joins) {
+  const TableSet expected = TableSet::FromVector(tables);
+  if (plan.tables() != expected) {
+    return Status::InvalidArgument("plan covers " + plan.tables().ToString() +
+                                   " but query is " + expected.ToString());
+  }
+  // Leaf count equal to table count implies no duplicates.
+  if (plan.LeafOrder().size() != tables.size()) {
+    return Status::InvalidArgument("plan leaf count mismatch");
+  }
+  if (require_connected_joins) {
+    Status status = Status::OK();
+    plan.VisitJoins([&](const PlanNode& join) {
+      if (!status.ok()) return;
+      bool found = false;
+      for (catalog::TableId a : join.left()->tables().ToVector()) {
+        for (catalog::TableId b : join.right()->tables().ToVector()) {
+          if (catalog.join_graph().HasEdge(a, b)) {
+            found = true;
+            return;
+          }
+        }
+      }
+      if (!found) {
+        status = Status::InvalidArgument(
+            "plan contains a cross product at " + join.ToString(&catalog));
+      }
+    });
+    return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace raqo::plan

@@ -1,0 +1,45 @@
+#ifndef RAQO_PLAN_PLAN_BUILDER_H_
+#define RAQO_PLAN_PLAN_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "plan/plan_node.h"
+
+namespace raqo::plan {
+
+/// Builds a left-deep plan joining the tables in the given order:
+/// (((t0 x t1) x t2) x ...). `impls[i]` is the implementation of the join
+/// that adds table order[i + 1]; impls must have order.size() - 1 entries.
+/// Fails when order has fewer than two tables or repeats a table.
+Result<std::unique_ptr<PlanNode>> BuildLeftDeep(
+    const std::vector<catalog::TableId>& order,
+    const std::vector<JoinImpl>& impls);
+
+/// Convenience: left-deep with the same implementation at every join.
+Result<std::unique_ptr<PlanNode>> BuildLeftDeep(
+    const std::vector<catalog::TableId>& order, JoinImpl impl);
+
+/// Builds a random (possibly bushy) join tree over `tables`, preferring
+/// joins along the catalog's join graph edges: at each step two connected
+/// fragments are merged where possible, so cross products only appear when
+/// the query itself is disconnected. Join implementations are chosen
+/// uniformly at random. Used to seed the randomized planner.
+Result<std::unique_ptr<PlanNode>> BuildRandomPlan(
+    const catalog::Catalog& catalog,
+    const std::vector<catalog::TableId>& tables, Rng& rng);
+
+/// Checks that `plan` covers exactly `tables` (no duplicates, no extras)
+/// and, when `require_connected_joins` is set, that every join has at least
+/// one join-graph edge between its two sides (i.e. no hidden cross
+/// products).
+Status ValidatePlan(const catalog::Catalog& catalog, const PlanNode& plan,
+                    const std::vector<catalog::TableId>& tables,
+                    bool require_connected_joins = false);
+
+}  // namespace raqo::plan
+
+#endif  // RAQO_PLAN_PLAN_BUILDER_H_

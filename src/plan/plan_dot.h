@@ -1,0 +1,22 @@
+#ifndef RAQO_PLAN_PLAN_DOT_H_
+#define RAQO_PLAN_PLAN_DOT_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/plan_node.h"
+
+namespace raqo::plan {
+
+/// Renders a physical plan tree as a Graphviz digraph. Join nodes show
+/// the implementation and, when present, the per-operator resource
+/// request — i.e. the joint query/resource plan, visualized. Pass the
+/// catalog for table names or nullptr for ids.
+///
+/// Render with: dot -Tsvg plan.dot -o plan.svg
+std::string PlanToDot(const PlanNode& plan,
+                      const catalog::Catalog* catalog = nullptr);
+
+}  // namespace raqo::plan
+
+#endif  // RAQO_PLAN_PLAN_DOT_H_

@@ -1,0 +1,128 @@
+#ifndef RAQO_PLAN_PLAN_NODE_H_
+#define RAQO_PLAN_PLAN_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/table.h"
+#include "plan/table_set.h"
+#include "resource/resource_config.h"
+
+namespace raqo::plan {
+
+/// Physical join operator implementations considered by the paper
+/// (Section III-A): shuffle sort-merge join and broadcast hash join.
+enum class JoinImpl {
+  kSortMergeJoin,
+  kBroadcastHashJoin,
+};
+
+/// Short label: "SMJ" / "BHJ".
+const char* JoinImplName(JoinImpl impl);
+
+/// Number of join implementations (the `a` in the paper's search-space
+/// formula n! * (a * rp * rc)^n).
+inline constexpr int kNumJoinImpls = 2;
+
+/// Node kinds of a physical plan tree.
+enum class NodeKind {
+  kScan,
+  kJoin,
+};
+
+/// A physical plan tree node. Scans are leaves; joins are inner nodes with
+/// an operator implementation and, once resource planning has run, a
+/// per-operator resource configuration (the paper plans resources
+/// independently per join because joins sit at shuffle boundaries,
+/// Section VI-B).
+class PlanNode {
+ public:
+  /// Creates a scan leaf over `table`.
+  static std::unique_ptr<PlanNode> MakeScan(catalog::TableId table);
+
+  /// Creates a join over two subtrees. Both children must be non-null and
+  /// must cover disjoint table sets (checked).
+  static std::unique_ptr<PlanNode> MakeJoin(JoinImpl impl,
+                                            std::unique_ptr<PlanNode> left,
+                                            std::unique_ptr<PlanNode> right);
+
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_join() const { return kind_ == NodeKind::kJoin; }
+  bool is_scan() const { return kind_ == NodeKind::kScan; }
+
+  /// Scan accessors; only valid on scan nodes.
+  catalog::TableId table() const;
+
+  /// Join accessors; only valid on join nodes.
+  JoinImpl impl() const;
+  void set_impl(JoinImpl impl);
+  const PlanNode* left() const;
+  const PlanNode* right() const;
+  PlanNode* mutable_left();
+  PlanNode* mutable_right();
+
+  /// Replaces a child subtree; only valid on join nodes. Recomputes the
+  /// cached table set bottom-up for this node.
+  void ReplaceLeft(std::unique_ptr<PlanNode> child);
+  void ReplaceRight(std::unique_ptr<PlanNode> child);
+  std::unique_ptr<PlanNode> TakeLeft();
+  std::unique_ptr<PlanNode> TakeRight();
+
+  /// The set of base tables under this node.
+  const TableSet& tables() const { return tables_; }
+
+  /// The per-operator resource configuration chosen by resource planning,
+  /// if any. Scans may carry one too (one cost-model per sub-plan kind in
+  /// the paper), but the default RAQO pipeline assigns them to joins.
+  const std::optional<resource::ResourceConfig>& resources() const {
+    return resources_;
+  }
+  void set_resources(const resource::ResourceConfig& config) {
+    resources_ = config;
+  }
+  void clear_resources() { resources_.reset(); }
+
+  /// Number of join operators in this subtree.
+  int NumJoins() const;
+
+  /// Deep copy (including implementations and resource assignments).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Post-order traversal over join nodes only.
+  void VisitJoins(const std::function<void(PlanNode&)>& fn);
+  void VisitJoins(const std::function<void(const PlanNode&)>& fn) const;
+
+  /// Leaf tables left-to-right.
+  std::vector<catalog::TableId> LeafOrder() const;
+
+  /// Structural equality: same shape, implementations, and tables
+  /// (resource assignments are not compared).
+  bool StructurallyEquals(const PlanNode& other) const;
+
+  /// Compact rendering like "SMJ(BHJ(orders, customer), lineitem)"; pass
+  /// the catalog for table names, or nullptr to print table ids.
+  std::string ToString(const catalog::Catalog* catalog = nullptr) const;
+
+ private:
+  PlanNode() = default;
+
+  void RecomputeTables();
+
+  NodeKind kind_ = NodeKind::kScan;
+  catalog::TableId table_ = catalog::kInvalidTableId;
+  JoinImpl impl_ = JoinImpl::kSortMergeJoin;
+  std::unique_ptr<PlanNode> left_;
+  std::unique_ptr<PlanNode> right_;
+  TableSet tables_;
+  std::optional<resource::ResourceConfig> resources_;
+};
+
+}  // namespace raqo::plan
+
+#endif  // RAQO_PLAN_PLAN_NODE_H_

@@ -1,0 +1,120 @@
+#ifndef RAQO_PLAN_TABLE_SET_H_
+#define RAQO_PLAN_TABLE_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/logging.h"
+
+namespace raqo::plan {
+
+/// A compact set of table ids, supporting up to kMaxTables tables (enough
+/// for the paper's largest experiment: 100-table join queries). Used as the
+/// DP key in the Selinger enumerator and for plan validity checks.
+class TableSet {
+ public:
+  static constexpr int kMaxTables = 128;
+
+  TableSet() : words_{0, 0} {}
+
+  /// Singleton set {id}.
+  static TableSet Of(catalog::TableId id) {
+    TableSet s;
+    s.Add(id);
+    return s;
+  }
+
+  /// Set from a list of ids.
+  static TableSet FromVector(const std::vector<catalog::TableId>& ids) {
+    TableSet s;
+    for (catalog::TableId id : ids) s.Add(id);
+    return s;
+  }
+
+  void Add(catalog::TableId id) {
+    RAQO_DCHECK(id >= 0 && id < kMaxTables) << "table id out of range";
+    words_[static_cast<size_t>(id) / 64] |= uint64_t{1} << (id % 64);
+  }
+
+  void Remove(catalog::TableId id) {
+    RAQO_DCHECK(id >= 0 && id < kMaxTables) << "table id out of range";
+    words_[static_cast<size_t>(id) / 64] &= ~(uint64_t{1} << (id % 64));
+  }
+
+  bool Contains(catalog::TableId id) const {
+    RAQO_DCHECK(id >= 0 && id < kMaxTables) << "table id out of range";
+    return (words_[static_cast<size_t>(id) / 64] >> (id % 64)) & 1;
+  }
+
+  int Count() const {
+    return __builtin_popcountll(words_[0]) + __builtin_popcountll(words_[1]);
+  }
+
+  bool Empty() const { return words_[0] == 0 && words_[1] == 0; }
+
+  TableSet Union(const TableSet& o) const {
+    TableSet s;
+    s.words_[0] = words_[0] | o.words_[0];
+    s.words_[1] = words_[1] | o.words_[1];
+    return s;
+  }
+
+  TableSet Intersect(const TableSet& o) const {
+    TableSet s;
+    s.words_[0] = words_[0] & o.words_[0];
+    s.words_[1] = words_[1] & o.words_[1];
+    return s;
+  }
+
+  TableSet Minus(const TableSet& o) const {
+    TableSet s;
+    s.words_[0] = words_[0] & ~o.words_[0];
+    s.words_[1] = words_[1] & ~o.words_[1];
+    return s;
+  }
+
+  bool IsSubsetOf(const TableSet& o) const {
+    return (words_[0] & ~o.words_[0]) == 0 && (words_[1] & ~o.words_[1]) == 0;
+  }
+
+  bool Intersects(const TableSet& o) const {
+    return (words_[0] & o.words_[0]) != 0 || (words_[1] & o.words_[1]) != 0;
+  }
+
+  bool operator==(const TableSet& o) const { return words_ == o.words_; }
+  bool operator!=(const TableSet& o) const { return !(*this == o); }
+  bool operator<(const TableSet& o) const {
+    return words_[1] != o.words_[1] ? words_[1] < o.words_[1]
+                                    : words_[0] < o.words_[0];
+  }
+
+  /// Member ids in increasing order.
+  std::vector<catalog::TableId> ToVector() const;
+
+  /// Stable hash usable as an unordered_map key.
+  size_t Hash() const {
+    // Mix the two words (splitmix-style finalizer).
+    uint64_t h = words_[0] * 0x9E3779B97F4A7C15ULL + words_[1];
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+
+  /// e.g. "{0, 3, 7}".
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, 2> words_;
+};
+
+struct TableSetHash {
+  size_t operator()(const TableSet& s) const { return s.Hash(); }
+};
+
+}  // namespace raqo::plan
+
+#endif  // RAQO_PLAN_TABLE_SET_H_

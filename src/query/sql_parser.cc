@@ -1,0 +1,480 @@
+#include "query/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace raqo::query {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kStar,
+  kComma,
+  kEquals,
+  kLess,
+  kLessEquals,
+  kGreater,
+  kGreaterEquals,
+  kDot,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+/// Splits the input into tokens; fails on any unexpected character.
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '.')) {
+        ++j;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = sql.substr(i, j - i);
+      char* end = nullptr;
+      token.number = std::strtod(token.text.c_str(), &end);
+      if (end != token.text.c_str() + token.text.size()) {
+        return Status::InvalidArgument(
+            StrPrintf("malformed number at offset %zu", i));
+      }
+      i = j;
+    } else if (c == '*') {
+      token.kind = TokenKind::kStar;
+      ++i;
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '=') {
+      token.kind = TokenKind::kEquals;
+      ++i;
+    } else if (c == '<') {
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        token.kind = TokenKind::kLessEquals;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kLess;
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        token.kind = TokenKind::kGreaterEquals;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kGreater;
+        ++i;
+      }
+    } else if (c == '.') {
+      token.kind = TokenKind::kDot;
+      ++i;
+    } else if (c == ';') {
+      token.kind = TokenKind::kSemicolon;
+      ++i;
+    } else {
+      return Status::InvalidArgument(StrPrintf(
+          "unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0.0, sql.size()});
+  return tokens;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool IsKeyword(const Token& token, const char* keyword) {
+  return token.kind == TokenKind::kIdentifier &&
+         Lower(token.text) == keyword;
+}
+
+bool IsComparison(TokenKind kind) {
+  return kind == TokenKind::kEquals || kind == TokenKind::kLess ||
+         kind == TokenKind::kLessEquals || kind == TokenKind::kGreater ||
+         kind == TokenKind::kGreaterEquals;
+}
+
+FilterOp ToFilterOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEquals:
+      return FilterOp::kEq;
+    case TokenKind::kLess:
+      return FilterOp::kLt;
+    case TokenKind::kLessEquals:
+      return FilterOp::kLe;
+    case TokenKind::kGreater:
+      return FilterOp::kGt;
+    default:
+      return FilterOp::kGe;
+  }
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(const catalog::Catalog& catalog, std::vector<Token> tokens)
+      : catalog_(catalog), tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    RAQO_RETURN_IF_ERROR(ExpectKeyword("select"));
+    if (Peek().kind != TokenKind::kStar) {
+      return Error("only 'select *' projections are supported");
+    }
+    Advance();
+    RAQO_RETURN_IF_ERROR(ExpectKeyword("from"));
+    RAQO_RETURN_IF_ERROR(ParseFromList());
+    if (IsKeyword(Peek(), "where")) {
+      Advance();
+      RAQO_RETURN_IF_ERROR(ParsePredicates());
+    }
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after the query");
+    }
+    RAQO_RETURN_IF_ERROR(ValidatePredicates());
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrPrintf(
+        "%s (at offset %zu)", message.c_str(), Peek().offset));
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!IsKeyword(Peek(), keyword)) {
+      return Error(StrPrintf("expected '%s'", keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected a table name");
+      }
+      const std::string name = Peek().text;
+      Result<catalog::TableId> id = catalog_.FindTable(name);
+      if (!id.ok()) return id.status();
+      if (std::find(query_.tables.begin(), query_.tables.end(), *id) !=
+          query_.tables.end()) {
+        return Error("table '" + name + "' appears twice (self-joins are "
+                     "not supported)");
+      }
+      query_.tables.push_back(*id);
+      from_names_.push_back(Lower(name));
+      Advance();
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// Parses `[tbl .] col` into (table, column); table empty if
+  /// unqualified.
+  Status ParseColumnRef(std::string* table, std::string* column) {
+    if (Peek().kind != TokenKind::kIdentifier ||
+        IsKeyword(Peek(), "and") || IsKeyword(Peek(), "where")) {
+      return Error("expected a column reference");
+    }
+    const std::string first = Peek().text;
+    Advance();
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected a column name after '.'");
+      }
+      *table = Lower(first);
+      *column = Peek().text;
+      Advance();
+    } else {
+      table->clear();
+      *column = first;
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicates() {
+    while (true) {
+      std::string table;
+      std::string column;
+      RAQO_RETURN_IF_ERROR(ParseColumnRef(&table, &column));
+      if (!IsComparison(Peek().kind)) {
+        return Error("expected a comparison operator");
+      }
+      const TokenKind op = Peek().kind;
+      Advance();
+      if (Peek().kind == TokenKind::kNumber) {
+        // Filter: column <cmp> constant.
+        FilterPredicate filter;
+        filter.table = table;
+        filter.column = column;
+        filter.op = ToFilterOp(op);
+        filter.value = Peek().number;
+        Advance();
+        query_.filters.push_back(std::move(filter));
+      } else {
+        // Join: column = column (only equality joins are meaningful).
+        if (op != TokenKind::kEquals) {
+          return Error("join predicates must use '='");
+        }
+        JoinPredicate predicate;
+        predicate.left_table = std::move(table);
+        predicate.left_column = std::move(column);
+        RAQO_RETURN_IF_ERROR(ParseColumnRef(&predicate.right_table,
+                                            &predicate.right_column));
+        query_.predicates.push_back(std::move(predicate));
+      }
+      if (!IsKeyword(Peek(), "and")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  int FromPosition(const std::string& lowered_name) const {
+    for (size_t i = 0; i < from_names_.size(); ++i) {
+      if (from_names_[i] == lowered_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Status ValidatePredicates() const {
+    for (const JoinPredicate& p : query_.predicates) {
+      if (p.left_table.empty() || p.right_table.empty()) {
+        continue;  // unresolved TPC-H style columns: nothing to check
+      }
+      const int left = FromPosition(p.left_table);
+      const int right = FromPosition(p.right_table);
+      if (left < 0 || right < 0) {
+        return Status::InvalidArgument(
+            "predicate " + p.ToString() +
+            " references a table missing from the FROM clause");
+      }
+      if (left == right) {
+        return Status::InvalidArgument("predicate " + p.ToString() +
+                                       " joins a table with itself");
+      }
+      if (!catalog_.join_graph().HasEdge(
+              query_.tables[static_cast<size_t>(left)],
+              query_.tables[static_cast<size_t>(right)])) {
+        return Status::InvalidArgument(
+            "predicate " + p.ToString() +
+            " has no join edge (and thus no selectivity) in the catalog");
+      }
+    }
+    for (const FilterPredicate& f : query_.filters) {
+      if (!f.table.empty() && FromPosition(f.table) < 0) {
+        return Status::InvalidArgument(
+            "filter " + f.ToString() +
+            " references a table missing from the FROM clause");
+      }
+    }
+    return Status::OK();
+  }
+
+  const catalog::Catalog& catalog_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ParsedQuery query_;
+  std::vector<std::string> from_names_;
+};
+
+/// Resolves a filter to (table id, column stats) within the query's
+/// tables: by qualified name, or by unique column-name match.
+Result<std::pair<catalog::TableId, const catalog::ColumnDef*>>
+ResolveFilterColumn(const catalog::Catalog& catalog,
+                    const ParsedQuery& query, const FilterPredicate& f) {
+  if (!f.table.empty()) {
+    for (catalog::TableId id : query.tables) {
+      if (Lower(catalog.table(id).name) == f.table) {
+        const catalog::ColumnDef* column =
+            catalog.table(id).FindColumn(f.column);
+        if (column == nullptr) {
+          return Status::NotFound("no statistics for column " +
+                                  f.ToString());
+        }
+        return std::make_pair(id, column);
+      }
+    }
+    return Status::NotFound("filter table not in query: " + f.table);
+  }
+  // Unqualified: the column name must be unique across the query.
+  std::pair<catalog::TableId, const catalog::ColumnDef*> found = {
+      catalog::kInvalidTableId, nullptr};
+  for (catalog::TableId id : query.tables) {
+    const catalog::ColumnDef* column =
+        catalog.table(id).FindColumn(f.column);
+    if (column == nullptr) continue;
+    if (found.second != nullptr) {
+      return Status::InvalidArgument("ambiguous filter column: " +
+                                     f.column);
+    }
+    found = {id, column};
+  }
+  if (found.second == nullptr) {
+    return Status::NotFound("no statistics for column " + f.column);
+  }
+  return found;
+}
+
+/// Selectivity of one filter against its column's statistics.
+Result<double> FilterSelectivity(const FilterPredicate& f,
+                                 const catalog::ColumnDef& column) {
+  if (f.op == FilterOp::kEq) {
+    if (column.distinct_values <= 0.0) {
+      return Status::InvalidArgument(
+          "equality filter needs a distinct count: " + f.ToString());
+    }
+    return 1.0 / column.distinct_values;
+  }
+  if (!column.has_range || column.max_value <= column.min_value) {
+    return Status::InvalidArgument(
+        "range filter needs column min/max statistics: " + f.ToString());
+  }
+  const double span = column.max_value - column.min_value;
+  double below = (f.value - column.min_value) / span;  // fraction < value
+  below = std::clamp(below, 0.0, 1.0);
+  switch (f.op) {
+    case FilterOp::kLt:
+    case FilterOp::kLe:
+      return below;
+    case FilterOp::kGt:
+    case FilterOp::kGe:
+      return 1.0 - below;
+    case FilterOp::kEq:
+      break;
+  }
+  return Status::Internal("unhandled filter operator");
+}
+
+}  // namespace
+
+std::string JoinPredicate::ToString() const {
+  std::string out;
+  if (!left_table.empty()) out += left_table + ".";
+  out += left_column + " = ";
+  if (!right_table.empty()) out += right_table + ".";
+  out += right_column;
+  return out;
+}
+
+const char* FilterOpName(FilterOp op) {
+  switch (op) {
+    case FilterOp::kEq:
+      return "=";
+    case FilterOp::kLt:
+      return "<";
+    case FilterOp::kLe:
+      return "<=";
+    case FilterOp::kGt:
+      return ">";
+    case FilterOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string FilterPredicate::ToString() const {
+  std::string out;
+  if (!table.empty()) out += table + ".";
+  out += column;
+  out += " ";
+  out += FilterOpName(op);
+  out += StrPrintf(" %g", value);
+  return out;
+}
+
+Result<ParsedQuery> ParseJoinQuery(const catalog::Catalog& catalog,
+                                   const std::string& sql) {
+  RAQO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(catalog, std::move(tokens)).Parse();
+}
+
+Result<std::vector<std::pair<catalog::TableId, double>>>
+DeriveFilterSelectivities(const catalog::Catalog& catalog,
+                          const ParsedQuery& query) {
+  std::vector<std::pair<catalog::TableId, double>> out;
+  for (const FilterPredicate& f : query.filters) {
+    RAQO_ASSIGN_OR_RETURN(auto resolved,
+                          ResolveFilterColumn(catalog, query, f));
+    RAQO_ASSIGN_OR_RETURN(double selectivity,
+                          FilterSelectivity(f, *resolved.second));
+    bool merged = false;
+    for (auto& [table, combined] : out) {
+      if (table == resolved.first) {
+        combined *= selectivity;  // independence assumption
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.emplace_back(resolved.first, selectivity);
+  }
+  return out;
+}
+
+Result<catalog::Catalog> ApplyFilters(const catalog::Catalog& catalog,
+                                      const ParsedQuery& query) {
+  RAQO_ASSIGN_OR_RETURN(auto selectivities,
+                        DeriveFilterSelectivities(catalog, query));
+  catalog::Catalog filtered;
+  for (catalog::TableId id : catalog.AllTableIds()) {
+    catalog::TableDef def = catalog.table(id);
+    for (const auto& [table, selectivity] : selectivities) {
+      if (table == id) {
+        // Keep at least one row so downstream math stays well-defined.
+        def.row_count = std::max(1.0, def.row_count * selectivity);
+      }
+    }
+    RAQO_ASSIGN_OR_RETURN(catalog::TableId new_id,
+                          filtered.AddTable(std::move(def)));
+    RAQO_CHECK(new_id == id) << "table ids must be preserved";
+  }
+  for (const catalog::JoinEdge& e : catalog.join_graph().edges()) {
+    RAQO_RETURN_IF_ERROR(
+        filtered.AddJoin(e.left, e.right, e.selectivity, e.predicate));
+  }
+  return filtered;
+}
+
+}  // namespace raqo::query

@@ -1,0 +1,100 @@
+#ifndef RAQO_QUERY_SQL_PARSER_H_
+#define RAQO_QUERY_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace raqo::query {
+
+/// One equi-join predicate of the WHERE clause.
+struct JoinPredicate {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+
+  /// "a.x = b.y"
+  std::string ToString() const;
+};
+
+/// Comparison operators supported in filter predicates.
+enum class FilterOp {
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* FilterOpName(FilterOp op);
+
+/// One column-vs-constant filter of the WHERE clause.
+struct FilterPredicate {
+  std::string table;  // empty when unqualified
+  std::string column;
+  FilterOp op = FilterOp::kEq;
+  double value = 0.0;
+
+  /// "lineitem.l_quantity < 25"
+  std::string ToString() const;
+};
+
+/// A parsed join query: the relation set RAQO plans, the equi-join
+/// predicates that connect it, and the filter predicates on base tables.
+struct ParsedQuery {
+  /// Table ids, resolved against the catalog, in FROM-clause order.
+  std::vector<catalog::TableId> tables;
+  std::vector<JoinPredicate> predicates;
+  std::vector<FilterPredicate> filters;
+};
+
+/// Parses the declarative join queries the paper's experiments are built
+/// from (the shape of its running example,
+///   select * from orders, lineitem where o_orderkey = l_orderkey):
+///
+///   SELECT * FROM <table> [, <table>]...
+///   [WHERE <pred> [AND <pred>]...] [;]
+///   <pred> := <colref> = <colref>            (equi-join)
+///           | <colref> <cmp> <number>        (filter)
+///   <colref> := [table .] column
+///   <cmp> := = | < | <= | > | >=
+///
+/// Keywords are case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+/// Column-only join predicates (the TPC-H style "o_orderkey =
+/// l_orderkey") are accepted and left unresolved to tables.
+///
+/// Validation against the catalog:
+///  - every FROM table must exist (NotFound otherwise),
+///  - duplicate tables are rejected (no self-joins; the planner's table
+///    sets cannot express them),
+///  - qualified predicate tables must appear in the FROM clause,
+///  - every pair of tables qualified in some join predicate must have a
+///    join edge in the catalog (the parser does not invent
+///    selectivities).
+Result<ParsedQuery> ParseJoinQuery(const catalog::Catalog& catalog,
+                                   const std::string& sql);
+
+/// Per-table combined filter selectivity derived from column statistics:
+/// range predicates use the uniformity assumption over the column's
+/// [min, max] range, equality uses 1/ndv, and multiple filters on one
+/// table multiply (independence). Unqualified filter columns are
+/// resolved by unique column name across the query's tables. Fails when
+/// a filtered column is unknown or lacks the needed statistics.
+/// Returns one (table id, selectivity) pair per *filtered* table.
+Result<std::vector<std::pair<catalog::TableId, double>>>
+DeriveFilterSelectivities(const catalog::Catalog& catalog,
+                          const ParsedQuery& query);
+
+/// Convenience: a copy of the catalog with each filtered table's row
+/// count scaled by its derived filter selectivity, so the existing
+/// planners price the filtered query with no API changes. Join edges and
+/// their selectivities carry over unchanged.
+Result<catalog::Catalog> ApplyFilters(const catalog::Catalog& catalog,
+                                      const ParsedQuery& query);
+
+}  // namespace raqo::query
+
+#endif  // RAQO_QUERY_SQL_PARSER_H_

@@ -1,0 +1,120 @@
+#include "resource/cluster_conditions.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace raqo::resource {
+
+Result<ClusterConditions> ClusterConditions::Create(ResourceConfig min,
+                                                    ResourceConfig max,
+                                                    ResourceConfig step) {
+  for (size_t d = 0; d < kNumResourceDims; ++d) {
+    if (min.dim(d) <= 0.0) {
+      return Status::InvalidArgument(
+          "ClusterConditions: minimum resources must be positive");
+    }
+    if (min.dim(d) > max.dim(d)) {
+      return Status::InvalidArgument(
+          "ClusterConditions: min exceeds max on dimension " +
+          std::to_string(d));
+    }
+    if (step.dim(d) <= 0.0) {
+      return Status::InvalidArgument(
+          "ClusterConditions: steps must be positive");
+    }
+  }
+  return ClusterConditions(min, max, step);
+}
+
+ClusterConditions ClusterConditions::PaperDefault() {
+  return ClusterConditions(ResourceConfig(1.0, 1.0),
+                           ResourceConfig(10.0, 100.0),
+                           ResourceConfig(1.0, 1.0));
+}
+
+ClusterConditions ClusterConditions::WithMax(double max_container_gb,
+                                             double max_containers) {
+  return ClusterConditions(ResourceConfig(1.0, 1.0),
+                           ResourceConfig(max_container_gb, max_containers),
+                           ResourceConfig(1.0, 1.0));
+}
+
+bool ClusterConditions::Contains(const ResourceConfig& config) const {
+  for (size_t d = 0; d < kNumResourceDims; ++d) {
+    // Small epsilon so grid arithmetic in doubles does not reject the
+    // boundary configurations.
+    constexpr double kEps = 1e-9;
+    if (config.dim(d) < min_.dim(d) - kEps) return false;
+    if (config.dim(d) > max_.dim(d) + kEps) return false;
+  }
+  return true;
+}
+
+ResourceConfig ClusterConditions::Clamp(const ResourceConfig& config) const {
+  ResourceConfig out = config;
+  for (size_t d = 0; d < kNumResourceDims; ++d) {
+    if (out.dim(d) < min_.dim(d)) out.set_dim(d, min_.dim(d));
+    if (out.dim(d) > max_.dim(d)) out.set_dim(d, max_.dim(d));
+  }
+  return out;
+}
+
+ResourceConfig ClusterConditions::SnapToGrid(
+    const ResourceConfig& config) const {
+  ResourceConfig out;
+  for (size_t d = 0; d < kNumResourceDims; ++d) {
+    // Clamp the step *index*, not the value: the maximum itself may not
+    // lie on the grid, and snapping must always return a true grid point
+    // (and hence be idempotent).
+    double steps = std::round((config.dim(d) - min_.dim(d)) / step_.dim(d));
+    const double max_steps = static_cast<double>(GridPoints(d) - 1);
+    if (steps < 0.0) steps = 0.0;
+    if (steps > max_steps) steps = max_steps;
+    out.set_dim(d, min_.dim(d) + steps * step_.dim(d));
+  }
+  return out;
+}
+
+int64_t ClusterConditions::GridPoints(size_t dim) const {
+  return static_cast<int64_t>(
+             std::floor((max_.dim(dim) - min_.dim(dim)) / step_.dim(dim) +
+                        1e-9)) +
+         1;
+}
+
+int64_t ClusterConditions::TotalGridSize() const {
+  int64_t total = 1;
+  for (size_t d = 0; d < kNumResourceDims; ++d) total *= GridPoints(d);
+  return total;
+}
+
+int64_t ClusterConditions::ForEachConfig(
+    const std::function<bool(const ResourceConfig&)>& fn) const {
+  int64_t visited = 0;
+  const int64_t cs_points = GridPoints(kContainerSizeGb);
+  const int64_t nc_points = GridPoints(kNumContainers);
+  for (int64_t i = 0; i < cs_points; ++i) {
+    const double cs =
+        min_.dim(kContainerSizeGb) + static_cast<double>(i) *
+                                         step_.dim(kContainerSizeGb);
+    for (int64_t j = 0; j < nc_points; ++j) {
+      const double nc = min_.dim(kNumContainers) +
+                        static_cast<double>(j) * step_.dim(kNumContainers);
+      ++visited;
+      if (!fn(ResourceConfig(cs, nc))) return visited;
+    }
+  }
+  return visited;
+}
+
+std::string ClusterConditions::ToString() const {
+  return StrPrintf(
+      "cluster{container %.3g..%.3g GB step %.3g, count %.4g..%.4g step "
+      "%.3g}",
+      min_.container_size_gb(), max_.container_size_gb(),
+      step_.container_size_gb(), min_.num_containers(),
+      max_.num_containers(), step_.num_containers());
+}
+
+}  // namespace raqo::resource

@@ -1,0 +1,76 @@
+#ifndef RAQO_RESOURCE_CLUSTER_CONDITIONS_H_
+#define RAQO_RESOURCE_CLUSTER_CONDITIONS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "resource/resource_config.h"
+
+namespace raqo::resource {
+
+/// The current condition of the (shared) cluster, as the resource manager
+/// would report it to the optimizer: per-dimension minimum and maximum
+/// allocatable resources and the discrete step between allocatable values.
+/// The paper's evaluation setup uses min = 1 container of 1 GB, max = 100
+/// containers of 10 GB, step 1 on either axis (Section VII).
+class ClusterConditions {
+ public:
+  /// Builds cluster conditions; validates min <= max and positive steps.
+  static Result<ClusterConditions> Create(ResourceConfig min,
+                                          ResourceConfig max,
+                                          ResourceConfig step);
+
+  /// The paper's default evaluation cluster: container size 1..10 GB step 1,
+  /// containers 1..100 step 1.
+  static ClusterConditions PaperDefault();
+
+  /// A cluster with the given maxima and unit minima/steps.
+  static ClusterConditions WithMax(double max_container_gb,
+                                   double max_containers);
+
+  const ResourceConfig& min() const { return min_; }
+  const ResourceConfig& max() const { return max_; }
+  const ResourceConfig& step() const { return step_; }
+
+  /// True when every dimension of `config` lies within [min, max].
+  bool Contains(const ResourceConfig& config) const;
+
+  /// Clamps `config` into [min, max] per dimension.
+  ResourceConfig Clamp(const ResourceConfig& config) const;
+
+  /// Snaps `config` onto the discrete grid (nearest step from min), then
+  /// clamps into range.
+  ResourceConfig SnapToGrid(const ResourceConfig& config) const;
+
+  /// Number of grid points along dimension i.
+  int64_t GridPoints(size_t dim) const;
+
+  /// Total number of distinct resource configurations in the grid
+  /// (the rp * rc term of the paper's search-space formula).
+  int64_t TotalGridSize() const;
+
+  /// Invokes fn for every grid configuration, in row-major order
+  /// (container size outer, container count inner). Returns the number of
+  /// configurations visited; stops early if fn returns false.
+  int64_t ForEachConfig(
+      const std::function<bool(const ResourceConfig&)>& fn) const;
+
+  std::string ToString() const;
+
+ private:
+  ClusterConditions(ResourceConfig min, ResourceConfig max,
+                    ResourceConfig step)
+      : min_(min), max_(max), step_(step) {}
+
+  ResourceConfig min_;
+  ResourceConfig max_;
+  ResourceConfig step_;
+};
+
+}  // namespace raqo::resource
+
+#endif  // RAQO_RESOURCE_CLUSTER_CONDITIONS_H_

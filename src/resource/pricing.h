@@ -1,0 +1,41 @@
+#ifndef RAQO_RESOURCE_PRICING_H_
+#define RAQO_RESOURCE_PRICING_H_
+
+#include "resource/resource_config.h"
+
+namespace raqo::resource {
+
+/// Serverless-analytics pricing (Section III-C): users pay for the
+/// container-hours (memory x time) their query consumes. Monetary cost is
+/// a function of both the plan's execution time and its resource
+/// configuration, which is exactly why the paper argues the optimizer must
+/// pick them together.
+class PricingModel {
+ public:
+  /// `dollars_per_gb_hour`: price of holding one GB of container memory for
+  /// one hour. The default approximates entry-level cloud container pricing.
+  explicit PricingModel(double dollars_per_gb_hour = 0.05)
+      : dollars_per_gb_hour_(dollars_per_gb_hour) {}
+
+  double dollars_per_gb_hour() const { return dollars_per_gb_hour_; }
+
+  /// Dollar cost of running `config` for `seconds`.
+  double Cost(const ResourceConfig& config, double seconds) const {
+    return config.total_memory_gb() * (seconds / 3600.0) *
+           dollars_per_gb_hour_;
+  }
+
+  /// The paper's Figure 2 "resources used" metric: total memory times
+  /// execution time, reported in TB * seconds.
+  static double TerabyteSeconds(const ResourceConfig& config,
+                                double seconds) {
+    return config.total_memory_gb() / 1024.0 * seconds;
+  }
+
+ private:
+  double dollars_per_gb_hour_;
+};
+
+}  // namespace raqo::resource
+
+#endif  // RAQO_RESOURCE_PRICING_H_

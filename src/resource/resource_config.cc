@@ -1,0 +1,12 @@
+#include "resource/resource_config.h"
+
+#include "common/strings.h"
+
+namespace raqo::resource {
+
+std::string ResourceConfig::ToString() const {
+  return StrPrintf("<%.3g GB x %.4g containers>", container_size_gb(),
+                   num_containers());
+}
+
+}  // namespace raqo::resource

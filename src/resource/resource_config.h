@@ -1,0 +1,64 @@
+#ifndef RAQO_RESOURCE_RESOURCE_CONFIG_H_
+#define RAQO_RESOURCE_RESOURCE_CONFIG_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace raqo::resource {
+
+/// Indexes into the resource dimensions of a configuration. The paper's
+/// resource space (Section II-B) has two planner-controlled dimensions:
+/// the YARN container size (memory) and the number of concurrent
+/// containers. Keeping them index-addressable lets Algorithm 1 (hill
+/// climbing) step generically along any dimension.
+enum ResourceDim : size_t {
+  kContainerSizeGb = 0,
+  kNumContainers = 1,
+};
+
+/// Number of resource dimensions a configuration carries.
+inline constexpr size_t kNumResourceDims = 2;
+
+/// A concrete resource configuration: containers of `container_size_gb`
+/// memory each, `num_containers` of them running concurrently. Values are
+/// stored as doubles so the hill climber can treat all dimensions
+/// uniformly; the cluster grid keeps them on discrete steps.
+class ResourceConfig {
+ public:
+  /// Zero-resource configuration (not valid for execution; use the cluster
+  /// minimum as a starting point instead).
+  ResourceConfig() : dims_{0.0, 0.0} {}
+
+  ResourceConfig(double container_size_gb, double num_containers)
+      : dims_{container_size_gb, num_containers} {}
+
+  double container_size_gb() const { return dims_[kContainerSizeGb]; }
+  double num_containers() const { return dims_[kNumContainers]; }
+
+  void set_container_size_gb(double v) { dims_[kContainerSizeGb] = v; }
+  void set_num_containers(double v) { dims_[kNumContainers] = v; }
+
+  /// Generic dimension access used by the hill climber.
+  double dim(size_t i) const { return dims_[i]; }
+  void set_dim(size_t i, double v) { dims_[i] = v; }
+
+  /// Total memory held by this configuration, in GB.
+  double total_memory_gb() const {
+    return container_size_gb() * num_containers();
+  }
+
+  bool operator==(const ResourceConfig& other) const {
+    return dims_ == other.dims_;
+  }
+
+  /// e.g. "<3 GB x 40 containers>".
+  std::string ToString() const;
+
+ private:
+  std::array<double, kNumResourceDims> dims_;
+};
+
+}  // namespace raqo::resource
+
+#endif  // RAQO_RESOURCE_RESOURCE_CONFIG_H_

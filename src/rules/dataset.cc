@@ -1,0 +1,28 @@
+#include "rules/dataset.h"
+
+namespace raqo::rules {
+
+Status Dataset::Validate() const {
+  if (feature_names.empty()) {
+    return Status::InvalidArgument("dataset has no features");
+  }
+  if (class_names.size() < 2) {
+    return Status::InvalidArgument("dataset needs at least two classes");
+  }
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("dataset rows/labels size mismatch");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != feature_names.size()) {
+      return Status::InvalidArgument("dataset has ragged feature rows");
+    }
+  }
+  for (int label : labels) {
+    if (label < 0 || static_cast<size_t>(label) >= class_names.size()) {
+      return Status::OutOfRange("dataset label out of class range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace raqo::rules

@@ -1,0 +1,29 @@
+#ifndef RAQO_RULES_DATASET_H_
+#define RAQO_RULES_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raqo::rules {
+
+/// A labeled training set for the decision-tree learner: numeric feature
+/// rows plus integer class labels.
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::string> class_names;
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_features() const { return feature_names.size(); }
+  size_t num_classes() const { return class_names.size(); }
+
+  /// Validates internal consistency (row widths, label range).
+  Status Validate() const;
+};
+
+}  // namespace raqo::rules
+
+#endif  // RAQO_RULES_DATASET_H_

@@ -1,0 +1,57 @@
+#include "rules/rule_based.h"
+
+#include <cmath>
+
+namespace raqo::rules {
+
+plan::JoinImpl DefaultRulePolicy::Choose(
+    double smaller_gb, const resource::ResourceConfig& resources,
+    int num_reducers) const {
+  (void)resources;     // the default rule ignores resources entirely —
+  (void)num_reducers;  // which is exactly the paper's complaint
+  return smaller_gb * 1024.0 <= threshold_mb_
+             ? plan::JoinImpl::kBroadcastHashJoin
+             : plan::JoinImpl::kSortMergeJoin;
+}
+
+DecisionTreePolicy::DecisionTreePolicy(DecisionTree tree)
+    : tree_(std::move(tree)) {}
+
+plan::JoinImpl DecisionTreePolicy::Choose(
+    double smaller_gb, const resource::ResourceConfig& resources,
+    int num_reducers) const {
+  std::vector<double> features(4);
+  features[kFeatureDataGb] = smaller_gb;
+  features[kFeatureContainerGb] = resources.container_size_gb();
+  features[kFeatureConcurrentContainers] = resources.num_containers();
+  features[kFeatureTotalContainers] =
+      num_reducers > 0 ? static_cast<double>(num_reducers)
+                       : std::max(resources.num_containers(), 1.0);
+  const int label = tree_.Predict(features);
+  return label == kClassBhj ? plan::JoinImpl::kBroadcastHashJoin
+                            : plan::JoinImpl::kSortMergeJoin;
+}
+
+Result<DecisionTreePolicy> TrainRaqoPolicy(const sim::EngineProfile& profile,
+                                           const JoinChoiceGrid& grid,
+                                           const TreeParams& params) {
+  RAQO_ASSIGN_OR_RETURN(Dataset data, BuildJoinChoiceDataset(profile, grid));
+  RAQO_ASSIGN_OR_RETURN(DecisionTree tree, DecisionTree::Fit(data, params));
+  return DecisionTreePolicy(std::move(tree));
+}
+
+Result<DecisionTree> BuildDefaultRuleTree(const sim::EngineProfile& profile) {
+  // Two samples straddling the engine threshold reproduce the one-split
+  // "default" tree of Figure 10.
+  Dataset data;
+  data.feature_names = {"Data Size (GB)", "Container Size (GB)",
+                        "Concurrent Containers", "Total Containers"};
+  data.class_names = {"BHJ", "SMJ"};
+  const double threshold_gb = profile.default_bhj_threshold_mb / 1024.0;
+  data.rows = {{threshold_gb * 0.5, 4.0, 10.0, 10.0},
+               {threshold_gb * 1.5, 4.0, 10.0, 10.0}};
+  data.labels = {kClassBhj, kClassSmj};
+  return DecisionTree::Fit(data);
+}
+
+}  // namespace raqo::rules

@@ -1,0 +1,87 @@
+#ifndef RAQO_RULES_RULE_BASED_H_
+#define RAQO_RULES_RULE_BASED_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "resource/resource_config.h"
+#include "rules/decision_tree.h"
+#include "rules/switch_points.h"
+#include "sim/engine_profile.h"
+
+namespace raqo::rules {
+
+/// A policy for choosing a join operator implementation given the data
+/// characteristics and the resources the query will run with. This is the
+/// pluggable decision the paper replaces inside Hive/Spark (Section V-B).
+class JoinImplPolicy {
+ public:
+  virtual ~JoinImplPolicy() = default;
+
+  /// Chooses the implementation for one join. `smaller_gb` is the build
+  /// (smaller) relation size; `resources` are the resources available for
+  /// the query (from the user or the resource manager); `num_reducers`
+  /// uses the engine default when zero.
+  virtual plan::JoinImpl Choose(double smaller_gb,
+                                const resource::ResourceConfig& resources,
+                                int num_reducers) const = 0;
+
+  /// Human-readable policy name.
+  virtual const char* name() const = 0;
+};
+
+/// The *default* Hive/Spark rule: broadcast when the small relation is
+/// below a fixed threshold (10 MB by default), regardless of resources.
+/// This is the single-split "default decision tree" of Figure 10.
+class DefaultRulePolicy : public JoinImplPolicy {
+ public:
+  explicit DefaultRulePolicy(double threshold_mb = 10.0)
+      : threshold_mb_(threshold_mb) {}
+
+  plan::JoinImpl Choose(double smaller_gb,
+                        const resource::ResourceConfig& resources,
+                        int num_reducers) const override;
+  const char* name() const override { return "default-rule"; }
+
+  double threshold_mb() const { return threshold_mb_; }
+
+ private:
+  double threshold_mb_;
+};
+
+/// Rule-based RAQO (Section V): a decision tree learned over the
+/// data-resource space, traversed with the current cluster conditions /
+/// per-query resources to pick the join implementation.
+class DecisionTreePolicy : public JoinImplPolicy {
+ public:
+  /// The tree must have been fitted on a dataset with the feature order
+  /// of BuildJoinChoiceDataset.
+  explicit DecisionTreePolicy(DecisionTree tree);
+
+  plan::JoinImpl Choose(double smaller_gb,
+                        const resource::ResourceConfig& resources,
+                        int num_reducers) const override;
+  const char* name() const override { return "raqo-decision-tree"; }
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+};
+
+/// Trains the rule-based RAQO policy for an engine by labeling the
+/// data-resource grid with the simulator and fitting a CART tree.
+Result<DecisionTreePolicy> TrainRaqoPolicy(
+    const sim::EngineProfile& profile,
+    const JoinChoiceGrid& grid = JoinChoiceGrid(),
+    const TreeParams& params = TreeParams());
+
+/// Builds the engine's default decision tree (Figure 10): a single split
+/// on data size at the engine's broadcast threshold. Rendered from an
+/// actual fitted tree so it prints in the same format as the RAQO trees.
+Result<DecisionTree> BuildDefaultRuleTree(const sim::EngineProfile& profile);
+
+}  // namespace raqo::rules
+
+#endif  // RAQO_RULES_RULE_BASED_H_

@@ -1,0 +1,91 @@
+#include "rules/switch_points.h"
+
+#include "catalog/table.h"
+#include "plan/plan_node.h"
+
+namespace raqo::rules {
+
+namespace {
+
+/// True when BHJ is feasible and at least as fast as SMJ at this point.
+Result<bool> BhjWins(const sim::EngineProfile& profile,
+                     const SwitchPointQuery& query, double smaller_gb) {
+  sim::ExecParams params;
+  params.container_size_gb = query.container_size_gb;
+  params.num_containers = query.num_containers;
+  params.num_reducers = query.num_reducers;
+
+  const double small_bytes = catalog::GbToBytes(smaller_gb);
+  const double large_bytes = catalog::GbToBytes(query.larger_gb);
+
+  Result<sim::JoinRunResult> bhj =
+      sim::SimulateJoin(profile, plan::JoinImpl::kBroadcastHashJoin,
+                        small_bytes, large_bytes, params);
+  if (!bhj.ok()) {
+    if (bhj.status().IsResourceExhausted()) return false;  // OOM: SMJ wins
+    return bhj.status();
+  }
+  RAQO_ASSIGN_OR_RETURN(
+      sim::JoinRunResult smj,
+      sim::SimulateJoin(profile, plan::JoinImpl::kSortMergeJoin, small_bytes,
+                        large_bytes, params));
+  return bhj->seconds <= smj.seconds;
+}
+
+}  // namespace
+
+Result<double> FindSwitchPointGb(const sim::EngineProfile& profile,
+                                 const SwitchPointQuery& query,
+                                 double max_smaller_gb,
+                                 double tolerance_gb) {
+  if (max_smaller_gb <= 0.0 || tolerance_gb <= 0.0) {
+    return Status::InvalidArgument("switch-point search bounds invalid");
+  }
+  // The win region for BHJ is a prefix [0, switch]; bisect its boundary.
+  double lo = 0.0;  // BHJ assumed to win for infinitesimal inputs
+  double hi = max_smaller_gb;
+  RAQO_ASSIGN_OR_RETURN(bool tiny_wins,
+                        BhjWins(profile, query, tolerance_gb));
+  if (!tiny_wins) return 0.0;
+  RAQO_ASSIGN_OR_RETURN(bool max_wins, BhjWins(profile, query, hi));
+  if (max_wins) return max_smaller_gb;
+  while (hi - lo > tolerance_gb) {
+    const double mid = (lo + hi) / 2.0;
+    RAQO_ASSIGN_OR_RETURN(bool wins, BhjWins(profile, query, mid));
+    if (wins) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+Result<Dataset> BuildJoinChoiceDataset(const sim::EngineProfile& profile,
+                                       const JoinChoiceGrid& grid) {
+  Dataset data;
+  data.feature_names = {"Data Size (GB)", "Container Size (GB)",
+                        "Concurrent Containers", "Total Containers"};
+  data.class_names = {"BHJ", "SMJ"};
+
+  for (double ss : grid.data_gb) {
+    for (double cs : grid.container_gb) {
+      for (int nc : grid.containers) {
+        for (int nr : grid.reducers) {
+          SwitchPointQuery query;
+          query.container_size_gb = cs;
+          query.num_containers = nc;
+          query.num_reducers = nr;
+          query.larger_gb = grid.larger_gb;
+          RAQO_ASSIGN_OR_RETURN(bool bhj_wins, BhjWins(profile, query, ss));
+          data.rows.push_back({ss, cs, static_cast<double>(nc),
+                               static_cast<double>(nr)});
+          data.labels.push_back(bhj_wins ? kClassBhj : kClassSmj);
+        }
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace raqo::rules

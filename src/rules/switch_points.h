@@ -1,0 +1,69 @@
+#ifndef RAQO_RULES_SWITCH_POINTS_H_
+#define RAQO_RULES_SWITCH_POINTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "rules/dataset.h"
+#include "sim/engine_profile.h"
+#include "sim/exec_model.h"
+
+namespace raqo::rules {
+
+/// One resource combination for which a BHJ/SMJ switch point is computed
+/// (a curve of Figure 9 is a sweep of container sizes at fixed
+/// containers/reducers).
+struct SwitchPointQuery {
+  double container_size_gb = 3.0;
+  int num_containers = 10;
+  /// 0 = engine auto rule.
+  int num_reducers = 0;
+  /// Size of the larger join relation in GB.
+  double larger_gb = 77.0;
+};
+
+/// Largest smaller-relation size (GB) at which BHJ is still at least as
+/// fast as SMJ under the given resources, found by bisection over
+/// [0, max_smaller_gb]. Returns 0 when BHJ never wins (e.g. it is
+/// infeasible even for tiny inputs) and max_smaller_gb when it always
+/// wins in the probed range.
+Result<double> FindSwitchPointGb(const sim::EngineProfile& profile,
+                                 const SwitchPointQuery& query,
+                                 double max_smaller_gb = 12.0,
+                                 double tolerance_gb = 0.01);
+
+/// Parameters of the labeled data-resource grid behind the RAQO decision
+/// trees (Figure 11): every (data size, container size, containers,
+/// reducers) combination is labeled with the cheaper join implementation
+/// under the simulator.
+struct JoinChoiceGrid {
+  std::vector<double> data_gb = {0.1, 0.25, 0.5, 1.0, 1.7,  2.5,
+                                 3.4, 4.25, 5.1, 6.4, 8.0,  10.0};
+  std::vector<double> container_gb = {2.0, 3.0, 4.0, 5.0, 7.0, 9.0, 11.0};
+  std::vector<int> containers = {5, 10, 20, 40};
+  std::vector<int> reducers = {80, 200, 540, 1000};
+  double larger_gb = 77.0;
+};
+
+/// Feature order of the generated dataset (matching the features of the
+/// paper's trees): Data Size (GB), Container Size (GB), Concurrent
+/// Containers, Total Containers (reduce tasks).
+enum JoinChoiceFeature : int {
+  kFeatureDataGb = 0,
+  kFeatureContainerGb = 1,
+  kFeatureConcurrentContainers = 2,
+  kFeatureTotalContainers = 3,
+};
+
+/// Class ids of the generated dataset.
+inline constexpr int kClassBhj = 0;
+inline constexpr int kClassSmj = 1;
+
+/// Builds the labeled dataset over the grid. Points where BHJ is out of
+/// memory are labeled SMJ (the only runnable choice).
+Result<Dataset> BuildJoinChoiceDataset(const sim::EngineProfile& profile,
+                                       const JoinChoiceGrid& grid);
+
+}  // namespace raqo::rules
+
+#endif  // RAQO_RULES_SWITCH_POINTS_H_

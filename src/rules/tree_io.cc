@@ -1,0 +1,131 @@
+#include "rules/tree_io.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace raqo::rules {
+
+namespace {
+
+constexpr const char* kHeader = "raqo-decision-tree v1";
+
+std::string EscapePipes(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    // Names may not contain the separator; replace defensively.
+    out += (c == '|' || c == '\n') ? '_' : c;
+  }
+  return out;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::vector<std::string> escaped;
+  escaped.reserve(names.size());
+  for (const std::string& n : names) escaped.push_back(EscapePipes(n));
+  return JoinStrings(escaped, "|");
+}
+
+std::vector<std::string> SplitPipes(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == '|') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+Result<double> ParseHexDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) {
+    return Status::InvalidArgument("malformed number: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::string out = std::string(kHeader) + "\n";
+  out += "features " + JoinNames(tree.feature_names()) + "\n";
+  out += "classes " + JoinNames(tree.class_names()) + "\n";
+  out += StrPrintf("nodes %d\n", tree.NodeCount());
+  for (const DecisionTree::Node& node : tree.nodes()) {
+    out += StrPrintf("node %d %s %d %d %a %d %d %d", node.feature,
+                     StrPrintf("%a", node.threshold).c_str(), node.left,
+                     node.right, node.gini, node.samples, node.majority,
+                     node.depth);
+    for (int c : node.class_counts) out += StrPrintf(" %d", c);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<DecisionTree> DeserializeTree(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing decision-tree header");
+  }
+  auto expect_prefix = [&](const char* prefix) -> Result<std::string> {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(std::string("missing line: ") + prefix);
+    }
+    const std::string p = std::string(prefix) + " ";
+    if (line.rfind(p, 0) != 0) {
+      return Status::InvalidArgument(std::string("expected line: ") + prefix);
+    }
+    return line.substr(p.size());
+  };
+
+  RAQO_ASSIGN_OR_RETURN(std::string features_line,
+                        expect_prefix("features"));
+  RAQO_ASSIGN_OR_RETURN(std::string classes_line, expect_prefix("classes"));
+  RAQO_ASSIGN_OR_RETURN(std::string nodes_line, expect_prefix("nodes"));
+
+  const std::vector<std::string> feature_names = SplitPipes(features_line);
+  const std::vector<std::string> class_names = SplitPipes(classes_line);
+  int node_count = 0;
+  {
+    std::istringstream fields(nodes_line);
+    if (!(fields >> node_count) || node_count <= 0) {
+      return Status::InvalidArgument("bad node count");
+    }
+  }
+
+  std::vector<DecisionTree::Node> nodes;
+  nodes.reserve(static_cast<size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated node list");
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    std::string threshold_token;
+    std::string gini_token;
+    DecisionTree::Node node;
+    fields >> keyword >> node.feature >> threshold_token >> node.left >>
+        node.right >> gini_token >> node.samples >> node.majority >>
+        node.depth;
+    if (keyword != "node" || fields.fail()) {
+      return Status::InvalidArgument("malformed node line: " + line);
+    }
+    RAQO_ASSIGN_OR_RETURN(node.threshold, ParseHexDouble(threshold_token));
+    RAQO_ASSIGN_OR_RETURN(node.gini, ParseHexDouble(gini_token));
+    int count = 0;
+    while (fields >> count) node.class_counts.push_back(count);
+    nodes.push_back(std::move(node));
+  }
+  return DecisionTree::FromParts(feature_names, class_names,
+                                 std::move(nodes));
+}
+
+}  // namespace raqo::rules

@@ -1,0 +1,24 @@
+#ifndef RAQO_RULES_TREE_IO_H_
+#define RAQO_RULES_TREE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "rules/decision_tree.h"
+
+namespace raqo::rules {
+
+/// Serializes a fitted decision tree to a line-based text format, so a
+/// rule-based RAQO policy trained from workload traces can be shipped
+/// into Hive/Spark-style engines without retraining. Thresholds
+/// round-trip exactly (hex float encoding).
+std::string SerializeTree(const DecisionTree& tree);
+
+/// Parses a tree produced by SerializeTree; validates structure through
+/// DecisionTree::FromParts. Fails with InvalidArgument on malformed
+/// input.
+Result<DecisionTree> DeserializeTree(const std::string& text);
+
+}  // namespace raqo::rules
+
+#endif  // RAQO_RULES_TREE_IO_H_

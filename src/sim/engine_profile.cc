@@ -1,0 +1,41 @@
+#include "sim/engine_profile.h"
+
+namespace raqo::sim {
+
+EngineProfile EngineProfile::Hive() {
+  EngineProfile p;
+  p.name = "hive";
+  // Defaults in the struct definition are the Hive calibration.
+  return p;
+}
+
+EngineProfile EngineProfile::Spark() {
+  EngineProfile p;
+  p.name = "spark";
+  // Spark 1.6 keeps data deserialized longer and pipelines better.
+  p.scan_mb_s = 55.0;
+  p.sort_mb_s = 40.0;
+  p.shuffle_mb_s = 70.0;
+  p.merge_mb_s = 60.0;
+  p.hash_build_mb_s = 60.0;
+  p.hash_probe_mb_s = 130.0;
+  p.spill_mb_s = 55.0;
+  // Torrent broadcast: logarithmic in cluster size.
+  p.torrent_broadcast = true;
+  p.broadcast_mb_s = 90.0;
+  // Executor memory is shared across concurrent tasks and the block
+  // manager; only a small per-task share can hold a broadcast relation.
+  // This is why Spark's switch points sit in the hundreds of MB
+  // (Figure 9(b)) while Hive's sit at several GB (Figure 9(a)).
+  p.build_capacity_factor = 0.13;
+  p.pressure_amplitude = 1.2;
+  p.pressure_midpoint = 0.5;
+  p.pressure_steepness = 15.0;
+  p.stage_startup_s = 0.8;       // executors are reused, no per-stage YARN
+  p.container_launch_s = 0.02;   // container allocation
+  p.bytes_per_reducer_mb = 128.0;
+  p.max_auto_reducers = 2000;
+  return p;
+}
+
+}  // namespace raqo::sim

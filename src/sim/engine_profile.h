@@ -1,0 +1,98 @@
+#ifndef RAQO_SIM_ENGINE_PROFILE_H_
+#define RAQO_SIM_ENGINE_PROFILE_H_
+
+#include <string>
+
+namespace raqo::sim {
+
+/// Calibration constants of the analytical big-data execution model.
+///
+/// The paper measured Hive 2.0.1 (on Tez/YARN) and SparkSQL 1.6.1 on a
+/// 10-VM cluster; this reproduction replaces those systems with an
+/// analytical simulator whose cost terms capture the same mechanics:
+/// scan/decode, external sort with spill passes, all-to-all shuffle with
+/// network congestion, small-side broadcast, in-memory hash build with an
+/// out-of-memory boundary and a memory-pressure slowdown near it. The
+/// constants below are calibrated so the simulator reproduces the paper's
+/// reported switch-point structure (Figures 3, 4, 9); see EXPERIMENTS.md.
+///
+/// All throughputs are per-container, in MB/s.
+struct EngineProfile {
+  std::string name;
+
+  /// Reading + decoding input bytes (columnar decode included).
+  double scan_mb_s = 40.0;
+  /// In-memory sort + serialization on the map side of a shuffle.
+  double sort_mb_s = 30.0;
+  /// Network throughput per container for shuffles, before congestion.
+  double shuffle_mb_s = 60.0;
+  /// Reduce-side merge + join throughput.
+  double merge_mb_s = 45.0;
+  /// Building the in-memory hash table of a broadcast join.
+  double hash_build_mb_s = 70.0;
+  /// Probing the hash table with the large side.
+  double hash_probe_mb_s = 110.0;
+  /// Disk write+read throughput for external-sort spill passes.
+  double spill_mb_s = 50.0;
+
+  /// Effective shuffle bandwidth is shuffle_mb_s divided by
+  /// (1 + shuffle_congestion_per_container * nc): an all-to-all shuffle
+  /// opens O(nc^2) flows, so per-flow efficiency degrades with scale.
+  double shuffle_congestion_per_container = 0.004;
+
+  /// Broadcast distribution. In Hive/Tez every container fetches the
+  /// small-side hash table from a fixed number of HDFS replicas
+  /// (`broadcast_fanout` parallel servers of broadcast_mb_s each), so the
+  /// broadcast time grows with nc. Spark 1.6's torrent broadcast instead
+  /// spreads chunks peer-to-peer and behaves logarithmically in nc
+  /// (`torrent_broadcast`).
+  double broadcast_mb_s = 80.0;
+  double broadcast_fanout = 3.0;
+  bool torrent_broadcast = false;
+
+  /// Fraction of a container usable as sort buffer on the map side.
+  double memory_fraction = 0.45;
+  /// Largest in-memory build side of a broadcast join, as a multiple of
+  /// the container size: build feasible iff ss <= factor * cs. Hive
+  /// compares the on-disk (compressed columnar) size against the
+  /// container budget, so the factor can exceed 1.
+  double build_capacity_factor = 1.14;
+  /// Memory-pressure slowdown of the hash join as the build side fills
+  /// the capacity. JVM-style engines degrade once the heap occupancy
+  /// crosses a GC threshold and then saturate, so the factor is a
+  /// sigmoid of the occupancy ratio r = ss / capacity:
+  ///   factor = 1 + amplitude / (1 + exp(-steepness * (r - midpoint)))
+  double pressure_amplitude = 1.15;
+  double pressure_midpoint = 0.55;
+  double pressure_steepness = 20.0;
+
+  /// Fixed cost of launching a stage.
+  double stage_startup_s = 2.0;
+  /// Additional launch cost per container in a stage.
+  double container_launch_s = 0.12;
+  /// Extra cost for each additional reduce wave beyond the first.
+  double wave_overhead_s = 1.5;
+
+  /// Hive-style automatic reducer count: one reducer per this many MB of
+  /// shuffled data.
+  double bytes_per_reducer_mb = 256.0;
+  int max_auto_reducers = 1009;
+
+  /// External-sort merge fan-in (how many runs one merge pass combines).
+  int merge_fan_in = 10;
+
+  /// The engine's *default* rule for picking the broadcast join: build
+  /// side below this threshold (both Hive and SparkSQL default to 10 MB).
+  double default_bhj_threshold_mb = 10.0;
+
+  /// Calibrated Hive 2.0.1-on-Tez profile.
+  static EngineProfile Hive();
+  /// Calibrated SparkSQL 1.6.1 profile (executor model, torrent
+  /// broadcast, per-task shares of executor memory => much smaller
+  /// broadcast capacity, MB-scale switch points as in Figure 9(b)).
+  static EngineProfile Spark();
+};
+
+}  // namespace raqo::sim
+
+#endif  // RAQO_SIM_ENGINE_PROFILE_H_

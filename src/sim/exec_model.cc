@@ -1,0 +1,169 @@
+#include "sim/exec_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace raqo::sim {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+double BytesToMb(double bytes) { return bytes / kMb; }
+
+/// Number of merge passes an external sort needs for `data_mb` with a
+/// `buffer_mb` sort buffer and the profile's merge fan-in. Zero when the
+/// data fits in the buffer (no spill).
+int SpillPasses(const EngineProfile& profile, double data_mb,
+                double buffer_mb) {
+  if (data_mb <= buffer_mb) return 0;
+  const double runs = std::ceil(data_mb / buffer_mb);
+  // Each pass merges fan_in runs into one.
+  int passes = 0;
+  double remaining = runs;
+  while (remaining > 1.0) {
+    remaining = std::ceil(remaining / profile.merge_fan_in);
+    ++passes;
+  }
+  return passes;
+}
+
+double StageStartupSeconds(const EngineProfile& profile, int containers) {
+  return profile.stage_startup_s +
+         profile.container_launch_s * static_cast<double>(containers);
+}
+
+}  // namespace
+
+std::string JoinRunResult::ToString() const {
+  return StrPrintf(
+      "%.1fs (scan %.1f sort %.1f spill %.1f shuffle %.1f merge %.1f "
+      "bcast %.1f build %.1f probe %.1f startup %.1f; pressure %.2f, "
+      "%d reducers)",
+      seconds, breakdown.scan_s, breakdown.sort_s, breakdown.spill_s,
+      breakdown.shuffle_s, breakdown.merge_s, breakdown.broadcast_s,
+      breakdown.build_s, breakdown.probe_s, breakdown.startup_s,
+      pressure_factor, reducers);
+}
+
+int AutoReducerCount(const EngineProfile& profile, double shuffled_mb) {
+  const int count =
+      static_cast<int>(std::ceil(shuffled_mb / profile.bytes_per_reducer_mb));
+  return std::clamp(count, 1, profile.max_auto_reducers);
+}
+
+Result<JoinRunResult> SimulateJoin(const EngineProfile& profile,
+                                   plan::JoinImpl impl, double left_bytes,
+                                   double right_bytes,
+                                   const ExecParams& params) {
+  if (params.container_size_gb <= 0.0 || params.num_containers <= 0) {
+    return Status::InvalidArgument("resources must be positive");
+  }
+  if (left_bytes < 0.0 || right_bytes < 0.0) {
+    return Status::InvalidArgument("input sizes must be non-negative");
+  }
+  if (params.num_reducers < 0) {
+    return Status::InvalidArgument("reducer count must be non-negative");
+  }
+
+  const double cs = params.container_size_gb;
+  const double nc = static_cast<double>(params.num_containers);
+  const double small_mb = BytesToMb(std::min(left_bytes, right_bytes));
+  const double big_mb = BytesToMb(std::max(left_bytes, right_bytes));
+  const double both_mb = small_mb + big_mb;
+
+  JoinRunResult result;
+  StageBreakdown& b = result.breakdown;
+
+  if (impl == plan::JoinImpl::kSortMergeJoin) {
+    // --- Shuffle sort-merge join: both sides are scanned, sorted (with
+    // external-sort spills when partitions exceed the sort buffer),
+    // shuffled all-to-all, and merge-joined on the reduce side.
+    const int reducers = params.num_reducers > 0
+                             ? params.num_reducers
+                             : AutoReducerCount(profile, both_mb);
+    result.reducers = reducers;
+
+    // Map side: scan + sort both inputs.
+    b.scan_s = both_mb / (nc * profile.scan_mb_s);
+    b.sort_s = both_mb / (nc * profile.sort_mb_s);
+
+    // External-sort spills: each reduce partition must be sorted; the
+    // buffer is a fraction of the container.
+    const double partition_mb = both_mb / static_cast<double>(reducers);
+    const double buffer_mb = cs * 1024.0 * profile.memory_fraction;
+    const int passes = SpillPasses(profile, partition_mb, buffer_mb);
+    if (passes > 0) {
+      b.spill_s =
+          static_cast<double>(passes) * both_mb / (nc * profile.spill_mb_s);
+    }
+
+    // Shuffle with congestion: all-to-all traffic degrades per-container
+    // bandwidth as the cluster grows.
+    const double shuffle_eff =
+        profile.shuffle_mb_s /
+        (1.0 + profile.shuffle_congestion_per_container * nc);
+    b.shuffle_s = both_mb / (nc * shuffle_eff);
+
+    // Reduce side: parallelism is capped by the reducer count.
+    const double reduce_parallel = std::min(nc, static_cast<double>(reducers));
+    b.merge_s = both_mb / (reduce_parallel * profile.merge_mb_s);
+
+    // Two stages (map, reduce) plus extra reduce waves.
+    const int waves = static_cast<int>(
+        std::ceil(static_cast<double>(reducers) / nc));
+    b.startup_s = 2.0 * StageStartupSeconds(profile, params.num_containers) +
+                  static_cast<double>(std::max(0, waves - 1)) *
+                      profile.wave_overhead_s;
+  } else {
+    // --- Broadcast hash join: the small side is broadcast to every
+    // container and built into an in-memory hash table; the big side is
+    // scanned in place and probed (no shuffle of the big side).
+    const double small_gb = small_mb / 1024.0;
+    const double capacity_gb = cs * profile.build_capacity_factor;
+    if (small_gb > capacity_gb) {
+      return Status::ResourceExhausted(StrPrintf(
+          "broadcast build side %.2f GB exceeds capacity %.2f GB of a "
+          "%.2f GB container",
+          small_gb, capacity_gb, cs));
+    }
+    // Memory pressure: GC-style slowdown once the build side crosses the
+    // occupancy threshold, saturating near capacity (sigmoid in r).
+    const double r = small_gb / capacity_gb;
+    result.pressure_factor =
+        1.0 + profile.pressure_amplitude /
+                  (1.0 + std::exp(-profile.pressure_steepness *
+                                  (r - profile.pressure_midpoint)));
+    result.reducers = 0;  // no shuffle stage
+
+    // Small side scan (parallelism limited by its split count).
+    const double small_splits = std::max(1.0, std::ceil(small_mb / 256.0));
+    b.scan_s = small_mb / (std::min(nc, small_splits) * profile.scan_mb_s);
+
+    // Distribution of the build side to every container.
+    if (profile.torrent_broadcast) {
+      b.broadcast_s = small_mb / profile.broadcast_mb_s *
+                      std::log2(nc + 1.0);
+    } else {
+      b.broadcast_s =
+          small_mb * nc / (profile.broadcast_fanout * profile.broadcast_mb_s);
+    }
+
+    // Every container builds its own table; pressure slows the build and
+    // the probe.
+    b.build_s =
+        small_mb / profile.hash_build_mb_s * result.pressure_factor;
+    b.probe_s = (big_mb / (nc * profile.scan_mb_s) +
+                 big_mb / (nc * profile.hash_probe_mb_s)) *
+                result.pressure_factor;
+
+    b.startup_s = 2.0 * StageStartupSeconds(profile, params.num_containers);
+  }
+
+  result.seconds = b.Total();
+  return result;
+}
+
+}  // namespace raqo::sim

@@ -1,0 +1,70 @@
+#ifndef RAQO_SIM_EXEC_MODEL_H_
+#define RAQO_SIM_EXEC_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "sim/engine_profile.h"
+
+namespace raqo::sim {
+
+/// Resources (and tuning) a simulated join stage runs with.
+struct ExecParams {
+  /// YARN container size in GB.
+  double container_size_gb = 4.0;
+  /// Maximum concurrent containers.
+  int num_containers = 10;
+  /// Number of reduce tasks for the shuffle; 0 = engine auto rule
+  /// (Hive: shuffled bytes / bytes_per_reducer).
+  int num_reducers = 0;
+};
+
+/// Per-phase time breakdown of one simulated join, in seconds.
+struct StageBreakdown {
+  double scan_s = 0.0;
+  double sort_s = 0.0;
+  double spill_s = 0.0;
+  double shuffle_s = 0.0;
+  double merge_s = 0.0;
+  double broadcast_s = 0.0;
+  double build_s = 0.0;
+  double probe_s = 0.0;
+  double startup_s = 0.0;
+
+  double Total() const {
+    return scan_s + sort_s + spill_s + shuffle_s + merge_s + broadcast_s +
+           build_s + probe_s + startup_s;
+  }
+};
+
+/// Result of simulating one join execution.
+struct JoinRunResult {
+  /// End-to-end stage time in seconds (excluding output materialization,
+  /// as the paper does).
+  double seconds = 0.0;
+  StageBreakdown breakdown;
+  /// Memory-pressure slowdown applied to the hash join (1 = none).
+  double pressure_factor = 1.0;
+  /// Reduce tasks actually used.
+  int reducers = 0;
+
+  std::string ToString() const;
+};
+
+/// Auto reducer count for `shuffled_mb` under `profile`'s rule.
+int AutoReducerCount(const EngineProfile& profile, double shuffled_mb);
+
+/// Simulates one join of `left_bytes` x `right_bytes` with the given
+/// implementation and resources. Returns ResourceExhausted when a
+/// broadcast build side exceeds the container's capacity (the OOM the
+/// paper observes for BHJ under small containers), and InvalidArgument
+/// for non-positive resources.
+Result<JoinRunResult> SimulateJoin(const EngineProfile& profile,
+                                   plan::JoinImpl impl, double left_bytes,
+                                   double right_bytes,
+                                   const ExecParams& params);
+
+}  // namespace raqo::sim
+
+#endif  // RAQO_SIM_EXEC_MODEL_H_

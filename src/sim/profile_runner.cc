@@ -1,0 +1,54 @@
+#include "sim/profile_runner.h"
+
+#include "catalog/table.h"
+#include "sim/exec_model.h"
+
+namespace raqo::sim {
+
+std::vector<cost::ProfileSample> CollectProfileSamples(
+    const EngineProfile& profile, plan::JoinImpl impl,
+    const ProfileGrid& grid) {
+  std::vector<cost::ProfileSample> samples;
+  for (double ss : grid.smaller_gb) {
+    for (double ls : grid.larger_gb) {
+      if (ls < ss) continue;  // ss is the smaller side by definition
+      for (double cs : grid.container_gb) {
+        for (int nc : grid.containers) {
+          ExecParams params;
+          params.container_size_gb = cs;
+          params.num_containers = nc;
+          Result<JoinRunResult> run =
+              SimulateJoin(profile, impl, catalog::GbToBytes(ss),
+                           catalog::GbToBytes(ls), params);
+          if (!run.ok()) continue;  // e.g. BHJ out of memory here
+          cost::ProfileSample sample;
+          sample.features.smaller_gb = ss;
+          sample.features.larger_gb = ls;
+          sample.features.container_size_gb = cs;
+          sample.features.num_containers = static_cast<double>(nc);
+          sample.seconds = run->seconds;
+          samples.push_back(sample);
+        }
+      }
+    }
+  }
+  return samples;
+}
+
+Result<cost::JoinCostModels> TrainModelsFromSimulator(
+    const EngineProfile& profile, const ProfileGrid& grid) {
+  const std::vector<cost::ProfileSample> smj_samples =
+      CollectProfileSamples(profile, plan::JoinImpl::kSortMergeJoin, grid);
+  const std::vector<cost::ProfileSample> bhj_samples =
+      CollectProfileSamples(profile, plan::JoinImpl::kBroadcastHashJoin,
+                            grid);
+  RAQO_ASSIGN_OR_RETURN(
+      cost::OperatorCostModel smj,
+      cost::OperatorCostModel::Train("smj-" + profile.name, smj_samples));
+  RAQO_ASSIGN_OR_RETURN(
+      cost::OperatorCostModel bhj,
+      cost::OperatorCostModel::Train("bhj-" + profile.name, bhj_samples));
+  return cost::JoinCostModels{std::move(smj), std::move(bhj)};
+}
+
+}  // namespace raqo::sim

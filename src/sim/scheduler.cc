@@ -1,0 +1,115 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace raqo::sim {
+
+const char* ScheduleActionName(ScheduleAction action) {
+  switch (action) {
+    case ScheduleAction::kRunPrimary:
+      return "run-primary";
+    case ScheduleAction::kRunAlternative:
+      return "run-alternative";
+    case ScheduleAction::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+std::string ScheduleDecision::ToString() const {
+  return StrPrintf("%s plan#%zu wait=%.1fs run=%.1fs completion=%.1fs",
+                   ScheduleActionName(action), plan_index, wait_s, run_s,
+                   completion_s);
+}
+
+ResourceAwareScheduler::ResourceAwareScheduler(
+    EngineProfile profile, const catalog::Catalog* catalog)
+    : simulator_(std::move(profile), catalog) {}
+
+Result<ResourceAwareScheduler::PeakDemand>
+ResourceAwareScheduler::PeakDemandOf(const plan::PlanNode& plan) {
+  PeakDemand peak;
+  bool missing = false;
+  plan.VisitJoins([&](const plan::PlanNode& join) {
+    if (!join.resources().has_value()) {
+      missing = true;
+      return;
+    }
+    peak.container_gb =
+        std::max(peak.container_gb, join.resources()->container_size_gb());
+    peak.containers =
+        std::max(peak.containers, join.resources()->num_containers());
+  });
+  if (missing) {
+    return Status::FailedPrecondition(
+        "plan has joins without resource requests; run resource planning "
+        "first");
+  }
+  if (plan.NumJoins() == 0) {
+    return Status::InvalidArgument("plan has no join operators");
+  }
+  return peak;
+}
+
+Result<ScheduleDecision> ResourceAwareScheduler::Decide(
+    const std::vector<const plan::PlanNode*>& plans,
+    const ClusterAvailability& available) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("no candidate plans");
+  }
+  if (available.drain_rate_containers_per_s <= 0.0) {
+    return Status::InvalidArgument("drain rate must be positive");
+  }
+
+  bool found = false;
+  ScheduleDecision best;
+  best.completion_s = std::numeric_limits<double>::infinity();
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i] == nullptr) {
+      return Status::InvalidArgument("null candidate plan");
+    }
+    RAQO_ASSIGN_OR_RETURN(PeakDemand peak, PeakDemandOf(*plans[i]));
+    // Container *size* cannot be waited into existence: the grantable
+    // container size is a property of the machines still free.
+    if (peak.container_gb > available.max_container_gb + 1e-9) continue;
+
+    const double deficit = peak.containers - available.free_containers;
+    const double wait =
+        deficit > 0.0 ? deficit / available.drain_rate_containers_per_s
+                      : 0.0;
+
+    ExecParams defaults;  // every join carries resources; defaults unused
+    Result<SimPlanResult> run = simulator_.RunPlan(*plans[i], defaults);
+    if (!run.ok()) {
+      if (run.status().IsResourceExhausted()) continue;  // cannot run
+      return run.status();
+    }
+    const double completion = wait + run->seconds;
+    if (completion < best.completion_s) {
+      found = true;
+      best.plan_index = i;
+      best.wait_s = wait;
+      best.run_s = run->seconds;
+      best.completion_s = completion;
+    }
+  }
+
+  if (!found) {
+    return Status::ResourceExhausted(
+        "no candidate plan can run under the current availability");
+  }
+  if (best.plan_index == 0 && best.wait_s == 0.0) {
+    best.action = ScheduleAction::kRunPrimary;
+  } else if (best.wait_s > 0.0) {
+    best.action = ScheduleAction::kWait;
+  } else {
+    best.action = ScheduleAction::kRunAlternative;
+  }
+  return best;
+}
+
+}  // namespace raqo::sim

@@ -1,0 +1,92 @@
+#ifndef RAQO_SIM_SCHEDULER_H_
+#define RAQO_SIM_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/plan_node.h"
+#include "sim/simulator.h"
+
+namespace raqo::sim {
+
+/// A snapshot of what the resource manager can grant *right now*.
+struct ClusterAvailability {
+  /// Largest container currently grantable, in GB.
+  double max_container_gb = 10.0;
+  /// Containers currently free.
+  double free_containers = 100.0;
+  /// Rate at which held containers drain back to the free pool, in
+  /// containers per second (from observed job churn).
+  double drain_rate_containers_per_s = 1.0;
+};
+
+/// What the scheduler decided to do with the job.
+enum class ScheduleAction {
+  /// The preferred (first) plan fits now; start it.
+  kRunPrimary,
+  /// An alternative plan completes earlier than waiting for the primary
+  /// plan's resources; switch to it.
+  kRunAlternative,
+  /// Nothing fits now and waiting for the chosen plan's resources beats
+  /// every plan that fits; queue.
+  kWait,
+};
+
+const char* ScheduleActionName(ScheduleAction action);
+
+/// The scheduler's verdict for one job.
+struct ScheduleDecision {
+  ScheduleAction action = ScheduleAction::kRunPrimary;
+  /// Index into the candidate plan list of the plan to run.
+  size_t plan_index = 0;
+  /// Time the job must queue before its plan's peak demand fits.
+  double wait_s = 0.0;
+  /// Simulated execution time of the chosen plan.
+  double run_s = 0.0;
+  /// wait_s + run_s.
+  double completion_s = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Answers the paper's "Interaction with DAG scheduler" question
+/// (Section VIII): with RAQO, submitted jobs carry precise resource
+/// requests — when the exact resources are not available, should the
+/// scheduler delay the job or pick among multiple query/resource plan
+/// alternatives? This scheduler minimizes expected completion time:
+/// for every candidate joint plan it computes
+///   completion = (time until the plan's peak demand fits) + (simulated
+///                 execution time with the plan's own resources)
+/// and picks the minimum; ties prefer the primary plan. Plans whose
+/// container-size demand exceeds what the cluster can ever grant are
+/// rejected outright.
+class ResourceAwareScheduler {
+ public:
+  /// `catalog` must outlive the scheduler.
+  ResourceAwareScheduler(EngineProfile profile,
+                         const catalog::Catalog* catalog);
+
+  /// Decides among candidate joint plans (each join node must carry its
+  /// resource request; use RaqoPlanner outputs). `plans[0]` is the
+  /// primary. Fails if no plan can ever run under `available`.
+  Result<ScheduleDecision> Decide(
+      const std::vector<const plan::PlanNode*>& plans,
+      const ClusterAvailability& available);
+
+ private:
+  /// Peak concurrent demand of a joint plan: the largest per-operator
+  /// container size and container count it requests.
+  struct PeakDemand {
+    double container_gb = 0.0;
+    double containers = 0.0;
+  };
+  static Result<PeakDemand> PeakDemandOf(const plan::PlanNode& plan);
+
+  ExecutionSimulator simulator_;
+};
+
+}  // namespace raqo::sim
+
+#endif  // RAQO_SIM_SCHEDULER_H_

@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace raqo::sim {
+
+ExecutionSimulator::ExecutionSimulator(EngineProfile profile,
+                                       const catalog::Catalog* catalog,
+                                       resource::PricingModel pricing)
+    : profile_(std::move(profile)),
+      catalog_(catalog),
+      pricing_(pricing),
+      estimator_(catalog) {
+  RAQO_CHECK(catalog != nullptr);
+}
+
+Result<JoinRunResult> ExecutionSimulator::RunJoin(
+    plan::JoinImpl impl, double left_bytes, double right_bytes,
+    const ExecParams& params) const {
+  return SimulateJoin(profile_, impl, left_bytes, right_bytes, params);
+}
+
+Result<SimPlanResult> ExecutionSimulator::RunPlan(
+    const plan::PlanNode& plan, const ExecParams& default_params,
+    const RunPlanOptions& options) {
+  SimPlanResult result;
+  Status failure = Status::OK();
+  bool have_prev = false;
+  ExecParams prev_params;
+
+  plan.VisitJoins([&](const plan::PlanNode& join) {
+    if (!failure.ok()) return;
+    const plan::JoinInputStats stats = estimator_.JoinStats(join);
+
+    ExecParams params = default_params;
+    if (join.resources().has_value()) {
+      params.container_size_gb = join.resources()->container_size_gb();
+      params.num_containers = static_cast<int>(
+          std::llround(join.resources()->num_containers()));
+    }
+
+    Result<JoinRunResult> run = SimulateJoin(
+        profile_, join.impl(), stats.left.bytes(), stats.right.bytes(),
+        params);
+    if (!run.ok()) {
+      failure = run.status();
+      return;
+    }
+
+    // Container reuse: identical resources as the previous stage keep
+    // the containers warm, so this stage's startup cost vanishes.
+    if (options.reuse_containers && have_prev &&
+        params.container_size_gb == prev_params.container_size_gb &&
+        params.num_containers == prev_params.num_containers) {
+      run->seconds -= run->breakdown.startup_s;
+      run->breakdown.startup_s = 0.0;
+      ++result.reused_stages;
+    }
+    have_prev = true;
+    prev_params = params;
+
+    JoinExecutionDetail detail;
+    detail.description = join.ToString(catalog_);
+    detail.impl = join.impl();
+    detail.params = params;
+    detail.run = *run;
+    detail.left_gb = stats.left.gb();
+    detail.right_gb = stats.right.gb();
+
+    const double memory_gb =
+        params.container_size_gb * static_cast<double>(params.num_containers);
+    result.seconds += run->seconds;
+    result.tb_seconds += memory_gb / 1024.0 * run->seconds;
+    result.dollars += pricing_.Cost(
+        resource::ResourceConfig(params.container_size_gb,
+                                 static_cast<double>(params.num_containers)),
+        run->seconds);
+    result.joins.push_back(std::move(detail));
+  });
+
+  if (!failure.ok()) return failure;
+  return result;
+}
+
+}  // namespace raqo::sim

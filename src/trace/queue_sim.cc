@@ -1,0 +1,185 @@
+#include "trace/queue_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace raqo::trace {
+
+namespace {
+
+struct RunningJob {
+  double finish_s;
+  int containers;
+  bool operator>(const RunningJob& o) const { return finish_s > o.finish_s; }
+};
+
+}  // namespace
+
+Result<std::vector<JobOutcome>> SimulateFifoQueue(
+    const std::vector<JobSpec>& jobs, int cluster_capacity) {
+  if (cluster_capacity <= 0) {
+    return Status::InvalidArgument("cluster capacity must be positive");
+  }
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+
+  std::priority_queue<RunningJob, std::vector<RunningJob>,
+                      std::greater<RunningJob>>
+      running;
+  int used = 0;
+  double prev_arrival = 0.0;
+  double prev_start = 0.0;
+
+  for (const JobSpec& job : jobs) {
+    if (job.arrival_s < prev_arrival) {
+      return Status::InvalidArgument("jobs must be sorted by arrival time");
+    }
+    if (job.runtime_s <= 0.0) {
+      return Status::InvalidArgument("job runtime must be positive");
+    }
+    if (job.containers <= 0 || job.containers > cluster_capacity) {
+      return Status::InvalidArgument(
+          "job container demand must fit the cluster");
+    }
+    prev_arrival = job.arrival_s;
+
+    // FIFO: this job cannot start before the previous one started.
+    double t = std::max(job.arrival_s, prev_start);
+    // Free completed jobs; wait for more completions until it fits.
+    while (true) {
+      while (!running.empty() && running.top().finish_s <= t) {
+        used -= running.top().containers;
+        running.pop();
+      }
+      if (used + job.containers <= cluster_capacity) break;
+      // Not enough capacity: advance to the next completion.
+      t = running.top().finish_s;
+    }
+
+    JobOutcome outcome;
+    outcome.arrival_s = job.arrival_s;
+    outcome.start_s = t;
+    outcome.runtime_s = job.runtime_s;
+    outcomes.push_back(outcome);
+
+    running.push(RunningJob{t + job.runtime_s, job.containers});
+    used += job.containers;
+    prev_start = t;
+  }
+  return outcomes;
+}
+
+namespace {
+
+/// Event-driven greedy-backfill simulation: at every arrival/completion
+/// instant, queued jobs are scanned in arrival order and every one that
+/// fits the free capacity starts.
+Result<std::vector<JobOutcome>> SimulateBackfillQueue(
+    const std::vector<JobSpec>& jobs, int cluster_capacity) {
+  std::vector<JobOutcome> outcomes(jobs.size());
+  std::priority_queue<RunningJob, std::vector<RunningJob>,
+                      std::greater<RunningJob>>
+      running;
+  std::vector<size_t> pending;  // indices, arrival order
+  int used = 0;
+  size_t next_arrival = 0;
+  double prev_arrival = 0.0;
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].arrival_s < prev_arrival) {
+      return Status::InvalidArgument("jobs must be sorted by arrival time");
+    }
+    prev_arrival = jobs[i].arrival_s;
+    if (jobs[i].runtime_s <= 0.0) {
+      return Status::InvalidArgument("job runtime must be positive");
+    }
+    if (jobs[i].containers <= 0 || jobs[i].containers > cluster_capacity) {
+      return Status::InvalidArgument(
+          "job container demand must fit the cluster");
+    }
+  }
+
+  auto try_start = [&](double now) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      const JobSpec& job = jobs[*it];
+      if (used + job.containers <= cluster_capacity) {
+        outcomes[*it].arrival_s = job.arrival_s;
+        outcomes[*it].start_s = now;
+        outcomes[*it].runtime_s = job.runtime_s;
+        running.push(RunningJob{now + job.runtime_s, job.containers});
+        used += job.containers;
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (next_arrival < jobs.size() || !pending.empty()) {
+    // The next event: an arrival or a completion, whichever is earlier.
+    const double arrival_t = next_arrival < jobs.size()
+                                 ? jobs[next_arrival].arrival_s
+                                 : std::numeric_limits<double>::infinity();
+    const double completion_t =
+        !running.empty() ? running.top().finish_s
+                         : std::numeric_limits<double>::infinity();
+    if (!pending.empty() && completion_t <= arrival_t) {
+      const double now = completion_t;
+      while (!running.empty() && running.top().finish_s <= now) {
+        used -= running.top().containers;
+        running.pop();
+      }
+      try_start(now);
+      continue;
+    }
+    if (next_arrival >= jobs.size()) {
+      // Pending jobs but no arrivals and no completions can only happen
+      // on an empty cluster, where try_start would have admitted them.
+      return Status::Internal("backfill simulation deadlocked");
+    }
+    const double now = arrival_t;
+    while (!running.empty() && running.top().finish_s <= now) {
+      used -= running.top().containers;
+      running.pop();
+    }
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival_s <= now) {
+      pending.push_back(next_arrival);
+      ++next_arrival;
+    }
+    try_start(now);
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+Result<std::vector<JobOutcome>> SimulateQueue(
+    const std::vector<JobSpec>& jobs, int cluster_capacity,
+    QueuePolicy policy) {
+  if (cluster_capacity <= 0) {
+    return Status::InvalidArgument("cluster capacity must be positive");
+  }
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return SimulateFifoQueue(jobs, cluster_capacity);
+    case QueuePolicy::kBackfill:
+      return SimulateBackfillQueue(jobs, cluster_capacity);
+  }
+  return Status::InvalidArgument("unknown queue policy");
+}
+
+Result<EmpiricalCdf> QueueRuntimeRatioCdf(const WorkloadOptions& options) {
+  RAQO_ASSIGN_OR_RETURN(std::vector<JobSpec> jobs, GenerateWorkload(options));
+  RAQO_ASSIGN_OR_RETURN(std::vector<JobOutcome> outcomes,
+                        SimulateFifoQueue(jobs, options.cluster_capacity));
+  std::vector<double> ratios;
+  ratios.reserve(outcomes.size());
+  for (const JobOutcome& o : outcomes) {
+    ratios.push_back(o.queue_to_runtime_ratio());
+  }
+  return EmpiricalCdf(std::move(ratios));
+}
+
+}  // namespace raqo::trace

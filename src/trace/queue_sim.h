@@ -1,0 +1,55 @@
+#ifndef RAQO_TRACE_QUEUE_SIM_H_
+#define RAQO_TRACE_QUEUE_SIM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "trace/workload.h"
+
+namespace raqo::trace {
+
+/// Per-job outcome of the queueing simulation.
+struct JobOutcome {
+  double arrival_s = 0.0;
+  double start_s = 0.0;
+  double runtime_s = 0.0;
+
+  double queue_time_s() const { return start_s - arrival_s; }
+  /// The Figure 1 metric.
+  double queue_to_runtime_ratio() const {
+    return queue_time_s() / runtime_s;
+  }
+};
+
+/// Queueing disciplines of the simulated resource manager.
+enum class QueuePolicy {
+  /// Strict arrival order: a job starts only once everything before it
+  /// has started (YARN FIFO scheduler).
+  kFifo,
+  /// Greedy backfill: whenever capacity frees, any queued job that fits
+  /// may start, in arrival order. Improves utilization; can delay jobs
+  /// with large requests (the trade-off the paper's scheduler discussion
+  /// raises for jobs with precise RAQO resource requests).
+  kBackfill,
+};
+
+/// Simulates a FIFO capacity queue, the simplest model of a YARN queue:
+/// jobs start strictly in arrival order, each when the cluster has enough
+/// free containers for its request. Jobs must be sorted by arrival.
+Result<std::vector<JobOutcome>> SimulateFifoQueue(
+    const std::vector<JobSpec>& jobs, int cluster_capacity);
+
+/// Simulates the queue under the given policy. Jobs must be sorted by
+/// arrival; outcomes are returned in the input order.
+Result<std::vector<JobOutcome>> SimulateQueue(
+    const std::vector<JobSpec>& jobs, int cluster_capacity,
+    QueuePolicy policy);
+
+/// Convenience: runs the generator + queue and returns the empirical CDF
+/// of queue-time/runtime ratios (the paper's Figure 1 distribution).
+Result<EmpiricalCdf> QueueRuntimeRatioCdf(const WorkloadOptions& options);
+
+}  // namespace raqo::trace
+
+#endif  // RAQO_TRACE_QUEUE_SIM_H_

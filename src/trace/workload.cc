@@ -1,0 +1,54 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace raqo::trace {
+
+Result<std::vector<JobSpec>> GenerateWorkload(const WorkloadOptions& options) {
+  if (options.num_jobs <= 0) {
+    return Status::InvalidArgument("workload needs at least one job");
+  }
+  if (options.cluster_capacity <= 0 || options.max_containers <= 0) {
+    return Status::InvalidArgument("capacities must be positive");
+  }
+  if (options.offered_load <= 0.0) {
+    return Status::InvalidArgument("offered load must be positive");
+  }
+
+  Rng rng(options.seed);
+
+  // Mean of a log-normal is exp(mu + sigma^2 / 2).
+  const double mean_runtime = std::exp(
+      options.runtime_log_mu +
+      options.runtime_log_sigma * options.runtime_log_sigma / 2.0);
+  const double mean_containers = std::exp(
+      options.containers_log_mu +
+      options.containers_log_sigma * options.containers_log_sigma / 2.0);
+  // offered_load = rate * mean_runtime * mean_containers / capacity.
+  const double rate = options.offered_load *
+                      static_cast<double>(options.cluster_capacity) /
+                      (mean_runtime * mean_containers);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(options.num_jobs));
+  double now = 0.0;
+  for (int i = 0; i < options.num_jobs; ++i) {
+    now += rng.Exponential(rate);
+    JobSpec job;
+    job.arrival_s = now;
+    job.runtime_s =
+        rng.LogNormal(options.runtime_log_mu, options.runtime_log_sigma);
+    const double c =
+        rng.LogNormal(options.containers_log_mu, options.containers_log_sigma);
+    job.containers = std::clamp(static_cast<int>(std::lround(c)), 1,
+                                std::min(options.max_containers,
+                                         options.cluster_capacity));
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace raqo::trace

@@ -1,0 +1,51 @@
+#ifndef RAQO_TRACE_WORKLOAD_H_
+#define RAQO_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace raqo::trace {
+
+/// One job of a synthetic production trace: when it was submitted, how
+/// long it runs once started, and how many containers it holds while
+/// running. Stands in for the Microsoft production traces behind the
+/// paper's Figure 1.
+struct JobSpec {
+  double arrival_s = 0.0;
+  double runtime_s = 0.0;
+  int containers = 1;
+};
+
+/// Parameters of the synthetic workload. Runtimes are log-normal
+/// (heavy-tailed, as real analytics jobs are) and arrivals Poisson.
+struct WorkloadOptions {
+  int num_jobs = 20'000;
+  uint64_t seed = 7;
+  /// Log-normal runtime parameters: median exp(mu) seconds. Calibrated
+  /// (together with offered_load) so the queue simulation reproduces the
+  /// paper's Figure 1 headline statistics: >80% of jobs wait at least
+  /// their runtime, >20% wait at least 4x their runtime.
+  double runtime_log_mu = 4.5;     // median ~90 s
+  double runtime_log_sigma = 0.6;  // long tail
+  /// Log-normal container demand (rounded, clamped to [1, max]).
+  double containers_log_mu = 2.3;  // median ~10 containers
+  double containers_log_sigma = 0.8;
+  int max_containers = 400;
+  /// Offered load relative to cluster capacity: the arrival rate is set
+  /// so that (mean runtime x mean containers x rate) = load x capacity.
+  /// Shared production clusters run near (or transiently above)
+  /// saturation, which is what makes jobs queue.
+  double offered_load = 1.045;
+  /// Cluster capacity in containers.
+  int cluster_capacity = 2'000;
+};
+
+/// Generates the job trace; arrival times are sorted. Fails on
+/// non-positive parameters.
+Result<std::vector<JobSpec>> GenerateWorkload(const WorkloadOptions& options);
+
+}  // namespace raqo::trace
+
+#endif  // RAQO_TRACE_WORKLOAD_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/cost_vector.h"
+#include "cost/features.h"
+
+namespace raqo::cost {
+namespace {
+
+TEST(FeaturesTest, PaperExpansionMatchesPaperVector) {
+  JoinFeatures f;
+  f.smaller_gb = 2.0;
+  f.larger_gb = 50.0;  // ignored by the paper feature set
+  f.container_size_gb = 3.0;
+  f.num_containers = 10.0;
+  const std::vector<double> expanded =
+      ExpandFeatures(f, FeatureSet::kPaper);
+  ASSERT_EQ(expanded.size(), kNumPaperFeatures);
+  EXPECT_EQ(expanded, (std::vector<double>{2, 4, 3, 9, 10, 100, 30}));
+}
+
+TEST(FeaturesTest, ExtendedExpansionCapturesBothSides) {
+  JoinFeatures f;
+  f.smaller_gb = 2.0;
+  f.larger_gb = 8.0;
+  f.container_size_gb = 4.0;
+  f.num_containers = 10.0;
+  const std::vector<double> expanded =
+      ExpandFeatures(f, FeatureSet::kExtended);
+  ASSERT_EQ(expanded.size(), kNumExtendedFeatures);
+  // [ss, ls, ss/nc, ls/nc, ss*nc, nc, cs, ss/cs, ls/cs, 1/cs]
+  EXPECT_EQ(expanded, (std::vector<double>{2, 8, 0.2, 0.8, 20, 10, 4, 0.5,
+                                           2, 0.25}));
+}
+
+TEST(FeaturesTest, NamesAligned) {
+  ASSERT_EQ(FeatureNames(FeatureSet::kPaper).size(), kNumPaperFeatures);
+  EXPECT_EQ(FeatureNames(FeatureSet::kPaper)[0], "ss");
+  EXPECT_EQ(FeatureNames(FeatureSet::kPaper)[6], "cs*nc");
+  ASSERT_EQ(FeatureNames(FeatureSet::kExtended).size(),
+            kNumExtendedFeatures);
+  EXPECT_EQ(FeatureNames(FeatureSet::kExtended)[1], "ls");
+  EXPECT_EQ(NumFeatures(FeatureSet::kPaper), kNumPaperFeatures);
+  EXPECT_EQ(NumFeatures(FeatureSet::kExtended), kNumExtendedFeatures);
+}
+
+TEST(CostVectorTest, AdditionAndDominance) {
+  CostVector a{10, 1};
+  CostVector b{5, 2};
+  CostVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.seconds, 15);
+  EXPECT_DOUBLE_EQ(sum.dollars, 3);
+  EXPECT_TRUE((CostVector{5, 1}).Dominates(a));
+  EXPECT_FALSE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+  EXPECT_FALSE(a.Dominates(a));  // strict
+}
+
+TEST(CostVectorTest, ApproxDominance) {
+  CostVector a{10, 10};
+  CostVector b{10.4, 10.4};
+  EXPECT_TRUE(a.ApproxDominates(b, 0.0));
+  EXPECT_TRUE(b.ApproxDominates(a, 0.05));  // within 5%
+  EXPECT_FALSE(b.ApproxDominates(a, 0.01));
+}
+
+TEST(CostVectorTest, WeightedScalarization) {
+  CostVector c{100, 2};
+  EXPECT_DOUBLE_EQ(c.Weighted(1.0), 100);
+  EXPECT_DOUBLE_EQ(c.Weighted(0.0), 2);
+  EXPECT_DOUBLE_EQ(c.Weighted(0.5), 51);
+}
+
+TEST(CostModelTest, PaperCoefficientSigns) {
+  // The paper notes: SMJ has positive coefficients for container size and
+  // negative for the number of containers; BHJ the opposite.
+  const OperatorCostModel smj = PaperHiveSmjModel();
+  const OperatorCostModel bhj = PaperHiveBhjModel();
+  EXPECT_EQ(smj.feature_set(), FeatureSet::kPaper);
+  ASSERT_EQ(smj.model().weights.size(), kNumPaperFeatures);
+  ASSERT_EQ(bhj.model().weights.size(), kNumPaperFeatures);
+  EXPECT_GT(smj.model().weights[2], 0.0);  // cs
+  EXPECT_LT(smj.model().weights[4], 0.0);  // nc
+  EXPECT_LT(bhj.model().weights[2], 0.0);  // cs
+  EXPECT_GT(bhj.model().weights[4], 0.0);  // nc
+}
+
+TEST(CostModelTest, PredictionsAreClamped) {
+  const OperatorCostModel smj = PaperHiveSmjModel();
+  // Extreme parallelism drives the raw paper model negative; the clamp
+  // keeps predictions usable as costs.
+  JoinFeatures f;
+  f.smaller_gb = 0.1;
+  f.container_size_gb = 1.0;
+  f.num_containers = 500.0;
+  EXPECT_GE(smj.PredictSeconds(f), OperatorCostModel::kMinSeconds);
+}
+
+TEST(CostModelTest, PaperSmjPrefersParallelism) {
+  const OperatorCostModel smj = PaperHiveSmjModel();
+  JoinFeatures few;
+  few.smaller_gb = 5.0;
+  few.container_size_gb = 4.0;
+  few.num_containers = 5.0;
+  JoinFeatures many = few;
+  many.num_containers = 40.0;
+  EXPECT_GT(smj.PredictSeconds(few), smj.PredictSeconds(many));
+}
+
+TEST(CostModelTest, PaperBhjPrefersMemory) {
+  const OperatorCostModel bhj = PaperHiveBhjModel();
+  JoinFeatures small_mem;
+  small_mem.smaller_gb = 3.0;
+  small_mem.container_size_gb = 3.0;
+  small_mem.num_containers = 10.0;
+  JoinFeatures big_mem = small_mem;
+  big_mem.container_size_gb = 9.0;
+  EXPECT_GT(bhj.PredictSeconds(small_mem), bhj.PredictSeconds(big_mem));
+}
+
+TEST(CostModelTest, ForImplSelection) {
+  JoinCostModels models = PaperHiveModels();
+  EXPECT_EQ(&models.ForImpl(plan::JoinImpl::kSortMergeJoin), &models.smj);
+  EXPECT_EQ(&models.ForImpl(plan::JoinImpl::kBroadcastHashJoin),
+            &models.bhj);
+}
+
+TEST(CostModelTest, TrainOnSyntheticSamples) {
+  // Samples from a known linear function of the expanded features should
+  // be recovered nearly exactly.
+  std::vector<ProfileSample> samples;
+  for (double ss : {1.0, 2.0, 4.0}) {
+    for (double cs : {2.0, 4.0, 8.0}) {
+      for (double nc : {5.0, 10.0, 20.0}) {
+        ProfileSample s;
+        s.features.smaller_gb = ss;
+        s.features.container_size_gb = cs;
+        s.features.num_containers = nc;
+        s.seconds = 100 + 10 * ss + 2 * cs * cs - 0.5 * nc;
+        samples.push_back(s);
+      }
+    }
+  }
+  Result<OperatorCostModel> model =
+      OperatorCostModel::Train("synthetic", samples, FeatureSet::kPaper);
+  ASSERT_TRUE(model.ok());
+  JoinFeatures probe;
+  probe.smaller_gb = 3.0;
+  probe.container_size_gb = 6.0;
+  probe.num_containers = 15.0;
+  const double expected = 100 + 30 + 72 - 7.5;
+  EXPECT_NEAR(model->PredictSeconds(probe), expected, 1.0);
+}
+
+TEST(CostModelTest, TrainRejectsEmpty) {
+  EXPECT_FALSE(OperatorCostModel::Train("empty", {}).ok());
+}
+
+}  // namespace
+}  // namespace raqo::cost

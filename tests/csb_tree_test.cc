@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/csb_tree.h"
+
+namespace raqo::core {
+namespace {
+
+TEST(CsbTreeTest, EmptyTree) {
+  CsbTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Find(1.0).has_value());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  int visited = 0;
+  tree.Scan(-1e18, 1e18, [&](double, int64_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(CsbTreeTest, SingleInsertAndFind) {
+  CsbTree tree;
+  EXPECT_TRUE(tree.Insert(3.5, 42));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  ASSERT_TRUE(tree.Find(3.5).has_value());
+  EXPECT_EQ(*tree.Find(3.5), 42);
+  EXPECT_FALSE(tree.Find(3.4).has_value());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(CsbTreeTest, OverwriteExistingKey) {
+  CsbTree tree;
+  EXPECT_TRUE(tree.Insert(1.0, 10));
+  EXPECT_FALSE(tree.Insert(1.0, 20));  // overwrite, not a new key
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(1.0), 20);
+}
+
+TEST(CsbTreeTest, SequentialInsertsSplitLeaves) {
+  CsbTree tree;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(tree.Insert(static_cast<double>(i), i * 10));
+  }
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  EXPECT_GT(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Find(i).has_value()) << i;
+    EXPECT_EQ(*tree.Find(i), i * 10);
+  }
+}
+
+TEST(CsbTreeTest, ReverseSequentialInserts) {
+  CsbTree tree;
+  for (int i = 500; i >= 0; --i) {
+    tree.Insert(static_cast<double>(i), i);
+  }
+  EXPECT_EQ(tree.size(), 501u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(*tree.Find(250), 250);
+}
+
+TEST(CsbTreeTest, ScanRange) {
+  CsbTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  std::vector<double> keys;
+  tree.Scan(10.0, 20.0, [&](double k, int64_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<int64_t>(k));
+  });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10.0);
+  EXPECT_EQ(keys.back(), 20.0);
+  // Empty and inverted ranges.
+  int count = 0;
+  tree.Scan(200, 300, [&](double, int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  tree.Scan(20, 10, [&](double, int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(CsbTreeTest, NegativeAndFractionalKeys) {
+  CsbTree tree;
+  for (int i = -50; i <= 50; ++i) {
+    tree.Insert(i * 0.1, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(*tree.Find(-5.0), -50);
+  EXPECT_EQ(*tree.Find(0.0), 0);
+  std::vector<int64_t> seen;
+  tree.Scan(-0.15, 0.15, [&](double, int64_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{-1, 0, 1}));
+}
+
+// Property test: random workloads behave exactly like std::map.
+class CsbTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsbTreeRandomTest, MatchesReferenceMap) {
+  Rng rng(GetParam());
+  CsbTree tree;
+  std::map<double, int64_t> reference;
+  for (int op = 0; op < 3000; ++op) {
+    // Draw keys from a small discrete universe to exercise overwrites.
+    const double key =
+        static_cast<double>(rng.UniformInt(0, 700)) * 0.25;
+    const int64_t value = rng.UniformInt(0, 1'000'000);
+    const bool was_new = reference.find(key) == reference.end();
+    EXPECT_EQ(tree.Insert(key, value), was_new);
+    reference[key] = value;
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.size(), reference.size());
+  // Point lookups.
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(tree.Find(key).has_value()) << key;
+    EXPECT_EQ(*tree.Find(key), value);
+  }
+  // Range scans agree on random windows.
+  for (int probe = 0; probe < 20; ++probe) {
+    const double lo = rng.Uniform(-10, 180);
+    const double hi = lo + rng.Uniform(0, 40);
+    std::vector<std::pair<double, int64_t>> from_tree;
+    tree.Scan(lo, hi, [&](double k, int64_t v) {
+      from_tree.emplace_back(k, v);
+    });
+    std::vector<std::pair<double, int64_t>> from_map;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      from_map.emplace_back(it->first, it->second);
+    }
+    EXPECT_EQ(from_tree, from_map);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsbTreeRandomTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+TEST(CsbTreeTest, LargeUniformInsertHeightLogarithmic) {
+  Rng rng(99);
+  CsbTree tree;
+  for (int i = 0; i < 20'000; ++i) {
+    tree.Insert(rng.NextDouble() * 1e6, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // 14 keys/node: height should stay small.
+  EXPECT_LE(tree.height(), 6);
+}
+
+}  // namespace
+}  // namespace raqo::core

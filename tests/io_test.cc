@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "core/parametric.h"
+#include "cost/model_io.h"
+#include "rules/rule_based.h"
+#include "rules/switch_points.h"
+#include "rules/tree_io.h"
+#include "sim/profile_runner.h"
+
+namespace raqo {
+namespace {
+
+using catalog::TableId;
+
+// ---------------------------------------------------------------------
+// Cost-model serialization
+
+TEST(ModelIoTest, PaperModelRoundTripsExactly) {
+  const cost::OperatorCostModel original = cost::PaperHiveSmjModel();
+  const std::string text = cost::SerializeModel(original);
+  Result<cost::OperatorCostModel> restored = cost::DeserializeModel(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->name(), original.name());
+  EXPECT_EQ(restored->feature_set(), original.feature_set());
+  ASSERT_EQ(restored->model().weights.size(),
+            original.model().weights.size());
+  for (size_t i = 0; i < original.model().weights.size(); ++i) {
+    EXPECT_EQ(restored->model().weights[i], original.model().weights[i]);
+  }
+  // Identical predictions everywhere we probe.
+  for (double ss : {0.5, 3.0, 9.0}) {
+    cost::JoinFeatures f;
+    f.smaller_gb = ss;
+    f.larger_gb = 77;
+    f.container_size_gb = 4;
+    f.num_containers = 20;
+    EXPECT_EQ(restored->PredictSeconds(f), original.PredictSeconds(f));
+  }
+}
+
+TEST(ModelIoTest, TrainedPairRoundTrips) {
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  const std::string text = cost::SerializeModels(models);
+  Result<cost::JoinCostModels> restored = cost::DeserializeModels(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  cost::JoinFeatures f;
+  f.smaller_gb = 2.5;
+  f.larger_gb = 30;
+  f.container_size_gb = 6;
+  f.num_containers = 40;
+  EXPECT_EQ(restored->smj.PredictSeconds(f), models.smj.PredictSeconds(f));
+  EXPECT_EQ(restored->bhj.PredictSeconds(f), models.bhj.PredictSeconds(f));
+}
+
+TEST(ModelIoTest, RejectsCorruptedInput) {
+  const std::string good = cost::SerializeModel(cost::PaperHiveBhjModel());
+  EXPECT_FALSE(cost::DeserializeModel("").ok());
+  EXPECT_FALSE(cost::DeserializeModel("not a model").ok());
+  // Header alone is not enough.
+  EXPECT_FALSE(cost::DeserializeModel("raqo-cost-model v1\n").ok());
+  // Wrong weight arity for the declared feature set.
+  std::string bad = good;
+  bad.replace(bad.find("weights 7"), 9, "weights 6");
+  EXPECT_FALSE(cost::DeserializeModel(bad).ok());
+  // Unknown field.
+  EXPECT_FALSE(
+      cost::DeserializeModel("raqo-cost-model v1\nbogus x\n").ok());
+  // Missing pair separator.
+  EXPECT_FALSE(cost::DeserializeModels(good).ok());
+}
+
+// ---------------------------------------------------------------------
+// Decision-tree serialization
+
+TEST(TreeIoTest, FittedTreeRoundTrips) {
+  Result<rules::Dataset> data = rules::BuildJoinChoiceDataset(
+      sim::EngineProfile::Hive(), rules::JoinChoiceGrid());
+  ASSERT_TRUE(data.ok());
+  Result<rules::DecisionTree> tree = rules::DecisionTree::Fit(*data);
+  ASSERT_TRUE(tree.ok());
+
+  const std::string text = rules::SerializeTree(*tree);
+  Result<rules::DecisionTree> restored = rules::DeserializeTree(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NodeCount(), tree->NodeCount());
+  EXPECT_EQ(restored->MaxPathLength(), tree->MaxPathLength());
+  EXPECT_EQ(restored->feature_names(), tree->feature_names());
+  EXPECT_EQ(restored->class_names(), tree->class_names());
+  // Identical predictions on every training row.
+  for (const auto& row : data->rows) {
+    EXPECT_EQ(restored->Predict(row), tree->Predict(row));
+  }
+  // Serialization is stable (round-trip fixpoint).
+  EXPECT_EQ(rules::SerializeTree(*restored), text);
+}
+
+TEST(TreeIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(rules::DeserializeTree("").ok());
+  EXPECT_FALSE(rules::DeserializeTree("raqo-decision-tree v1\n").ok());
+  Result<rules::DecisionTree> tree =
+      rules::BuildDefaultRuleTree(sim::EngineProfile::Hive());
+  ASSERT_TRUE(tree.ok());
+  std::string text = rules::SerializeTree(*tree);
+  // Claim more nodes than present.
+  std::string bad = text;
+  bad.replace(bad.find("nodes 3"), 7, "nodes 9");
+  EXPECT_FALSE(rules::DeserializeTree(bad).ok());
+  // Backward child pointer.
+  bad = text;
+  bad.replace(bad.find(" 1 2 "), 5, " 0 2 ");
+  EXPECT_FALSE(rules::DeserializeTree(bad).ok());
+}
+
+TEST(TreeIoTest, FromPartsValidatesStructure) {
+  using Node = rules::DecisionTree::Node;
+  std::vector<std::string> features = {"x"};
+  std::vector<std::string> classes = {"A", "B"};
+  Node leaf;
+  leaf.class_counts = {1, 0};
+  leaf.samples = 1;
+  // Single-leaf tree is fine.
+  EXPECT_TRUE(
+      rules::DecisionTree::FromParts(features, classes, {leaf}).ok());
+  // One-child node rejected.
+  Node half = leaf;
+  half.left = 1;
+  EXPECT_FALSE(
+      rules::DecisionTree::FromParts(features, classes, {half, leaf}).ok());
+  // Bad majority.
+  Node bad_majority = leaf;
+  bad_majority.majority = 7;
+  EXPECT_FALSE(
+      rules::DecisionTree::FromParts(features, classes, {bad_majority})
+          .ok());
+  // Wrong count arity.
+  Node bad_counts = leaf;
+  bad_counts.class_counts = {1};
+  EXPECT_FALSE(
+      rules::DecisionTree::FromParts(features, classes, {bad_counts}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Parametric plan sets
+
+TEST(ParametricTest, DispatchesNearestConditionPlan) {
+  // Sampled-orders catalog: the optimal join implementation flips between
+  // big-container and many-small-container clusters.
+  catalog::Catalog cat;
+  const TableId orders = *cat.AddTable({"orders_sample", 49'000'000, 110});
+  const TableId lineitem = *cat.AddTable({"lineitem", 600'000'000, 130});
+  ASSERT_TRUE(cat.AddJoin(lineitem, orders, 1e-8).ok());
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  core::RaqoPlanner planner(&cat, models,
+                            resource::ClusterConditions::PaperDefault());
+
+  const std::vector<resource::ClusterConditions> representatives = {
+      resource::ClusterConditions::WithMax(10, 6),    // few fat containers
+      resource::ClusterConditions::WithMax(3, 100),   // many small ones
+  };
+  Result<core::ParametricPlanSet> set = core::ParametricPlanSet::Build(
+      planner, {orders, lineitem}, representatives);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->entries().size(), 2u);
+  EXPECT_EQ(set->DistinctShapes(), 2);
+
+  // Dispatch: a busy cluster close to the first representative gets its
+  // plan, and vice versa.
+  const core::JointPlan& busy =
+      set->PlanFor(resource::ClusterConditions::WithMax(9, 8));
+  const core::JointPlan& wide =
+      set->PlanFor(resource::ClusterConditions::WithMax(3, 80));
+  EXPECT_TRUE(
+      busy.plan->StructurallyEquals(*set->entries()[0].plan.plan));
+  EXPECT_TRUE(
+      wide.plan->StructurallyEquals(*set->entries()[1].plan.plan));
+  EXPECT_FALSE(busy.plan->StructurallyEquals(*wide.plan));
+}
+
+TEST(ParametricTest, RejectsEmptyRepresentatives) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  core::RaqoPlanner planner(&cat, models,
+                            resource::ClusterConditions::PaperDefault());
+  EXPECT_FALSE(core::ParametricPlanSet::Build(
+                   planner,
+                   *catalog::TpchQueryTables(cat, catalog::TpchQuery::kQ12),
+                   {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace raqo

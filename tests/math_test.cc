@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/regression.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace raqo {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(m.At(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, FromRowsAndTranspose) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.At(0, 1), 4.0);
+  EXPECT_EQ(t.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix i = Matrix::Identity(2);
+  Matrix p = m.Multiply(i);
+  EXPECT_EQ(p.At(0, 0), 1.0);
+  EXPECT_EQ(p.At(0, 1), 2.0);
+  EXPECT_EQ(p.At(1, 0), 3.0);
+  EXPECT_EQ(p.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix p = a.Multiply(b);
+  EXPECT_EQ(p.At(0, 0), 19.0);
+  EXPECT_EQ(p.At(0, 1), 22.0);
+  EXPECT_EQ(p.At(1, 0), 43.0);
+  EXPECT_EQ(p.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, SolveWellConditioned) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  Result<std::vector<double>> x = a.Solve({5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(MatrixTest, SolveRequiresPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  Result<std::vector<double>> x = a.Solve({2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveSingularFails) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  Result<std::vector<double>> x = a.Solve({1, 2});
+  ASSERT_FALSE(x.ok());
+  EXPECT_TRUE(x.status().IsFailedPrecondition());
+}
+
+TEST(MatrixTest, SolveShapeMismatchFails) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_FALSE(a.Solve({1, 2, 3}).ok());
+  Matrix rect = Matrix::FromRows({{1, 2, 3}});
+  EXPECT_FALSE(rect.Solve({1}).ok());
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> v = a.MultiplyVector({1, 1});
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 7.0);
+}
+
+TEST(RegressionTest, RecoversExactLinearModel) {
+  // y = 2 x0 - 3 x1 + 0.5 x2, no noise.
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> row = {rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                               rng.Uniform(-5, 5)};
+    y.push_back(2 * row[0] - 3 * row[1] + 0.5 * row[2]);
+    x.push_back(row);
+  }
+  Result<LinearModel> model = FitOls(x, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights[0], 2.0, 1e-6);
+  EXPECT_NEAR(model->weights[1], -3.0, 1e-6);
+  EXPECT_NEAR(model->weights[2], 0.5, 1e-6);
+  EXPECT_NEAR(RSquared(*model, x, y), 1.0, 1e-9);
+  EXPECT_NEAR(Rmse(*model, x, y), 0.0, 1e-6);
+}
+
+TEST(RegressionTest, InterceptRecovered) {
+  Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> row = {rng.Uniform(0, 10)};
+    y.push_back(4.0 * row[0] + 7.0);
+    x.push_back(row);
+  }
+  OlsOptions options;
+  options.fit_intercept = true;
+  Result<LinearModel> model = FitOls(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->weights[0], 4.0, 1e-6);
+  EXPECT_NEAR(model->weights[1], 7.0, 1e-5);  // intercept is last
+}
+
+TEST(RegressionTest, NoisyFitHasHighRSquared) {
+  Rng rng(8);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row = {rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    y.push_back(3 * row[0] - row[1] + rng.Normal(0, 0.1));
+    x.push_back(row);
+  }
+  Result<LinearModel> model = FitOls(x, y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(RSquared(*model, x, y), 0.99);
+}
+
+TEST(RegressionTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(FitOls({}, {}).ok());
+  EXPECT_FALSE(FitOls({{1.0}}, {1.0, 2.0}).ok());
+  // Fewer observations than unknowns.
+  EXPECT_FALSE(FitOls({{1.0, 2.0}}, {1.0}).ok());
+  // Ragged rows.
+  EXPECT_FALSE(FitOls({{1.0, 2.0}, {1.0}}, {1.0, 2.0}).ok());
+}
+
+TEST(RegressionTest, RidgeHandlesCollinearity) {
+  // Perfectly collinear features would make plain OLS singular.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back({static_cast<double>(i), 2.0 * i});
+    y.push_back(3.0 * i);
+  }
+  OlsOptions options;
+  options.ridge_lambda = 1e-4;
+  Result<LinearModel> model = FitOls(x, y, options);
+  ASSERT_TRUE(model.ok());
+  // Predictions still correct even if individual weights are not unique.
+  EXPECT_NEAR(model->Predict({10.0, 20.0}), 30.0, 0.1);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 10), 1.4);
+}
+
+TEST(StatsTest, PercentileSingleton) {
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 75), 42.0);
+}
+
+TEST(EmpiricalCdfTest, Fractions) {
+  EmpiricalCdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrAbove(6), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrAbove(1), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrAbove(11), 0.0);
+}
+
+TEST(EmpiricalCdfTest, QuantilesAndPoints) {
+  EmpiricalCdf cdf({0, 10});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 10.0);
+  auto points = cdf.Points(3);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[1].first, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].second, 5.0);
+}
+
+}  // namespace
+}  // namespace raqo

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "common/rng.h"
+#include "plan/cardinality.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_node.h"
+#include "plan/table_set.h"
+
+namespace raqo::plan {
+namespace {
+
+using catalog::TableId;
+
+TEST(TableSetTest, BasicOperations) {
+  TableSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Add(3);
+  s.Add(70);  // second word
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(70));
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1);
+}
+
+TEST(TableSetTest, SetAlgebra) {
+  TableSet a = TableSet::FromVector({1, 2, 3});
+  TableSet b = TableSet::FromVector({3, 4});
+  EXPECT_EQ(a.Union(b).Count(), 4);
+  EXPECT_EQ(a.Intersect(b).ToVector(), (std::vector<TableId>{3}));
+  EXPECT_EQ(a.Minus(b).ToVector(), (std::vector<TableId>{1, 2}));
+  EXPECT_TRUE(TableSet::FromVector({1, 2}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(TableSet::Of(9).Intersects(a));
+}
+
+TEST(TableSetTest, CrossWordBoundary) {
+  TableSet s = TableSet::FromVector({63, 64, 127});
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_EQ(s.ToVector(), (std::vector<TableId>{63, 64, 127}));
+  TableSet t = TableSet::Of(64);
+  EXPECT_TRUE(t.IsSubsetOf(s));
+  EXPECT_EQ(s.Minus(t).Count(), 2);
+}
+
+TEST(TableSetTest, HashDistinguishesSets) {
+  EXPECT_NE(TableSet::Of(1).Hash(), TableSet::Of(2).Hash());
+  EXPECT_EQ(TableSet::FromVector({1, 2}).Hash(),
+            TableSet::FromVector({2, 1}).Hash());
+}
+
+TEST(TableSetTest, ToStringFormat) {
+  EXPECT_EQ(TableSet::FromVector({0, 3, 7}).ToString(), "{0, 3, 7}");
+  EXPECT_EQ(TableSet().ToString(), "{}");
+}
+
+TEST(PlanNodeTest, ScanLeaf) {
+  auto scan = PlanNode::MakeScan(5);
+  EXPECT_TRUE(scan->is_scan());
+  EXPECT_EQ(scan->table(), 5);
+  EXPECT_EQ(scan->NumJoins(), 0);
+  EXPECT_EQ(scan->tables().ToVector(), (std::vector<TableId>{5}));
+}
+
+TEST(PlanNodeTest, JoinTreeStructure) {
+  auto join = PlanNode::MakeJoin(
+      JoinImpl::kBroadcastHashJoin,
+      PlanNode::MakeJoin(JoinImpl::kSortMergeJoin, PlanNode::MakeScan(0),
+                         PlanNode::MakeScan(1)),
+      PlanNode::MakeScan(2));
+  EXPECT_EQ(join->NumJoins(), 2);
+  EXPECT_EQ(join->tables().Count(), 3);
+  EXPECT_EQ(join->impl(), JoinImpl::kBroadcastHashJoin);
+  EXPECT_EQ(join->left()->impl(), JoinImpl::kSortMergeJoin);
+  EXPECT_EQ(join->LeafOrder(), (std::vector<TableId>{0, 1, 2}));
+}
+
+TEST(PlanNodeTest, CloneIsDeepAndEqual) {
+  auto join = PlanNode::MakeJoin(JoinImpl::kSortMergeJoin,
+                                 PlanNode::MakeScan(0), PlanNode::MakeScan(1));
+  join->set_resources(resource::ResourceConfig(4, 10));
+  auto copy = join->Clone();
+  EXPECT_TRUE(join->StructurallyEquals(*copy));
+  ASSERT_TRUE(copy->resources().has_value());
+  EXPECT_EQ(*copy->resources(), resource::ResourceConfig(4, 10));
+  // Mutating the copy leaves the original untouched.
+  copy->set_impl(JoinImpl::kBroadcastHashJoin);
+  EXPECT_EQ(join->impl(), JoinImpl::kSortMergeJoin);
+  EXPECT_FALSE(join->StructurallyEquals(*copy));
+}
+
+TEST(PlanNodeTest, VisitJoinsIsPostOrder) {
+  auto plan = PlanNode::MakeJoin(
+      JoinImpl::kSortMergeJoin,
+      PlanNode::MakeJoin(JoinImpl::kBroadcastHashJoin, PlanNode::MakeScan(0),
+                         PlanNode::MakeScan(1)),
+      PlanNode::MakeScan(2));
+  std::vector<int> sizes;
+  plan->VisitJoins(
+      [&](const PlanNode& j) { sizes.push_back(j.tables().Count()); });
+  EXPECT_EQ(sizes, (std::vector<int>{2, 3}));
+}
+
+TEST(PlanNodeTest, ToStringWithCatalog) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  TableId orders = *cat.FindTable("orders");
+  TableId lineitem = *cat.FindTable("lineitem");
+  auto plan =
+      PlanNode::MakeJoin(JoinImpl::kSortMergeJoin,
+                         PlanNode::MakeScan(orders),
+                         PlanNode::MakeScan(lineitem));
+  EXPECT_EQ(plan->ToString(&cat), "SMJ(orders, lineitem)");
+  EXPECT_EQ(plan->ToString(nullptr),
+            "SMJ(t" + std::to_string(orders) + ", t" +
+                std::to_string(lineitem) + ")");
+}
+
+TEST(PlanNodeTest, ReplaceAndTakeChildren) {
+  auto join = PlanNode::MakeJoin(JoinImpl::kSortMergeJoin,
+                                 PlanNode::MakeScan(0), PlanNode::MakeScan(1));
+  auto left = join->TakeLeft();
+  auto right = join->TakeRight();
+  join->ReplaceLeft(std::move(right));
+  join->ReplaceRight(std::move(left));
+  EXPECT_EQ(join->LeafOrder(), (std::vector<TableId>{1, 0}));
+  EXPECT_EQ(join->tables().Count(), 2);
+}
+
+TEST(CardinalityTest, SingleTable) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  CardinalityEstimator est(&cat);
+  TableId orders = *cat.FindTable("orders");
+  RelationStats stats = est.Estimate(TableSet::Of(orders));
+  EXPECT_DOUBLE_EQ(stats.rows, 1'500'000.0);
+  EXPECT_DOUBLE_EQ(stats.row_bytes, 110.0);
+}
+
+TEST(CardinalityTest, ForeignKeyJoinKeepsFactCardinality) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  CardinalityEstimator est(&cat);
+  TableSet both = TableSet::FromVector(
+      {*cat.FindTable("orders"), *cat.FindTable("lineitem")});
+  RelationStats stats = est.Estimate(both);
+  // |lineitem join orders| = |lineitem| under FK selectivity.
+  EXPECT_NEAR(stats.rows, 6'000'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(stats.row_bytes, 240.0);  // widths add up
+}
+
+TEST(CardinalityTest, MemoizationWorks) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  CardinalityEstimator est(&cat);
+  TableSet s = TableSet::FromVector(
+      {*cat.FindTable("orders"), *cat.FindTable("customer")});
+  est.Estimate(s);
+  const size_t after_first = est.cache_size();
+  est.Estimate(s);
+  EXPECT_EQ(est.cache_size(), after_first);
+}
+
+TEST(CardinalityTest, JoinStatsIdentifiesSmallerSide) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  CardinalityEstimator est(&cat);
+  auto plan = PlanNode::MakeJoin(
+      JoinImpl::kSortMergeJoin, PlanNode::MakeScan(*cat.FindTable("orders")),
+      PlanNode::MakeScan(*cat.FindTable("lineitem")));
+  JoinInputStats stats = est.JoinStats(*plan);
+  EXPECT_LT(stats.smaller_bytes(), stats.larger_bytes());
+  EXPECT_DOUBLE_EQ(stats.smaller_bytes(), stats.left.bytes());
+  EXPECT_GT(stats.output.rows, 0.0);
+}
+
+TEST(PlanBuilderTest, LeftDeepShape) {
+  Result<std::unique_ptr<PlanNode>> plan =
+      BuildLeftDeep({0, 1, 2, 3}, JoinImpl::kSortMergeJoin);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->NumJoins(), 3);
+  EXPECT_EQ((*plan)->LeafOrder(), (std::vector<TableId>{0, 1, 2, 3}));
+  // Left-deep: right child of every join is a scan.
+  (*plan)->VisitJoins([](const PlanNode& j) {
+    EXPECT_TRUE(j.right()->is_scan());
+  });
+}
+
+TEST(PlanBuilderTest, PerJoinImpls) {
+  Result<std::unique_ptr<PlanNode>> plan = BuildLeftDeep(
+      {0, 1, 2},
+      {JoinImpl::kBroadcastHashJoin, JoinImpl::kSortMergeJoin});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->impl(), JoinImpl::kSortMergeJoin);
+  EXPECT_EQ((*plan)->left()->impl(), JoinImpl::kBroadcastHashJoin);
+}
+
+TEST(PlanBuilderTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildLeftDeep({0}, JoinImpl::kSortMergeJoin).ok());
+  EXPECT_FALSE(BuildLeftDeep({0, 0}, JoinImpl::kSortMergeJoin).ok());
+  EXPECT_FALSE(BuildLeftDeep({0, 1}, std::vector<JoinImpl>{}).ok());
+}
+
+TEST(PlanBuilderTest, RandomPlanCoversQueryAndAvoidsCrossProducts) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  std::vector<TableId> tables =
+      *catalog::TpchQueryTables(cat, catalog::TpchQuery::kAll);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Result<std::unique_ptr<PlanNode>> plan =
+        BuildRandomPlan(cat, tables, rng);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_TRUE(ValidatePlan(cat, **plan, tables).ok());
+    // TPC-H is connected, so no random plan should need a cross product.
+    EXPECT_TRUE(ValidatePlan(cat, **plan, tables, true).ok());
+  }
+}
+
+TEST(PlanBuilderTest, ValidateCatchesMismatch) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  auto plan = PlanNode::MakeScan(0);
+  EXPECT_FALSE(ValidatePlan(cat, *plan, {0, 1}).ok());
+  EXPECT_TRUE(ValidatePlan(cat, *plan, {0}).ok());
+}
+
+TEST(PlanBuilderTest, ValidateDetectsCrossProduct) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  TableId customer = *cat.FindTable("customer");
+  TableId lineitem = *cat.FindTable("lineitem");
+  // customer-lineitem has no direct join edge in TPC-H.
+  auto plan = PlanNode::MakeJoin(JoinImpl::kSortMergeJoin,
+                                 PlanNode::MakeScan(customer),
+                                 PlanNode::MakeScan(lineitem));
+  EXPECT_TRUE(ValidatePlan(cat, *plan, {customer, lineitem}, false).ok());
+  EXPECT_FALSE(ValidatePlan(cat, *plan, {customer, lineitem}, true).ok());
+}
+
+}  // namespace
+}  // namespace raqo::plan

@@ -1,0 +1,232 @@
+// Property-based sweeps across randomized inputs: invariants that must
+// hold for every seed, not just hand-picked cases.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/random_schema.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/raqo_planner.h"
+#include "plan/plan_builder.h"
+#include "plan/table_set.h"
+#include "resource/cluster_conditions.h"
+#include "sim/profile_runner.h"
+#include "sim/simulator.h"
+#include "trace/queue_sim.h"
+
+namespace raqo {
+namespace {
+
+using catalog::TableId;
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---------------------------------------------------------------------
+// TableSet behaves exactly like a reference std::set over random ops.
+
+TEST_P(SeededPropertyTest, TableSetMatchesReferenceSet) {
+  Rng rng(GetParam());
+  plan::TableSet set;
+  std::set<TableId> reference;
+  for (int op = 0; op < 2'000; ++op) {
+    const auto id =
+        static_cast<TableId>(rng.UniformInt(0, plan::TableSet::kMaxTables - 1));
+    if (rng.Bernoulli(0.6)) {
+      set.Add(id);
+      reference.insert(id);
+    } else {
+      set.Remove(id);
+      reference.erase(id);
+    }
+    if (op % 100 == 0) {
+      EXPECT_EQ(set.Count(), static_cast<int>(reference.size()));
+      EXPECT_EQ(set.ToVector(),
+                std::vector<TableId>(reference.begin(), reference.end()));
+    }
+  }
+  // Set algebra against a second random set.
+  plan::TableSet other;
+  std::set<TableId> other_ref;
+  for (int i = 0; i < 50; ++i) {
+    const auto id =
+        static_cast<TableId>(rng.UniformInt(0, plan::TableSet::kMaxTables - 1));
+    other.Add(id);
+    other_ref.insert(id);
+  }
+  std::set<TableId> expected_union = reference;
+  expected_union.insert(other_ref.begin(), other_ref.end());
+  EXPECT_EQ(set.Union(other).Count(),
+            static_cast<int>(expected_union.size()));
+  for (TableId id : other_ref) {
+    EXPECT_EQ(set.Intersect(other).Contains(id),
+              reference.count(id) > 0);
+    EXPECT_FALSE(set.Minus(other).Contains(id));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cluster grids: iteration, containment, and snapping are consistent.
+
+TEST_P(SeededPropertyTest, ClusterGridConsistency) {
+  Rng rng(GetParam());
+  const double max_cs = rng.Uniform(2, 20);
+  const double max_nc = static_cast<double>(rng.UniformInt(2, 500));
+  const double step_cs = rng.Uniform(0.5, 2.0);
+  const double step_nc = static_cast<double>(rng.UniformInt(1, 7));
+  Result<resource::ClusterConditions> cluster =
+      resource::ClusterConditions::Create(
+          resource::ResourceConfig(1, 1),
+          resource::ResourceConfig(max_cs, max_nc),
+          resource::ResourceConfig(step_cs, step_nc));
+  ASSERT_TRUE(cluster.ok());
+
+  int64_t visited = 0;
+  cluster->ForEachConfig([&](const resource::ResourceConfig& c) {
+    ++visited;
+    EXPECT_TRUE(cluster->Contains(c));
+    // Grid points snap to themselves.
+    EXPECT_EQ(cluster->SnapToGrid(c), c);
+    return true;
+  });
+  EXPECT_EQ(visited, cluster->TotalGridSize());
+
+  // Snapping arbitrary points lands inside the cluster.
+  for (int i = 0; i < 100; ++i) {
+    const resource::ResourceConfig arbitrary(rng.Uniform(-5, 40),
+                                             rng.Uniform(-5, 2000));
+    const resource::ResourceConfig snapped =
+        cluster->SnapToGrid(arbitrary);
+    EXPECT_TRUE(cluster->Contains(snapped));
+    EXPECT_EQ(cluster->SnapToGrid(snapped), snapped);  // idempotent
+  }
+}
+
+// ---------------------------------------------------------------------
+// Random plans: structure and mutation-by-planner preserve coverage.
+
+TEST_P(SeededPropertyTest, RandomPlansAlwaysCoverTheQuery) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 25;
+  schema.seed = GetParam();
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 25));
+    std::vector<TableId> tables =
+        *catalog::RandomQueryTables(cat, n, GetParam() + trial);
+    auto plan = *plan::BuildRandomPlan(cat, tables, rng);
+    EXPECT_TRUE(plan::ValidatePlan(cat, *plan, tables).ok());
+    EXPECT_TRUE(plan::ValidatePlan(cat, *plan, tables, true).ok())
+        << "random plan contains a cross product on a connected query";
+    EXPECT_EQ(plan->NumJoins(), n - 1);
+    // Clone equivalence.
+    auto copy = plan->Clone();
+    EXPECT_TRUE(copy->StructurallyEquals(*plan));
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end fuzz: planning random queries on random schemas never
+// crashes, and emitted joint plans are valid and executable.
+
+TEST_P(SeededPropertyTest, PlannerFuzzOnRandomSchemas) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 16;
+  schema.seed = GetParam();
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+
+  for (core::PlannerAlgorithm algorithm :
+       {core::PlannerAlgorithm::kSelinger,
+        core::PlannerAlgorithm::kFastRandomized}) {
+    core::RaqoPlannerOptions options;
+    options.algorithm = algorithm;
+    options.randomized.iterations = 3;
+    options.randomized.moves_per_iteration = 12;
+    options.randomized.seed = GetParam();
+    core::RaqoPlanner planner(&cat, *models, cluster,
+                              resource::PricingModel(), options);
+    for (int q = 2; q <= 10; q += 4) {
+      std::vector<TableId> tables =
+          *catalog::RandomQueryTables(cat, q, GetParam() + q);
+      Result<core::JointPlan> joint = planner.Plan(tables);
+      ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+      EXPECT_TRUE(plan::ValidatePlan(cat, *joint->plan, tables).ok());
+      joint->plan->VisitJoins([&](const plan::PlanNode& j) {
+        ASSERT_TRUE(j.resources().has_value());
+        EXPECT_TRUE(cluster.Contains(*j.resources()));
+      });
+      // The joint plan must execute on the simulator (resources were
+      // chosen in the feasible region).
+      sim::ExecutionSimulator simulator(sim::EngineProfile::Hive(), &cat);
+      Result<sim::SimPlanResult> run =
+          simulator.RunPlan(*joint->plan, sim::ExecParams{});
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Queue simulations: conservation properties on random traces.
+
+TEST_P(SeededPropertyTest, QueuePoliciesPreserveJobs) {
+  trace::WorkloadOptions options;
+  options.num_jobs = 1'000;
+  options.seed = GetParam();
+  const auto jobs = *trace::GenerateWorkload(options);
+  for (trace::QueuePolicy policy :
+       {trace::QueuePolicy::kFifo, trace::QueuePolicy::kBackfill}) {
+    const auto outcomes =
+        *trace::SimulateQueue(jobs, options.cluster_capacity, policy);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_GE(outcomes[i].start_s, jobs[i].arrival_s);
+      EXPECT_DOUBLE_EQ(outcomes[i].runtime_s, jobs[i].runtime_s);
+    }
+    // Capacity is never exceeded at any start instant.
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      int used = 0;
+      const double t = outcomes[i].start_s;
+      for (size_t j = 0; j < outcomes.size(); ++j) {
+        if (outcomes[j].start_s <= t &&
+            t < outcomes[j].start_s + outcomes[j].runtime_s) {
+          used += jobs[j].containers;
+        }
+      }
+      EXPECT_LE(used, options.cluster_capacity)
+          << "capacity violated at t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Empirical CDF: quantile and fraction are mutually consistent.
+
+TEST_P(SeededPropertyTest, CdfQuantileFractionConsistency) {
+  Rng rng(GetParam());
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.LogNormal(1.0, 1.5));
+  EmpiricalCdf cdf(samples);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double v = cdf.Quantile(q);
+    EXPECT_GE(cdf.FractionAtOrBelow(v), q - 0.01);
+  }
+  double prev = -1.0;
+  for (double v : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+    const double f = cdf.FractionAtOrBelow(v);
+    EXPECT_GE(f, prev);  // monotone
+    EXPECT_NEAR(f + cdf.FractionAtOrAbove(v + 1e-12), 1.0, 0.01);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace raqo

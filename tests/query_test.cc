@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "query/sql_parser.h"
+
+namespace raqo::query {
+namespace {
+
+using catalog::TableId;
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() : cat_(catalog::BuildTpchCatalog(1.0)) {}
+  catalog::Catalog cat_;
+};
+
+TEST_F(SqlParserTest, ParsesThePaperRunningExample) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from orders, lineitem where o_orderkey = l_orderkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->tables.size(), 2u);
+  EXPECT_EQ(q->tables[0], *cat_.FindTable("orders"));
+  EXPECT_EQ(q->tables[1], *cat_.FindTable("lineitem"));
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_EQ(q->predicates[0].ToString(), "o_orderkey = l_orderkey");
+}
+
+TEST_F(SqlParserTest, ParsesQualifiedPredicatesAndAnd) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "SELECT * FROM customer, orders, lineitem "
+      "WHERE customer.c_custkey = orders.o_custkey "
+      "AND lineitem.l_orderkey = orders.o_orderkey;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables.size(), 3u);
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_EQ(q->predicates[0].left_table, "customer");
+  EXPECT_EQ(q->predicates[1].right_column, "o_orderkey");
+}
+
+TEST_F(SqlParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseJoinQuery(cat_, "SeLeCt * FrOm orders").ok());
+}
+
+TEST_F(SqlParserTest, NoWhereClauseIsFine) {
+  Result<ParsedQuery> q = ParseJoinQuery(cat_, "select * from nation");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->tables.size(), 1u);
+  EXPECT_TRUE(q->predicates.empty());
+}
+
+TEST_F(SqlParserTest, RejectsUnknownTable) {
+  Result<ParsedQuery> q =
+      ParseJoinQuery(cat_, "select * from warehouse");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(SqlParserTest, RejectsDuplicateTable) {
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders, orders").ok());
+}
+
+TEST_F(SqlParserTest, RejectsMalformedSyntax) {
+  EXPECT_FALSE(ParseJoinQuery(cat_, "").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select o_orderkey from orders").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * orders").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders,").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders where").ok());
+  EXPECT_FALSE(
+      ParseJoinQuery(cat_, "select * from orders where o_orderkey <> 5")
+          .ok());
+  EXPECT_FALSE(
+      ParseJoinQuery(cat_, "select * from orders where a = b and").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders extra").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders $").ok());
+}
+
+TEST_F(SqlParserTest, RejectsPredicateOnMissingOrSelfTable) {
+  EXPECT_FALSE(
+      ParseJoinQuery(cat_,
+                     "select * from orders, lineitem "
+                     "where customer.c_custkey = orders.o_custkey")
+          .ok());
+  EXPECT_FALSE(
+      ParseJoinQuery(cat_,
+                     "select * from orders, lineitem "
+                     "where orders.a = orders.b")
+          .ok());
+}
+
+TEST_F(SqlParserTest, RejectsPredicateWithoutJoinEdge) {
+  // customer-lineitem has no edge in the TPC-H join graph.
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from customer, lineitem "
+      "where customer.c_custkey = lineitem.l_orderkey");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("no join edge"), std::string::npos);
+}
+
+TEST_F(SqlParserTest, ParsesFilterPredicates) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from orders, lineitem "
+      "where o_orderkey = l_orderkey "
+      "and lineitem.l_quantity < 25 "
+      "and orders.o_totalprice >= 100000");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates.size(), 1u);
+  ASSERT_EQ(q->filters.size(), 2u);
+  EXPECT_EQ(q->filters[0].ToString(), "lineitem.l_quantity < 25");
+  EXPECT_EQ(q->filters[1].op, FilterOp::kGe);
+  EXPECT_DOUBLE_EQ(q->filters[1].value, 100000.0);
+}
+
+TEST_F(SqlParserTest, FilterSelectivitiesFromColumnStats) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from orders, lineitem "
+      "where o_orderkey = l_orderkey "
+      "and l_quantity < 25 "         // unqualified: unique column name
+      "and l_shipdate >= 2020");     // combines on the same table
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sel = DeriveFilterSelectivities(cat_, *q);
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  ASSERT_EQ(sel->size(), 1u);
+  EXPECT_EQ((*sel)[0].first, *cat_.FindTable("lineitem"));
+  // quantity < 25 over [1, 50]: (25-1)/49; shipdate >= 2020 over
+  // [0, 2525]: 1 - 2020/2525; independence multiplies them.
+  const double expected = (24.0 / 49.0) * (1.0 - 2020.0 / 2525.0);
+  EXPECT_NEAR((*sel)[0].second, expected, 1e-12);
+}
+
+TEST_F(SqlParserTest, EqualityFilterUsesDistinctCount) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_, "select * from lineitem where l_quantity = 7");
+  ASSERT_TRUE(q.ok());
+  auto sel = DeriveFilterSelectivities(cat_, *q);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_DOUBLE_EQ((*sel)[0].second, 1.0 / 50.0);
+}
+
+TEST_F(SqlParserTest, FilterErrorsAreReported) {
+  // Range filter on a column without range statistics.
+  Result<ParsedQuery> keyed = ParseJoinQuery(
+      cat_, "select * from orders where o_orderkey < 5");
+  ASSERT_TRUE(keyed.ok());
+  EXPECT_FALSE(DeriveFilterSelectivities(cat_, *keyed).ok());
+  // Unknown column.
+  Result<ParsedQuery> unknown = ParseJoinQuery(
+      cat_, "select * from orders where o_nope < 5");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_TRUE(DeriveFilterSelectivities(cat_, *unknown)
+                  .status()
+                  .IsNotFound());
+  // Filter on a table outside the FROM clause is a parse error.
+  EXPECT_FALSE(ParseJoinQuery(
+                   cat_, "select * from orders where lineitem.l_quantity < 5")
+                   .ok());
+  // Non-equality join predicates are rejected.
+  EXPECT_FALSE(ParseJoinQuery(
+                   cat_,
+                   "select * from orders, lineitem "
+                   "where o_orderkey < l_orderkey")
+                   .ok());
+}
+
+TEST_F(SqlParserTest, ApplyFiltersScalesRowCounts) {
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from orders, lineitem "
+      "where o_orderkey = l_orderkey and l_quantity <= 25");
+  ASSERT_TRUE(q.ok());
+  Result<catalog::Catalog> filtered = ApplyFilters(cat_, *q);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  const catalog::TableId lineitem = *cat_.FindTable("lineitem");
+  const catalog::TableId orders = *cat_.FindTable("orders");
+  EXPECT_LT(filtered->table(lineitem).row_count,
+            cat_.table(lineitem).row_count);
+  EXPECT_DOUBLE_EQ(filtered->table(orders).row_count,
+                   cat_.table(orders).row_count);
+  // Join edges carry over unchanged.
+  EXPECT_EQ(filtered->join_graph().edges().size(),
+            cat_.join_graph().edges().size());
+  EXPECT_DOUBLE_EQ(
+      filtered->join_graph().EdgeSelectivity(lineitem, orders),
+      cat_.join_graph().EdgeSelectivity(lineitem, orders));
+}
+
+TEST_F(SqlParserTest, ParsedTablesDriveThePlanner) {
+  // End-to-end smoke: the parse result feeds directly into planning.
+  Result<ParsedQuery> q = ParseJoinQuery(
+      cat_,
+      "select * from customer, orders, lineitem "
+      "where customer.c_custkey = orders.o_custkey "
+      "and orders.o_orderkey = lineitem.l_orderkey");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(cat_.join_graph().IsConnected(q->tables));
+}
+
+}  // namespace
+}  // namespace raqo::query

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "catalog/tpch.h"
+#include "core/raqo_cost_evaluator.h"
+#include "core/raqo_planner.h"
+#include "optimizer/fixed_resource_evaluator.h"
+#include "plan/plan_builder.h"
+#include "sim/profile_runner.h"
+
+namespace raqo::core {
+namespace {
+
+using catalog::TableId;
+using catalog::TpchQuery;
+using resource::ClusterConditions;
+using resource::ResourceConfig;
+
+cost::JoinCostModels SimModels() {
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  return *models;
+}
+
+optimizer::JoinContext Ctx(plan::JoinImpl impl, double left_gb,
+                           double right_gb) {
+  optimizer::JoinContext ctx;
+  ctx.impl = impl;
+  ctx.left_bytes = catalog::GbToBytes(left_gb);
+  ctx.right_bytes = catalog::GbToBytes(right_gb);
+  return ctx;
+}
+
+TEST(RaqoEvaluatorTest, PlansResourcesPerOperator) {
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault());
+  Result<optimizer::OperatorCost> cost =
+      eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 3, 30));
+  ASSERT_TRUE(cost.ok());
+  ASSERT_TRUE(cost->resources.has_value());
+  EXPECT_TRUE(ClusterConditions::PaperDefault().Contains(*cost->resources));
+  EXPECT_GT(eval.resource_configs_explored(), 1);
+}
+
+TEST(RaqoEvaluatorTest, HillClimbCheaperThanFixedDefault) {
+  // Resource-planned SMJ must be no worse than the same operator under an
+  // arbitrary fixed configuration — that is the point of RAQO.
+  RaqoCostEvaluator raqo(SimModels(), ClusterConditions::PaperDefault());
+  optimizer::FixedResourceEvaluator fixed(SimModels(),
+                                          ResourceConfig(2, 10));
+  auto planned = raqo.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 3, 30));
+  auto unplanned = fixed.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 3, 30));
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(unplanned.ok());
+  EXPECT_LE(planned->cost.seconds, unplanned->cost.seconds + 1e-9);
+}
+
+TEST(RaqoEvaluatorTest, BruteForceMatchesOrBeatsHillClimb) {
+  RaqoEvaluatorOptions brute_options;
+  brute_options.search = ResourceSearch::kBruteForce;
+  RaqoCostEvaluator brute(SimModels(), ClusterConditions::PaperDefault(),
+                          resource::PricingModel(), brute_options);
+  RaqoCostEvaluator hill(SimModels(), ClusterConditions::PaperDefault());
+  const auto ctx = Ctx(plan::JoinImpl::kBroadcastHashJoin, 2, 40);
+  auto b = brute.CostJoin(ctx);
+  auto h = hill.CostJoin(ctx);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(h.ok());
+  EXPECT_LE(b->cost.seconds, h->cost.seconds + 1e-9);
+  EXPECT_GT(brute.resource_configs_explored(),
+            hill.resource_configs_explored());
+}
+
+TEST(RaqoEvaluatorTest, BhjFeasibilityBoundary) {
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault());
+  // 50 GB build side fits no 10 GB container.
+  auto infeasible =
+      eval.CostJoin(Ctx(plan::JoinImpl::kBroadcastHashJoin, 50, 100));
+  ASSERT_FALSE(infeasible.ok());
+  EXPECT_TRUE(infeasible.status().IsResourceExhausted());
+  // 8 GB build side requires a large container; the chosen config must
+  // satisfy the capacity bound.
+  auto feasible =
+      eval.CostJoin(Ctx(plan::JoinImpl::kBroadcastHashJoin, 8, 100));
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_GE(feasible->resources->container_size_gb() *
+                eval.options().bhj_capacity_factor,
+            8.0 - 1e-9);
+}
+
+TEST(RaqoEvaluatorTest, CacheShortCircuitsRepeatedLookups) {
+  RaqoEvaluatorOptions options;
+  options.use_cache = true;
+  options.cache_mode = CacheLookupMode::kExact;
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault(),
+                         resource::PricingModel(), options);
+  const auto ctx = Ctx(plan::JoinImpl::kSortMergeJoin, 3, 30);
+  auto first = eval.CostJoin(ctx);
+  const int64_t after_first = eval.resource_configs_explored();
+  auto second = eval.CostJoin(ctx);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(eval.resource_configs_explored(), after_first);  // no new work
+  EXPECT_DOUBLE_EQ(first->cost.seconds, second->cost.seconds);
+  EXPECT_EQ(*first->resources, *second->resources);
+  EXPECT_EQ(eval.cache_stats().hits, 1);
+  EXPECT_EQ(eval.cache_stats().misses, 1);
+}
+
+TEST(RaqoEvaluatorTest, NearestNeighborCacheServesSimilarData) {
+  RaqoEvaluatorOptions options;
+  options.use_cache = true;
+  options.cache_mode = CacheLookupMode::kNearestNeighbor;
+  options.cache_threshold_gb = 0.1;
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault(),
+                         resource::PricingModel(), options);
+  ASSERT_TRUE(eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 3, 30)).ok());
+  const int64_t explored = eval.resource_configs_explored();
+  // 3.05 GB is within the 0.1 GB delta threshold of 3 GB.
+  auto near_hit =
+      eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 3.05, 30));
+  ASSERT_TRUE(near_hit.ok());
+  EXPECT_EQ(eval.resource_configs_explored(), explored);
+  EXPECT_EQ(eval.cache_stats().hits, 1);
+}
+
+TEST(RaqoEvaluatorTest, CacheSeparatesOperatorModels) {
+  RaqoEvaluatorOptions options;
+  options.use_cache = true;
+  options.cache_mode = CacheLookupMode::kExact;
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault(),
+                         resource::PricingModel(), options);
+  ASSERT_TRUE(eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 2, 30)).ok());
+  // Same data characteristics but the BHJ model: must be a miss.
+  ASSERT_TRUE(
+      eval.CostJoin(Ctx(plan::JoinImpl::kBroadcastHashJoin, 2, 30)).ok());
+  EXPECT_EQ(eval.cache_stats().hits, 0);
+  EXPECT_EQ(eval.cache_stats().misses, 2);
+}
+
+TEST(RaqoEvaluatorTest, UpdateClusterConditionsDropsCache) {
+  RaqoEvaluatorOptions options;
+  options.use_cache = true;
+  RaqoCostEvaluator eval(SimModels(), ClusterConditions::PaperDefault(),
+                         resource::PricingModel(), options);
+  ASSERT_TRUE(eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 2, 30)).ok());
+  EXPECT_GT(eval.cache_size(), 0u);
+  eval.UpdateClusterConditions(ClusterConditions::WithMax(5, 20));
+  EXPECT_EQ(eval.cache_size(), 0u);
+  auto cost = eval.CostJoin(Ctx(plan::JoinImpl::kSortMergeJoin, 2, 30));
+  ASSERT_TRUE(cost.ok());
+  EXPECT_TRUE(ClusterConditions::WithMax(5, 20).Contains(*cost->resources));
+}
+
+RaqoPlanner MakePlanner(const catalog::Catalog* cat,
+                        RaqoPlannerOptions options = RaqoPlannerOptions()) {
+  return RaqoPlanner(cat, SimModels(), ClusterConditions::PaperDefault(),
+                     resource::PricingModel(), options);
+}
+
+TEST(RaqoPlannerTest, PlanEmitsJointQueryResourcePlan) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlanner planner = MakePlanner(&cat);
+  std::vector<TableId> q3 = *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+  Result<JointPlan> joint = planner.Plan(q3);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_TRUE(plan::ValidatePlan(cat, *joint->plan, q3).ok());
+  // Every join of the emitted plan carries a resource request.
+  joint->plan->VisitJoins([](const plan::PlanNode& j) {
+    EXPECT_TRUE(j.resources().has_value());
+  });
+  EXPECT_GT(joint->stats.resource_configs_explored, 0);
+  EXPECT_GT(joint->cost.seconds, 0.0);
+}
+
+TEST(RaqoPlannerTest, RaqoBeatsFixedResourceBaseline) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlanner planner = MakePlanner(&cat);
+  std::vector<TableId> q3 = *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+  Result<JointPlan> joint = planner.Plan(q3);
+  ASSERT_TRUE(joint.ok());
+  for (const ResourceConfig& fixed :
+       {ResourceConfig(2, 10), ResourceConfig(5, 50),
+        ResourceConfig(10, 100)}) {
+    Result<JointPlan> baseline = planner.PlanForResources(q3, fixed);
+    ASSERT_TRUE(baseline.ok()) << fixed.ToString();
+    EXPECT_LE(joint->cost.seconds, baseline->cost.seconds + 1e-6)
+        << fixed.ToString();
+  }
+}
+
+TEST(RaqoPlannerTest, PlanForResourcesValidatesBudget) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlanner planner = MakePlanner(&cat);
+  std::vector<TableId> q12 =
+      *catalog::TpchQueryTables(cat, TpchQuery::kQ12);
+  EXPECT_FALSE(
+      planner.PlanForResources(q12, ResourceConfig(50, 10)).ok());
+}
+
+TEST(RaqoPlannerTest, PlanResourcesForPlanKeepsStructure) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlanner planner = MakePlanner(&cat);
+  std::vector<TableId> q3 = *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+  auto fixed_plan = *plan::BuildLeftDeep(q3, plan::JoinImpl::kSortMergeJoin);
+  Result<JointPlan> joint = planner.PlanResourcesForPlan(*fixed_plan);
+  ASSERT_TRUE(joint.ok());
+  EXPECT_TRUE(joint->plan->StructurallyEquals(*fixed_plan));
+  joint->plan->VisitJoins([](const plan::PlanNode& j) {
+    EXPECT_TRUE(j.resources().has_value());
+  });
+}
+
+TEST(RaqoPlannerTest, MoneyBudgetUseCase) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlannerOptions options;
+  options.algorithm = PlannerAlgorithm::kFastRandomized;
+  RaqoPlanner planner = MakePlanner(&cat, options);
+  std::vector<TableId> q3 = *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+  Result<optimizer::MultiObjectiveResult> frontier = planner.PlanFrontier(q3);
+  ASSERT_TRUE(frontier.ok());
+  ASSERT_FALSE(frontier->frontier.empty());
+  const double cheapest = frontier->CheapestEntry()->cost.dollars;
+  // A generous budget admits a plan...
+  Result<JointPlan> affordable =
+      planner.PlanForMoneyBudget(q3, cheapest * 10);
+  ASSERT_TRUE(affordable.ok());
+  EXPECT_LE(affordable->cost.dollars, cheapest * 10);
+  // ...an impossible budget does not.
+  Result<JointPlan> impossible =
+      planner.PlanForMoneyBudget(q3, cheapest * 0.01);
+  ASSERT_FALSE(impossible.ok());
+  EXPECT_TRUE(impossible.status().IsNotFound());
+  EXPECT_FALSE(planner.PlanForMoneyBudget(q3, -1.0).ok());
+}
+
+TEST(RaqoPlannerTest, BothAlgorithmsProduceComparablePlans) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  std::vector<TableId> tables =
+      *catalog::TpchQueryTables(cat, TpchQuery::kAll);
+  RaqoPlannerOptions selinger;
+  selinger.algorithm = PlannerAlgorithm::kSelinger;
+  RaqoPlannerOptions randomized;
+  randomized.algorithm = PlannerAlgorithm::kFastRandomized;
+  randomized.randomized.iterations = 15;
+  RaqoPlanner a = MakePlanner(&cat, selinger);
+  RaqoPlanner b = MakePlanner(&cat, randomized);
+  Result<JointPlan> pa = a.Plan(tables);
+  Result<JointPlan> pb = b.Plan(tables);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  // The randomized planner explores bushy plans too, so either may win,
+  // but they should be in the same ballpark.
+  EXPECT_LT(pb->cost.seconds, pa->cost.seconds * 2.0);
+  EXPECT_LT(pa->cost.seconds, pb->cost.seconds * 2.0);
+}
+
+TEST(RaqoPlannerTest, AdaptiveReplanningOnClusterChange) {
+  // Adaptive RAQO (Section VIII): when the cluster shrinks, replanning
+  // the same query yields resource requests that fit the new conditions.
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  RaqoPlanner planner = MakePlanner(&cat);
+  std::vector<TableId> q12 =
+      *catalog::TpchQueryTables(cat, TpchQuery::kQ12);
+  Result<JointPlan> before = planner.Plan(q12);
+  ASSERT_TRUE(before.ok());
+  planner.UpdateClusterConditions(ClusterConditions::WithMax(3, 10));
+  Result<JointPlan> after = planner.Plan(q12);
+  ASSERT_TRUE(after.ok());
+  after->plan->VisitJoins([](const plan::PlanNode& j) {
+    ASSERT_TRUE(j.resources().has_value());
+    EXPECT_TRUE(ClusterConditions::WithMax(3, 10).Contains(*j.resources()));
+  });
+  // A busier (smaller) cluster cannot make the query faster.
+  EXPECT_GE(after->cost.seconds, before->cost.seconds - 1e-9);
+}
+
+TEST(RaqoPlannerTest, CacheReducesResourceIterationsAcrossJoins) {
+  // TPC-H All has several joins with similar smaller-input sizes; with
+  // nearest-neighbor caching the planner should explore fewer
+  // configurations.
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  std::vector<TableId> tables =
+      *catalog::TpchQueryTables(cat, TpchQuery::kAll);
+  RaqoPlannerOptions no_cache;
+  RaqoPlannerOptions with_cache;
+  with_cache.evaluator.use_cache = true;
+  with_cache.evaluator.cache_mode = CacheLookupMode::kNearestNeighbor;
+  with_cache.evaluator.cache_threshold_gb = 0.1;
+  RaqoPlanner a = MakePlanner(&cat, no_cache);
+  RaqoPlanner b = MakePlanner(&cat, with_cache);
+  Result<JointPlan> pa = a.Plan(tables);
+  Result<JointPlan> pb = b.Plan(tables);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_LT(pb->stats.resource_configs_explored,
+            pa->stats.resource_configs_explored);
+  EXPECT_GT(pb->stats.cache_hits, 0);
+}
+
+TEST(RaqoPlannerTest, AlgorithmNames) {
+  EXPECT_STREQ(PlannerAlgorithmName(PlannerAlgorithm::kSelinger),
+               "Selinger");
+  EXPECT_STREQ(PlannerAlgorithmName(PlannerAlgorithm::kFastRandomized),
+               "FastRandomized");
+}
+
+}  // namespace
+}  // namespace raqo::core

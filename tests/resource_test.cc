@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "resource/cluster_conditions.h"
+#include "resource/pricing.h"
+#include "resource/resource_config.h"
+
+namespace raqo::resource {
+namespace {
+
+TEST(ResourceConfigTest, AccessorsAndDims) {
+  ResourceConfig c(4.0, 20.0);
+  EXPECT_DOUBLE_EQ(c.container_size_gb(), 4.0);
+  EXPECT_DOUBLE_EQ(c.num_containers(), 20.0);
+  EXPECT_DOUBLE_EQ(c.dim(kContainerSizeGb), 4.0);
+  EXPECT_DOUBLE_EQ(c.dim(kNumContainers), 20.0);
+  EXPECT_DOUBLE_EQ(c.total_memory_gb(), 80.0);
+  c.set_dim(kContainerSizeGb, 8.0);
+  EXPECT_DOUBLE_EQ(c.container_size_gb(), 8.0);
+}
+
+TEST(ResourceConfigTest, Equality) {
+  EXPECT_EQ(ResourceConfig(2, 3), ResourceConfig(2, 3));
+  EXPECT_FALSE(ResourceConfig(2, 3) == ResourceConfig(3, 2));
+}
+
+TEST(ResourceConfigTest, ToStringMentionsBothDims) {
+  const std::string s = ResourceConfig(3, 40).ToString();
+  EXPECT_NE(s.find("3"), std::string::npos);
+  EXPECT_NE(s.find("40"), std::string::npos);
+}
+
+TEST(ClusterConditionsTest, PaperDefaultGrid) {
+  ClusterConditions c = ClusterConditions::PaperDefault();
+  EXPECT_DOUBLE_EQ(c.min().container_size_gb(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max().container_size_gb(), 10.0);
+  EXPECT_DOUBLE_EQ(c.max().num_containers(), 100.0);
+  EXPECT_EQ(c.GridPoints(kContainerSizeGb), 10);
+  EXPECT_EQ(c.GridPoints(kNumContainers), 100);
+  EXPECT_EQ(c.TotalGridSize(), 1000);
+}
+
+TEST(ClusterConditionsTest, CreateValidates) {
+  EXPECT_FALSE(ClusterConditions::Create(ResourceConfig(0, 1),
+                                         ResourceConfig(10, 10),
+                                         ResourceConfig(1, 1))
+                   .ok());
+  EXPECT_FALSE(ClusterConditions::Create(ResourceConfig(5, 1),
+                                         ResourceConfig(4, 10),
+                                         ResourceConfig(1, 1))
+                   .ok());
+  EXPECT_FALSE(ClusterConditions::Create(ResourceConfig(1, 1),
+                                         ResourceConfig(4, 10),
+                                         ResourceConfig(0, 1))
+                   .ok());
+  EXPECT_TRUE(ClusterConditions::Create(ResourceConfig(1, 1),
+                                        ResourceConfig(4, 10),
+                                        ResourceConfig(1, 1))
+                  .ok());
+}
+
+TEST(ClusterConditionsTest, ContainsAndClamp) {
+  ClusterConditions c = ClusterConditions::PaperDefault();
+  EXPECT_TRUE(c.Contains(ResourceConfig(1, 1)));
+  EXPECT_TRUE(c.Contains(ResourceConfig(10, 100)));
+  EXPECT_FALSE(c.Contains(ResourceConfig(11, 100)));
+  EXPECT_FALSE(c.Contains(ResourceConfig(10, 101)));
+  EXPECT_FALSE(c.Contains(ResourceConfig(0.5, 5)));
+  EXPECT_EQ(c.Clamp(ResourceConfig(999, 0)), ResourceConfig(10, 1));
+}
+
+TEST(ClusterConditionsTest, SnapToGrid) {
+  ClusterConditions c = ClusterConditions::PaperDefault();
+  EXPECT_EQ(c.SnapToGrid(ResourceConfig(3.4, 17.6)), ResourceConfig(3, 18));
+  EXPECT_EQ(c.SnapToGrid(ResourceConfig(3.5, 17.5)), ResourceConfig(4, 18));
+  EXPECT_EQ(c.SnapToGrid(ResourceConfig(-5, 1000)), ResourceConfig(1, 100));
+}
+
+TEST(ClusterConditionsTest, ForEachConfigVisitsWholeGrid) {
+  ClusterConditions c = ClusterConditions::WithMax(3, 4);
+  int count = 0;
+  double sum_cs = 0;
+  const int64_t visited = c.ForEachConfig([&](const ResourceConfig& cfg) {
+    ++count;
+    sum_cs += cfg.container_size_gb();
+    EXPECT_TRUE(c.Contains(cfg));
+    return true;
+  });
+  EXPECT_EQ(count, 12);
+  EXPECT_EQ(visited, 12);
+  EXPECT_DOUBLE_EQ(sum_cs, (1 + 2 + 3) * 4.0);
+}
+
+TEST(ClusterConditionsTest, ForEachConfigEarlyStop) {
+  ClusterConditions c = ClusterConditions::WithMax(10, 10);
+  int count = 0;
+  const int64_t visited = c.ForEachConfig([&](const ResourceConfig&) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(ClusterConditionsTest, ScalesTo100kContainers) {
+  // The paper's largest cluster: 100K containers of up to 100 GB.
+  ClusterConditions c = ClusterConditions::WithMax(100, 100'000);
+  EXPECT_EQ(c.TotalGridSize(), 10'000'000);
+  EXPECT_TRUE(c.Contains(ResourceConfig(100, 100'000)));
+}
+
+TEST(PricingTest, CostIsMemoryTimesTime) {
+  PricingModel pricing(0.05);
+  // 10 GB x 2 containers = 20 GB held for 30 minutes = 10 GB-hours.
+  EXPECT_NEAR(pricing.Cost(ResourceConfig(10, 2), 1800.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pricing.Cost(ResourceConfig(10, 2), 0.0), 0.0);
+}
+
+TEST(PricingTest, TerabyteSeconds) {
+  // 1024 GB for 10 seconds = 10 TB*s.
+  EXPECT_DOUBLE_EQ(PricingModel::TerabyteSeconds(ResourceConfig(10.24, 100),
+                                                 10.0),
+                   10.0);
+}
+
+TEST(PricingTest, MonotoneInResources) {
+  PricingModel pricing;
+  const double small = pricing.Cost(ResourceConfig(2, 10), 100);
+  const double large = pricing.Cost(ResourceConfig(4, 10), 100);
+  EXPECT_LT(small, large);
+}
+
+}  // namespace
+}  // namespace raqo::resource

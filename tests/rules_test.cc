@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "rules/dataset.h"
+#include "rules/decision_tree.h"
+#include "rules/rule_based.h"
+#include "rules/switch_points.h"
+#include "sim/engine_profile.h"
+
+namespace raqo::rules {
+namespace {
+
+Dataset TwoClassToy() {
+  // Separable on feature 0 at 5.0.
+  Dataset d;
+  d.feature_names = {"x", "y"};
+  d.class_names = {"A", "B"};
+  d.rows = {{1, 0}, {2, 9}, {3, 1}, {4, 8}, {6, 0}, {7, 9}, {8, 2}, {9, 7}};
+  d.labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  return d;
+}
+
+TEST(DatasetTest, ValidateCatchesProblems) {
+  Dataset d = TwoClassToy();
+  EXPECT_TRUE(d.Validate().ok());
+  Dataset no_features = d;
+  no_features.feature_names.clear();
+  EXPECT_FALSE(no_features.Validate().ok());
+  Dataset bad_label = d;
+  bad_label.labels[0] = 7;
+  EXPECT_FALSE(bad_label.Validate().ok());
+  Dataset ragged = d;
+  ragged.rows[0].push_back(1.0);
+  EXPECT_FALSE(ragged.Validate().ok());
+  Dataset mismatch = d;
+  mismatch.labels.pop_back();
+  EXPECT_FALSE(mismatch.Validate().ok());
+}
+
+TEST(DecisionTreeTest, LearnsSeparableSplit) {
+  Result<DecisionTree> tree = DecisionTree::Fit(TwoClassToy());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NodeCount(), 3);
+  EXPECT_EQ(tree->LeafCount(), 2);
+  EXPECT_EQ(tree->MaxPathLength(), 1);
+  EXPECT_DOUBLE_EQ(tree->Accuracy(TwoClassToy()), 1.0);
+  EXPECT_EQ(tree->Predict({2.0, 5.0}), 0);
+  EXPECT_EQ(tree->Predict({8.5, 5.0}), 1);
+  // The root split should be on feature 0 near 5.
+  EXPECT_EQ(tree->nodes()[0].feature, 0);
+  EXPECT_NEAR(tree->nodes()[0].threshold, 5.0, 1.0);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  Dataset d;
+  d.feature_names = {"x"};
+  d.class_names = {"A", "B"};
+  d.rows = {{1}, {2}, {3}};
+  d.labels = {0, 0, 0};
+  Result<DecisionTree> tree = DecisionTree::Fit(d);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NodeCount(), 1);
+  EXPECT_EQ(tree->Predict({9}), 0);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  // XOR-ish data needs depth 2; cap at 1.
+  Dataset d;
+  d.feature_names = {"x", "y"};
+  d.class_names = {"A", "B"};
+  d.rows = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  d.labels = {0, 1, 1, 0};
+  TreeParams params;
+  params.max_depth = 1;
+  Result<DecisionTree> tree = DecisionTree::Fit(d, params);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->MaxPathLength(), 1);
+  params.max_depth = 4;
+  Result<DecisionTree> deep = DecisionTree::Fit(d, params);
+  ASSERT_TRUE(deep.ok());
+  EXPECT_DOUBLE_EQ(deep->Accuracy(d), 1.0);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset d = TwoClassToy();
+  TreeParams params;
+  params.min_samples_leaf = 4;
+  Result<DecisionTree> tree = DecisionTree::Fit(d, params);
+  ASSERT_TRUE(tree.ok());
+  for (const auto& node : tree->nodes()) {
+    if (node.is_leaf()) {
+      EXPECT_GE(node.samples, 4);
+    }
+  }
+}
+
+TEST(DecisionTreeTest, UnsplittableDataStaysLeaf) {
+  // Identical features, conflicting labels: no valid split exists.
+  Dataset d;
+  d.feature_names = {"x"};
+  d.class_names = {"A", "B"};
+  d.rows = {{1}, {1}, {1}, {1}};
+  d.labels = {0, 1, 0, 1};
+  Result<DecisionTree> tree = DecisionTree::Fit(d);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NodeCount(), 1);
+}
+
+TEST(DecisionTreeTest, NodeStatisticsConsistent) {
+  Result<DecisionTree> tree = DecisionTree::Fit(TwoClassToy());
+  ASSERT_TRUE(tree.ok());
+  const auto& root = tree->nodes()[0];
+  EXPECT_EQ(root.samples, 8);
+  EXPECT_EQ(root.class_counts, (std::vector<int>{4, 4}));
+  EXPECT_DOUBLE_EQ(root.gini, 0.5);
+}
+
+TEST(DecisionTreeTest, ToTextRendersPaperStyle) {
+  Result<DecisionTree> tree = DecisionTree::Fit(TwoClassToy());
+  ASSERT_TRUE(tree.ok());
+  const std::string text = tree->ToText();
+  EXPECT_NE(text.find("gini="), std::string::npos);
+  EXPECT_NE(text.find("samples=8"), std::string::npos);
+  EXPECT_NE(text.find("value=[4, 4]"), std::string::npos);
+  EXPECT_NE(text.find("x <= "), std::string::npos);
+}
+
+TEST(DecisionTreeTest, PessimisticPruneCollapsesNoisySubtrees) {
+  // One mislabeled point inside an otherwise pure region: the unpruned
+  // tree memorizes it; pruning should collapse the noisy subtree.
+  Dataset d;
+  d.feature_names = {"x"};
+  d.class_names = {"A", "B"};
+  for (int i = 0; i < 20; ++i) {
+    d.rows.push_back({static_cast<double>(i)});
+    d.labels.push_back(i < 10 ? 0 : 1);
+  }
+  d.rows.push_back({3.5});
+  d.labels.push_back(1);  // noise
+  Result<DecisionTree> tree = DecisionTree::Fit(d);
+  ASSERT_TRUE(tree.ok());
+  const int before = tree->NodeCount();
+  const int pruned = tree->PessimisticPrune();
+  EXPECT_GT(pruned, 0);
+  EXPECT_LT(tree->NodeCount(), before);
+  // Still classifies the bulk correctly.
+  EXPECT_EQ(tree->Predict({2.0}), 0);
+  EXPECT_EQ(tree->Predict({15.0}), 1);
+}
+
+TEST(DecisionTreeTest, PruneKeepsPerfectTreeIntact) {
+  Result<DecisionTree> tree = DecisionTree::Fit(TwoClassToy());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->PessimisticPrune(), 0);
+  EXPECT_EQ(tree->NodeCount(), 3);
+}
+
+TEST(DecisionTreeTest, FitRejectsBadInput) {
+  Dataset d = TwoClassToy();
+  TreeParams params;
+  params.max_depth = -1;
+  EXPECT_FALSE(DecisionTree::Fit(d, params).ok());
+  params = TreeParams();
+  params.min_samples_leaf = 0;
+  EXPECT_FALSE(DecisionTree::Fit(d, params).ok());
+  Dataset empty;
+  empty.feature_names = {"x"};
+  empty.class_names = {"A", "B"};
+  EXPECT_FALSE(DecisionTree::Fit(empty).ok());
+}
+
+TEST(SwitchPointTest, HiveSwitchGrowsWithContainerSize) {
+  // Figure 4(a): larger containers push the BHJ/SMJ switch point to
+  // larger build sides (3.4 GB at 3 GB containers, ~6.4 GB at 9 GB).
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  SwitchPointQuery q3;
+  q3.container_size_gb = 3.0;
+  q3.num_containers = 10;
+  SwitchPointQuery q9 = q3;
+  q9.container_size_gb = 9.0;
+  Result<double> s3 = FindSwitchPointGb(hive, q3);
+  Result<double> s9 = FindSwitchPointGb(hive, q9);
+  ASSERT_TRUE(s3.ok());
+  ASSERT_TRUE(s9.ok());
+  EXPECT_GT(*s9, *s3);
+  EXPECT_NEAR(*s3, 3.4, 0.8);
+  EXPECT_NEAR(*s9, 6.4, 2.0);
+}
+
+TEST(SwitchPointTest, SparkSwitchesInMbRange) {
+  // Figure 9(b): Spark's switch points sit in the hundreds of MB.
+  const sim::EngineProfile spark = sim::EngineProfile::Spark();
+  SwitchPointQuery q;
+  q.container_size_gb = 5.0;
+  q.num_containers = 10;
+  q.larger_gb = 20.0;
+  Result<double> s = FindSwitchPointGb(spark, q, 4.0, 0.005);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(*s, 0.05);
+  EXPECT_LT(*s, 1.5);
+}
+
+TEST(SwitchPointTest, RejectsBadBounds) {
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  SwitchPointQuery q;
+  EXPECT_FALSE(FindSwitchPointGb(hive, q, -1.0).ok());
+  EXPECT_FALSE(FindSwitchPointGb(hive, q, 1.0, 0.0).ok());
+}
+
+TEST(SwitchPointTest, DatasetLabelsMatchSimulator) {
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  JoinChoiceGrid grid;
+  grid.data_gb = {0.5, 5.0};
+  grid.container_gb = {3.0, 9.0};
+  grid.containers = {10};
+  grid.reducers = {200};
+  Result<Dataset> data = BuildJoinChoiceDataset(hive, grid);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(data->Validate().ok());
+  EXPECT_EQ(data->num_rows(), 4u);
+  // Tiny build side: BHJ must win everywhere.
+  // (rows are ordered data_gb x container_gb)
+  EXPECT_EQ(data->labels[0], kClassBhj);  // 0.5 GB, 3 GB containers
+  // 5 GB build into 3 GB containers is OOM: SMJ.
+  EXPECT_EQ(data->labels[2], kClassSmj);
+}
+
+TEST(RuleBasedTest, DefaultRuleIgnoresResources) {
+  DefaultRulePolicy rule(10.0);
+  const resource::ResourceConfig small(1, 1);
+  const resource::ResourceConfig huge(100, 1000);
+  EXPECT_EQ(rule.Choose(0.005, small, 0),
+            plan::JoinImpl::kBroadcastHashJoin);
+  EXPECT_EQ(rule.Choose(0.005, huge, 0),
+            plan::JoinImpl::kBroadcastHashJoin);
+  EXPECT_EQ(rule.Choose(0.02, small, 0), plan::JoinImpl::kSortMergeJoin);
+  EXPECT_EQ(rule.Choose(0.02, huge, 0), plan::JoinImpl::kSortMergeJoin);
+}
+
+TEST(RuleBasedTest, DefaultTreeIsSingleSplit) {
+  Result<DecisionTree> tree =
+      BuildDefaultRuleTree(sim::EngineProfile::Hive());
+  ASSERT_TRUE(tree.ok());
+  // Figure 10: one split on data size, two leaves.
+  EXPECT_EQ(tree->NodeCount(), 3);
+  EXPECT_EQ(tree->MaxPathLength(), 1);
+  EXPECT_EQ(tree->nodes()[0].feature, kFeatureDataGb);
+  EXPECT_NEAR(tree->nodes()[0].threshold, 10.0 / 1024.0, 0.01);
+}
+
+TEST(RuleBasedTest, RaqoPolicyIsResourceAware) {
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  JoinChoiceGrid grid;  // default grid
+  Result<DecisionTreePolicy> policy = TrainRaqoPolicy(hive, grid);
+  ASSERT_TRUE(policy.ok());
+  // A mid-size build side: broadcast into big containers, shuffle into
+  // small ones — the decision must flip with the resources.
+  const double ss = 5.0;
+  const plan::JoinImpl with_small =
+      policy->Choose(ss, resource::ResourceConfig(2, 10), 200);
+  const plan::JoinImpl with_big =
+      policy->Choose(ss, resource::ResourceConfig(10, 10), 200);
+  EXPECT_EQ(with_small, plan::JoinImpl::kSortMergeJoin);
+  EXPECT_EQ(with_big, plan::JoinImpl::kBroadcastHashJoin);
+}
+
+TEST(RuleBasedTest, RaqoTreeFitsTrainingGridWell) {
+  const sim::EngineProfile hive = sim::EngineProfile::Hive();
+  Result<Dataset> data = BuildJoinChoiceDataset(hive, JoinChoiceGrid());
+  ASSERT_TRUE(data.ok());
+  Result<DecisionTree> tree = DecisionTree::Fit(*data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->Accuracy(*data), 0.97);
+  // The tree must actually branch on resources, not only on data size
+  // (that is the whole point of rule-based RAQO).
+  bool uses_resources = false;
+  for (const auto& node : tree->nodes()) {
+    if (!node.is_leaf() && node.feature != kFeatureDataGb) {
+      uses_resources = true;
+    }
+  }
+  EXPECT_TRUE(uses_resources);
+}
+
+}  // namespace
+}  // namespace raqo::rules

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "trace/queue_sim.h"
+#include "trace/workload.h"
+
+namespace raqo::trace {
+namespace {
+
+TEST(WorkloadTest, GeneratesSortedArrivals) {
+  WorkloadOptions options;
+  options.num_jobs = 500;
+  Result<std::vector<JobSpec>> jobs = GenerateWorkload(options);
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 500u);
+  for (size_t i = 1; i < jobs->size(); ++i) {
+    EXPECT_GE((*jobs)[i].arrival_s, (*jobs)[i - 1].arrival_s);
+  }
+  for (const JobSpec& j : *jobs) {
+    EXPECT_GT(j.runtime_s, 0.0);
+    EXPECT_GE(j.containers, 1);
+    EXPECT_LE(j.containers, options.max_containers);
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadOptions options;
+  options.num_jobs = 100;
+  auto a = *GenerateWorkload(options);
+  auto b = *GenerateWorkload(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_DOUBLE_EQ(a[i].runtime_s, b[i].runtime_s);
+    EXPECT_EQ(a[i].containers, b[i].containers);
+  }
+}
+
+TEST(WorkloadTest, RejectsBadOptions) {
+  WorkloadOptions options;
+  options.num_jobs = 0;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+  options = WorkloadOptions();
+  options.cluster_capacity = 0;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+  options = WorkloadOptions();
+  options.offered_load = -1;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+}
+
+TEST(QueueSimTest, UncontendedJobsStartImmediately) {
+  std::vector<JobSpec> jobs = {
+      {0.0, 10.0, 1},
+      {100.0, 10.0, 1},
+  };
+  Result<std::vector<JobOutcome>> out = SimulateFifoQueue(jobs, 10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0].queue_time_s(), 0.0);
+  EXPECT_DOUBLE_EQ((*out)[1].queue_time_s(), 0.0);
+}
+
+TEST(QueueSimTest, CapacityForcesQueueing) {
+  // Two jobs each needing the whole cluster, arriving together.
+  std::vector<JobSpec> jobs = {
+      {0.0, 10.0, 10},
+      {0.0, 10.0, 10},
+  };
+  Result<std::vector<JobOutcome>> out = SimulateFifoQueue(jobs, 10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ((*out)[1].start_s, 10.0);
+  EXPECT_DOUBLE_EQ((*out)[1].queue_to_runtime_ratio(), 1.0);
+}
+
+TEST(QueueSimTest, FifoOrderRespected) {
+  // A small job behind a big one must wait (strict FIFO, no backfill).
+  std::vector<JobSpec> jobs = {
+      {0.0, 100.0, 8},
+      {1.0, 1.0, 8},   // cannot fit alongside job 0
+      {2.0, 1.0, 1},   // would fit, but FIFO holds it behind job 1
+  };
+  Result<std::vector<JobOutcome>> out = SimulateFifoQueue(jobs, 10);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[1].start_s, 100.0);
+  EXPECT_GE((*out)[2].start_s, (*out)[1].start_s);
+}
+
+TEST(QueueSimTest, ValidatesInput) {
+  EXPECT_FALSE(SimulateFifoQueue({{0, 1, 1}}, 0).ok());
+  EXPECT_FALSE(SimulateFifoQueue({{0, -1, 1}}, 10).ok());
+  EXPECT_FALSE(SimulateFifoQueue({{0, 1, 11}}, 10).ok());
+  // Unsorted arrivals rejected.
+  EXPECT_FALSE(SimulateFifoQueue({{5, 1, 1}, {0, 1, 1}}, 10).ok());
+}
+
+TEST(QueueSimTest, Figure1ShapeReproduced) {
+  // The paper's headline statistics: >80% of jobs wait at least as long
+  // as they run; >20% wait at least 4x their runtime.
+  WorkloadOptions options;  // defaults are calibrated for Figure 1
+  Result<EmpiricalCdf> cdf = QueueRuntimeRatioCdf(options);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_GT(cdf->FractionAtOrAbove(1.0), 0.8);
+  EXPECT_GT(cdf->FractionAtOrAbove(4.0), 0.2);
+}
+
+TEST(QueueSimTest, LightLoadHasLittleQueueing) {
+  WorkloadOptions options;
+  options.offered_load = 0.3;
+  options.num_jobs = 5'000;
+  Result<EmpiricalCdf> cdf = QueueRuntimeRatioCdf(options);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_LT(cdf->FractionAtOrAbove(1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace raqo::trace
