@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_planners"
+  "../bench/ablation_planners.pdb"
+  "CMakeFiles/ablation_planners.dir/ablation_planners.cc.o"
+  "CMakeFiles/ablation_planners.dir/ablation_planners.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_queue_cdf"
+  "../bench/fig01_queue_cdf.pdb"
+  "CMakeFiles/fig01_queue_cdf.dir/fig01_queue_cdf.cc.o"
+  "CMakeFiles/fig01_queue_cdf.dir/fig01_queue_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_queue_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

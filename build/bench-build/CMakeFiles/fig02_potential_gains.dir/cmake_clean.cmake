@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_potential_gains"
+  "../bench/fig02_potential_gains.pdb"
+  "CMakeFiles/fig02_potential_gains.dir/fig02_potential_gains.cc.o"
+  "CMakeFiles/fig02_potential_gains.dir/fig02_potential_gains.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_potential_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

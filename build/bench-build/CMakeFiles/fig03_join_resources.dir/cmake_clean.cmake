@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_join_resources"
+  "../bench/fig03_join_resources.pdb"
+  "CMakeFiles/fig03_join_resources.dir/fig03_join_resources.cc.o"
+  "CMakeFiles/fig03_join_resources.dir/fig03_join_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_join_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

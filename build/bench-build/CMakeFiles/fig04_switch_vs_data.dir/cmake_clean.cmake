@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_switch_vs_data"
+  "../bench/fig04_switch_vs_data.pdb"
+  "CMakeFiles/fig04_switch_vs_data.dir/fig04_switch_vs_data.cc.o"
+  "CMakeFiles/fig04_switch_vs_data.dir/fig04_switch_vs_data.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_switch_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

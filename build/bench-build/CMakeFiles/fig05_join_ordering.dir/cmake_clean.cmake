@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_join_ordering"
+  "../bench/fig05_join_ordering.pdb"
+  "CMakeFiles/fig05_join_ordering.dir/fig05_join_ordering.cc.o"
+  "CMakeFiles/fig05_join_ordering.dir/fig05_join_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_join_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_monetary"
+  "../bench/fig06_monetary.pdb"
+  "CMakeFiles/fig06_monetary.dir/fig06_monetary.cc.o"
+  "CMakeFiles/fig06_monetary.dir/fig06_monetary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_monetary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_monetary_switch"
+  "../bench/fig07_monetary_switch.pdb"
+  "CMakeFiles/fig07_monetary_switch.dir/fig07_monetary_switch.cc.o"
+  "CMakeFiles/fig07_monetary_switch.dir/fig07_monetary_switch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_monetary_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_switch_space"
+  "../bench/fig09_switch_space.pdb"
+  "CMakeFiles/fig09_switch_space.dir/fig09_switch_space.cc.o"
+  "CMakeFiles/fig09_switch_space.dir/fig09_switch_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_switch_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

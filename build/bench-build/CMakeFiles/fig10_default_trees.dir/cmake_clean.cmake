@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_default_trees"
+  "../bench/fig10_default_trees.pdb"
+  "CMakeFiles/fig10_default_trees.dir/fig10_default_trees.cc.o"
+  "CMakeFiles/fig10_default_trees.dir/fig10_default_trees.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_default_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

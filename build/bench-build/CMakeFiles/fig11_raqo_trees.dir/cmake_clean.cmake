@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_raqo_trees"
+  "../bench/fig11_raqo_trees.pdb"
+  "CMakeFiles/fig11_raqo_trees.dir/fig11_raqo_trees.cc.o"
+  "CMakeFiles/fig11_raqo_trees.dir/fig11_raqo_trees.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_raqo_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_raqo_planning"
+  "../bench/fig12_raqo_planning.pdb"
+  "CMakeFiles/fig12_raqo_planning.dir/fig12_raqo_planning.cc.o"
+  "CMakeFiles/fig12_raqo_planning.dir/fig12_raqo_planning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_raqo_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_hillclimb"
+  "../bench/fig13_hillclimb.pdb"
+  "CMakeFiles/fig13_hillclimb.dir/fig13_hillclimb.cc.o"
+  "CMakeFiles/fig13_hillclimb.dir/fig13_hillclimb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hillclimb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_caching"
+  "../bench/fig14_caching.pdb"
+  "CMakeFiles/fig14_caching.dir/fig14_caching.cc.o"
+  "CMakeFiles/fig14_caching.dir/fig14_caching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_scalability"
+  "../bench/fig15_scalability.pdb"
+  "CMakeFiles/fig15_scalability.dir/fig15_scalability.cc.o"
+  "CMakeFiles/fig15_scalability.dir/fig15_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/workload_session"
+  "../bench/workload_session.pdb"
+  "CMakeFiles/workload_session.dir/workload_session.cc.o"
+  "CMakeFiles/workload_session.dir/workload_session.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

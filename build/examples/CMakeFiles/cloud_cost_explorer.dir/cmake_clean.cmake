@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_cost_explorer.dir/cloud_cost_explorer.cpp.o"
+  "CMakeFiles/cloud_cost_explorer.dir/cloud_cost_explorer.cpp.o.d"
+  "cloud_cost_explorer"
+  "cloud_cost_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_cost_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_fallback.dir/scheduler_fallback.cpp.o"
+  "CMakeFiles/scheduler_fallback.dir/scheduler_fallback.cpp.o.d"
+  "scheduler_fallback"
+  "scheduler_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("resource")
+subdirs("catalog")
+subdirs("query")
+subdirs("plan")
+subdirs("cost")
+subdirs("sim")
+subdirs("trace")
+subdirs("rules")
+subdirs("optimizer")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_catalog.dir/catalog.cc.o"
+  "CMakeFiles/raqo_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/raqo_catalog.dir/join_graph.cc.o"
+  "CMakeFiles/raqo_catalog.dir/join_graph.cc.o.d"
+  "CMakeFiles/raqo_catalog.dir/random_schema.cc.o"
+  "CMakeFiles/raqo_catalog.dir/random_schema.cc.o.d"
+  "CMakeFiles/raqo_catalog.dir/tpch.cc.o"
+  "CMakeFiles/raqo_catalog.dir/tpch.cc.o.d"
+  "libraqo_catalog.a"
+  "libraqo_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_common.dir/matrix.cc.o"
+  "CMakeFiles/raqo_common.dir/matrix.cc.o.d"
+  "CMakeFiles/raqo_common.dir/regression.cc.o"
+  "CMakeFiles/raqo_common.dir/regression.cc.o.d"
+  "CMakeFiles/raqo_common.dir/rng.cc.o"
+  "CMakeFiles/raqo_common.dir/rng.cc.o.d"
+  "CMakeFiles/raqo_common.dir/stats.cc.o"
+  "CMakeFiles/raqo_common.dir/stats.cc.o.d"
+  "CMakeFiles/raqo_common.dir/status.cc.o"
+  "CMakeFiles/raqo_common.dir/status.cc.o.d"
+  "CMakeFiles/raqo_common.dir/strings.cc.o"
+  "CMakeFiles/raqo_common.dir/strings.cc.o.d"
+  "libraqo_common.a"
+  "libraqo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/raqo_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/container_reuse.cc" "src/core/CMakeFiles/raqo_core.dir/container_reuse.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/container_reuse.cc.o.d"
+  "/root/repo/src/core/csb_tree.cc" "src/core/CMakeFiles/raqo_core.dir/csb_tree.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/csb_tree.cc.o.d"
+  "/root/repo/src/core/parametric.cc" "src/core/CMakeFiles/raqo_core.dir/parametric.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/parametric.cc.o.d"
+  "/root/repo/src/core/plan_cache.cc" "src/core/CMakeFiles/raqo_core.dir/plan_cache.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/plan_cache.cc.o.d"
+  "/root/repo/src/core/raqo_cost_evaluator.cc" "src/core/CMakeFiles/raqo_core.dir/raqo_cost_evaluator.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/raqo_cost_evaluator.cc.o.d"
+  "/root/repo/src/core/raqo_planner.cc" "src/core/CMakeFiles/raqo_core.dir/raqo_planner.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/raqo_planner.cc.o.d"
+  "/root/repo/src/core/resource_planner.cc" "src/core/CMakeFiles/raqo_core.dir/resource_planner.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/resource_planner.cc.o.d"
+  "/root/repo/src/core/robust.cc" "src/core/CMakeFiles/raqo_core.dir/robust.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/robust.cc.o.d"
+  "/root/repo/src/core/search_space.cc" "src/core/CMakeFiles/raqo_core.dir/search_space.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/search_space.cc.o.d"
+  "/root/repo/src/core/workload_runner.cc" "src/core/CMakeFiles/raqo_core.dir/workload_runner.cc.o" "gcc" "src/core/CMakeFiles/raqo_core.dir/workload_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/raqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/raqo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/raqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_core.dir/adaptive.cc.o"
+  "CMakeFiles/raqo_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/raqo_core.dir/container_reuse.cc.o"
+  "CMakeFiles/raqo_core.dir/container_reuse.cc.o.d"
+  "CMakeFiles/raqo_core.dir/csb_tree.cc.o"
+  "CMakeFiles/raqo_core.dir/csb_tree.cc.o.d"
+  "CMakeFiles/raqo_core.dir/parametric.cc.o"
+  "CMakeFiles/raqo_core.dir/parametric.cc.o.d"
+  "CMakeFiles/raqo_core.dir/plan_cache.cc.o"
+  "CMakeFiles/raqo_core.dir/plan_cache.cc.o.d"
+  "CMakeFiles/raqo_core.dir/raqo_cost_evaluator.cc.o"
+  "CMakeFiles/raqo_core.dir/raqo_cost_evaluator.cc.o.d"
+  "CMakeFiles/raqo_core.dir/raqo_planner.cc.o"
+  "CMakeFiles/raqo_core.dir/raqo_planner.cc.o.d"
+  "CMakeFiles/raqo_core.dir/resource_planner.cc.o"
+  "CMakeFiles/raqo_core.dir/resource_planner.cc.o.d"
+  "CMakeFiles/raqo_core.dir/robust.cc.o"
+  "CMakeFiles/raqo_core.dir/robust.cc.o.d"
+  "CMakeFiles/raqo_core.dir/search_space.cc.o"
+  "CMakeFiles/raqo_core.dir/search_space.cc.o.d"
+  "CMakeFiles/raqo_core.dir/workload_runner.cc.o"
+  "CMakeFiles/raqo_core.dir/workload_runner.cc.o.d"
+  "libraqo_core.a"
+  "libraqo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

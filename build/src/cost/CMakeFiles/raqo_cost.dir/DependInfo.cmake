@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_model.cc" "src/cost/CMakeFiles/raqo_cost.dir/cost_model.cc.o" "gcc" "src/cost/CMakeFiles/raqo_cost.dir/cost_model.cc.o.d"
+  "/root/repo/src/cost/cost_vector.cc" "src/cost/CMakeFiles/raqo_cost.dir/cost_vector.cc.o" "gcc" "src/cost/CMakeFiles/raqo_cost.dir/cost_vector.cc.o.d"
+  "/root/repo/src/cost/features.cc" "src/cost/CMakeFiles/raqo_cost.dir/features.cc.o" "gcc" "src/cost/CMakeFiles/raqo_cost.dir/features.cc.o.d"
+  "/root/repo/src/cost/model_eval.cc" "src/cost/CMakeFiles/raqo_cost.dir/model_eval.cc.o" "gcc" "src/cost/CMakeFiles/raqo_cost.dir/model_eval.cc.o.d"
+  "/root/repo/src/cost/model_io.cc" "src/cost/CMakeFiles/raqo_cost.dir/model_io.cc.o" "gcc" "src/cost/CMakeFiles/raqo_cost.dir/model_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_cost.dir/cost_model.cc.o"
+  "CMakeFiles/raqo_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/raqo_cost.dir/cost_vector.cc.o"
+  "CMakeFiles/raqo_cost.dir/cost_vector.cc.o.d"
+  "CMakeFiles/raqo_cost.dir/features.cc.o"
+  "CMakeFiles/raqo_cost.dir/features.cc.o.d"
+  "CMakeFiles/raqo_cost.dir/model_eval.cc.o"
+  "CMakeFiles/raqo_cost.dir/model_eval.cc.o.d"
+  "CMakeFiles/raqo_cost.dir/model_io.cc.o"
+  "CMakeFiles/raqo_cost.dir/model_io.cc.o.d"
+  "libraqo_cost.a"
+  "libraqo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

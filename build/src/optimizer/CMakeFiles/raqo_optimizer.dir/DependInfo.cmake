@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/bushy_dp.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/bushy_dp.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/bushy_dp.cc.o.d"
+  "/root/repo/src/optimizer/fast_randomized.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/fast_randomized.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/fast_randomized.cc.o.d"
+  "/root/repo/src/optimizer/fixed_resource_evaluator.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/fixed_resource_evaluator.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/fixed_resource_evaluator.cc.o.d"
+  "/root/repo/src/optimizer/plan_cost.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/plan_cost.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/plan_cost.cc.o.d"
+  "/root/repo/src/optimizer/planner_result.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/planner_result.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/planner_result.cc.o.d"
+  "/root/repo/src/optimizer/selinger.cc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/selinger.cc.o" "gcc" "src/optimizer/CMakeFiles/raqo_optimizer.dir/selinger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/raqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

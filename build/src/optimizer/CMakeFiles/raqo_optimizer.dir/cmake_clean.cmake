@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_optimizer.dir/bushy_dp.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/bushy_dp.cc.o.d"
+  "CMakeFiles/raqo_optimizer.dir/fast_randomized.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/fast_randomized.cc.o.d"
+  "CMakeFiles/raqo_optimizer.dir/fixed_resource_evaluator.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/fixed_resource_evaluator.cc.o.d"
+  "CMakeFiles/raqo_optimizer.dir/plan_cost.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/plan_cost.cc.o.d"
+  "CMakeFiles/raqo_optimizer.dir/planner_result.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/planner_result.cc.o.d"
+  "CMakeFiles/raqo_optimizer.dir/selinger.cc.o"
+  "CMakeFiles/raqo_optimizer.dir/selinger.cc.o.d"
+  "libraqo_optimizer.a"
+  "libraqo_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

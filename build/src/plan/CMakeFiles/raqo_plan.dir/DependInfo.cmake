@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/cardinality.cc" "src/plan/CMakeFiles/raqo_plan.dir/cardinality.cc.o" "gcc" "src/plan/CMakeFiles/raqo_plan.dir/cardinality.cc.o.d"
+  "/root/repo/src/plan/plan_builder.cc" "src/plan/CMakeFiles/raqo_plan.dir/plan_builder.cc.o" "gcc" "src/plan/CMakeFiles/raqo_plan.dir/plan_builder.cc.o.d"
+  "/root/repo/src/plan/plan_dot.cc" "src/plan/CMakeFiles/raqo_plan.dir/plan_dot.cc.o" "gcc" "src/plan/CMakeFiles/raqo_plan.dir/plan_dot.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/plan/CMakeFiles/raqo_plan.dir/plan_node.cc.o" "gcc" "src/plan/CMakeFiles/raqo_plan.dir/plan_node.cc.o.d"
+  "/root/repo/src/plan/table_set.cc" "src/plan/CMakeFiles/raqo_plan.dir/table_set.cc.o" "gcc" "src/plan/CMakeFiles/raqo_plan.dir/table_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

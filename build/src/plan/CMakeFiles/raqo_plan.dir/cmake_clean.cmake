@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_plan.dir/cardinality.cc.o"
+  "CMakeFiles/raqo_plan.dir/cardinality.cc.o.d"
+  "CMakeFiles/raqo_plan.dir/plan_builder.cc.o"
+  "CMakeFiles/raqo_plan.dir/plan_builder.cc.o.d"
+  "CMakeFiles/raqo_plan.dir/plan_dot.cc.o"
+  "CMakeFiles/raqo_plan.dir/plan_dot.cc.o.d"
+  "CMakeFiles/raqo_plan.dir/plan_node.cc.o"
+  "CMakeFiles/raqo_plan.dir/plan_node.cc.o.d"
+  "CMakeFiles/raqo_plan.dir/table_set.cc.o"
+  "CMakeFiles/raqo_plan.dir/table_set.cc.o.d"
+  "libraqo_plan.a"
+  "libraqo_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_query.dir/sql_parser.cc.o"
+  "CMakeFiles/raqo_query.dir/sql_parser.cc.o.d"
+  "libraqo_query.a"
+  "libraqo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

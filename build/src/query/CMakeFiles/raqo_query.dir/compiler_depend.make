@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for raqo_query.
+# This may be replaced when dependencies are built.

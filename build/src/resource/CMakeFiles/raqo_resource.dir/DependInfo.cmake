@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/cluster_conditions.cc" "src/resource/CMakeFiles/raqo_resource.dir/cluster_conditions.cc.o" "gcc" "src/resource/CMakeFiles/raqo_resource.dir/cluster_conditions.cc.o.d"
+  "/root/repo/src/resource/resource_config.cc" "src/resource/CMakeFiles/raqo_resource.dir/resource_config.cc.o" "gcc" "src/resource/CMakeFiles/raqo_resource.dir/resource_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_resource.dir/cluster_conditions.cc.o"
+  "CMakeFiles/raqo_resource.dir/cluster_conditions.cc.o.d"
+  "CMakeFiles/raqo_resource.dir/resource_config.cc.o"
+  "CMakeFiles/raqo_resource.dir/resource_config.cc.o.d"
+  "libraqo_resource.a"
+  "libraqo_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

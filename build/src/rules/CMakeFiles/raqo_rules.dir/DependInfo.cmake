@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/dataset.cc" "src/rules/CMakeFiles/raqo_rules.dir/dataset.cc.o" "gcc" "src/rules/CMakeFiles/raqo_rules.dir/dataset.cc.o.d"
+  "/root/repo/src/rules/decision_tree.cc" "src/rules/CMakeFiles/raqo_rules.dir/decision_tree.cc.o" "gcc" "src/rules/CMakeFiles/raqo_rules.dir/decision_tree.cc.o.d"
+  "/root/repo/src/rules/rule_based.cc" "src/rules/CMakeFiles/raqo_rules.dir/rule_based.cc.o" "gcc" "src/rules/CMakeFiles/raqo_rules.dir/rule_based.cc.o.d"
+  "/root/repo/src/rules/switch_points.cc" "src/rules/CMakeFiles/raqo_rules.dir/switch_points.cc.o" "gcc" "src/rules/CMakeFiles/raqo_rules.dir/switch_points.cc.o.d"
+  "/root/repo/src/rules/tree_io.cc" "src/rules/CMakeFiles/raqo_rules.dir/tree_io.cc.o" "gcc" "src/rules/CMakeFiles/raqo_rules.dir/tree_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/raqo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/raqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

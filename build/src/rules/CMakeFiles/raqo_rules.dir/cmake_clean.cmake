@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_rules.dir/dataset.cc.o"
+  "CMakeFiles/raqo_rules.dir/dataset.cc.o.d"
+  "CMakeFiles/raqo_rules.dir/decision_tree.cc.o"
+  "CMakeFiles/raqo_rules.dir/decision_tree.cc.o.d"
+  "CMakeFiles/raqo_rules.dir/rule_based.cc.o"
+  "CMakeFiles/raqo_rules.dir/rule_based.cc.o.d"
+  "CMakeFiles/raqo_rules.dir/switch_points.cc.o"
+  "CMakeFiles/raqo_rules.dir/switch_points.cc.o.d"
+  "CMakeFiles/raqo_rules.dir/tree_io.cc.o"
+  "CMakeFiles/raqo_rules.dir/tree_io.cc.o.d"
+  "libraqo_rules.a"
+  "libraqo_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine_profile.cc" "src/sim/CMakeFiles/raqo_sim.dir/engine_profile.cc.o" "gcc" "src/sim/CMakeFiles/raqo_sim.dir/engine_profile.cc.o.d"
+  "/root/repo/src/sim/exec_model.cc" "src/sim/CMakeFiles/raqo_sim.dir/exec_model.cc.o" "gcc" "src/sim/CMakeFiles/raqo_sim.dir/exec_model.cc.o.d"
+  "/root/repo/src/sim/profile_runner.cc" "src/sim/CMakeFiles/raqo_sim.dir/profile_runner.cc.o" "gcc" "src/sim/CMakeFiles/raqo_sim.dir/profile_runner.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/raqo_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/raqo_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/raqo_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/raqo_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/raqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

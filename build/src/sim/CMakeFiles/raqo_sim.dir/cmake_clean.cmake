@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_sim.dir/engine_profile.cc.o"
+  "CMakeFiles/raqo_sim.dir/engine_profile.cc.o.d"
+  "CMakeFiles/raqo_sim.dir/exec_model.cc.o"
+  "CMakeFiles/raqo_sim.dir/exec_model.cc.o.d"
+  "CMakeFiles/raqo_sim.dir/profile_runner.cc.o"
+  "CMakeFiles/raqo_sim.dir/profile_runner.cc.o.d"
+  "CMakeFiles/raqo_sim.dir/scheduler.cc.o"
+  "CMakeFiles/raqo_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/raqo_sim.dir/simulator.cc.o"
+  "CMakeFiles/raqo_sim.dir/simulator.cc.o.d"
+  "libraqo_sim.a"
+  "libraqo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraqo_sim.a"
+)

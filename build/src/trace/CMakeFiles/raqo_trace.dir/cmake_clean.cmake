@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_trace.dir/queue_sim.cc.o"
+  "CMakeFiles/raqo_trace.dir/queue_sim.cc.o.d"
+  "CMakeFiles/raqo_trace.dir/workload.cc.o"
+  "CMakeFiles/raqo_trace.dir/workload.cc.o.d"
+  "libraqo_trace.a"
+  "libraqo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bushy_dp_test.dir/bushy_dp_test.cc.o"
+  "CMakeFiles/bushy_dp_test.dir/bushy_dp_test.cc.o.d"
+  "bushy_dp_test"
+  "bushy_dp_test.pdb"
+  "bushy_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bushy_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

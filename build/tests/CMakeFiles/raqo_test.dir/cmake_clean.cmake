@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raqo_test.dir/raqo_test.cc.o"
+  "CMakeFiles/raqo_test.dir/raqo_test.cc.o.d"
+  "raqo_test"
+  "raqo_test.pdb"
+  "raqo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raqo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

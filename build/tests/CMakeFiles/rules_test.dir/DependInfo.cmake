@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rules_test.cc" "tests/CMakeFiles/rules_test.dir/rules_test.cc.o" "gcc" "tests/CMakeFiles/rules_test.dir/rules_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/raqo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/raqo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/raqo_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/raqo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/raqo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/raqo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/raqo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/raqo_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/raqo_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/raqo_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/raqo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/math_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/csb_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/raqo_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/bushy_dp_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
