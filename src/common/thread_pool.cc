@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace raqo {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int64_t chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(chunks) - 1);
+  const int64_t base = n / chunks;
+  const int64_t extra = n % chunks;
+  int64_t begin = 0;
+  int64_t first_end = 0;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t end = begin + base + (c < extra ? 1 : 0);
+    if (c == 0) {
+      // Chunk 0 runs on the calling thread after the rest are queued.
+      first_end = end;
+    } else {
+      futures.push_back(
+          Submit([&body, begin, end] { body(begin, end); }));
+    }
+    begin = end;
+  }
+  body(0, first_end);
+  for (std::future<void>& f : futures) f.get();
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace raqo

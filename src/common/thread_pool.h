@@ -1,0 +1,64 @@
+#ifndef RAQO_COMMON_THREAD_POOL_H_
+#define RAQO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raqo {
+
+/// A fixed-size worker pool for the concurrent planning service. Tasks
+/// are plain closures executed FIFO by `num_threads` long-lived workers;
+/// Submit returns a future so callers can join on individual tasks, and
+/// ParallelFor covers the common "partition [0, n) into contiguous
+/// chunks" pattern used by the parallel resource planner and the
+/// concurrent workload runner.
+///
+/// The pool itself is thread-safe: any thread may Submit. Task closures
+/// must synchronize their own shared state.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs body(begin, end) over a partition of [0, n) into roughly equal
+  /// contiguous chunks (at most one per worker), blocking until every
+  /// chunk completes. The calling thread executes one chunk itself so a
+  /// single-threaded pool degrades to a plain loop.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// A sensible worker count for this machine: hardware concurrency,
+  /// with a floor of 1 when it cannot be determined.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_THREAD_POOL_H_

@@ -1,0 +1,136 @@
+#include "core/concurrent_workload_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace raqo::core {
+
+ConcurrentWorkloadRunner::ConcurrentWorkloadRunner(
+    const catalog::Catalog* catalog, cost::JoinCostModels models,
+    resource::ClusterConditions cluster, resource::PricingModel pricing,
+    RaqoPlannerOptions planner_options,
+    ConcurrentRunnerOptions runner_options)
+    : catalog_(catalog),
+      models_(std::move(models)),
+      cluster_(cluster),
+      pricing_(pricing),
+      planner_options_(planner_options),
+      options_(runner_options) {
+  RAQO_CHECK(catalog != nullptr);
+  if (options_.num_threads < 1) options_.num_threads = 1;
+  if (options_.share_cache && planner_options_.evaluator.use_cache) {
+    shared_cache_ = std::make_shared<ResourcePlanCache>(
+        planner_options_.evaluator.cache_mode,
+        planner_options_.evaluator.cache_threshold_gb,
+        planner_options_.evaluator.cache_index,
+        std::max<size_t>(1, options_.cache_shards));
+  }
+}
+
+Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
+    const std::vector<WorkloadQuery>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  Stopwatch watch;
+  const CacheStats shared_before =
+      shared_cache_ != nullptr ? shared_cache_->stats() : CacheStats{};
+
+  // One private planner per worker; the shared cache (if any) is
+  // attached to every evaluator, making the workers one service.
+  const int num_workers =
+      static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(options_.num_threads), workload.size()));
+  std::vector<std::unique_ptr<RaqoPlanner>> planners;
+  planners.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    planners.push_back(std::make_unique<RaqoPlanner>(
+        catalog_, models_, cluster_, pricing_, planner_options_));
+    if (shared_cache_ != nullptr) {
+      planners.back()->evaluator().ShareCache(shared_cache_);
+    }
+  }
+
+  // Dynamic work stealing over the query list: a single atomic cursor
+  // hands out submission indices, and every result lands in its query's
+  // slot, so the merged report order is the submission order no matter
+  // which worker planned what.
+  std::vector<std::optional<QueryRunReport>> slots(workload.size());
+  std::vector<Status> errors(workload.size());
+  std::atomic<size_t> cursor{0};
+  auto worker_loop = [&](RaqoPlanner* planner) {
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= workload.size()) return;
+      const WorkloadQuery& query = workload[i];
+      Result<JointPlan> plan = planner->Plan(query.tables);
+      if (!plan.ok()) {
+        errors[i] = plan.status();
+        continue;
+      }
+      QueryRunReport entry;
+      entry.label = query.label;
+      entry.cost = plan->cost;
+      DescribePlanInReport(*plan, &entry);
+      entry.wall_ms = plan->stats.wall_ms;
+      entry.resource_configs_explored =
+          plan->stats.resource_configs_explored;
+      entry.cache_hits = plan->stats.cache_hits;
+      entry.cache_misses = plan->stats.cache_misses;
+      slots[i] = std::move(entry);
+    }
+  };
+
+  if (num_workers == 1) {
+    worker_loop(planners[0].get());
+  } else {
+    // Workers 1..N-1 run on the pool; worker 0 runs here so the calling
+    // thread contributes instead of idling.
+    ThreadPool pool(num_workers - 1);
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<size_t>(num_workers) - 1);
+    for (int w = 1; w < num_workers; ++w) {
+      RaqoPlanner* planner = planners[static_cast<size_t>(w)].get();
+      futures.push_back(pool.Submit([&, planner] { worker_loop(planner); }));
+    }
+    worker_loop(planners[0].get());
+    for (std::future<void>& f : futures) f.get();
+  }
+
+  // Deterministic error reporting: the failure at the lowest submission
+  // index wins, independent of scheduling.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!errors[i].ok()) return errors[i];
+  }
+
+  WorkloadReport report;
+  report.queries.reserve(workload.size());
+  for (std::optional<QueryRunReport>& slot : slots) {
+    RAQO_CHECK(slot.has_value());
+    report.queries.push_back(std::move(*slot));
+  }
+  AccumulateReportTotals(&report);
+  if (shared_cache_ != nullptr) {
+    const CacheStats after = shared_cache_->stats();
+    report.shared_cache.hits = after.hits - shared_before.hits;
+    report.shared_cache.misses = after.misses - shared_before.misses;
+  }
+  report.wall_clock_ms = watch.ElapsedMillis();
+  return report;
+}
+
+CacheStats ConcurrentWorkloadRunner::shared_cache_stats() const {
+  return shared_cache_ != nullptr ? shared_cache_->stats() : CacheStats{};
+}
+
+size_t ConcurrentWorkloadRunner::shared_cache_size() const {
+  return shared_cache_ != nullptr ? shared_cache_->size() : 0;
+}
+
+}  // namespace raqo::core

@@ -1,0 +1,84 @@
+#ifndef RAQO_CORE_CONCURRENT_WORKLOAD_RUNNER_H_
+#define RAQO_CORE_CONCURRENT_WORKLOAD_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/raqo_planner.h"
+#include "core/workload_runner.h"
+
+namespace raqo::core {
+
+/// Configuration of the concurrent planning service.
+struct ConcurrentRunnerOptions {
+  /// Worker threads; each gets a private RaqoPlanner.
+  int num_threads = 4;
+  /// Share one thread-safe resource-plan cache across all workers (the
+  /// across-query caching scenario of Figure 15(b), served concurrently).
+  /// Only meaningful when the planner options enable caching; with it
+  /// off, every worker keeps the private cache its options describe.
+  bool share_cache = true;
+  /// Lock stripes of the shared cache.
+  size_t cache_shards = 8;
+};
+
+/// The concurrent counterpart of WorkloadRunner: a pool of N worker
+/// threads, each owning a private RaqoPlanner, pulling queries from the
+/// workload and optionally sharing one striped resource-plan cache — a
+/// miniature optimizer service handling many tenants at once.
+///
+/// Reports are merged by submission order, so `Run` returns the same
+/// per-query sequence as the sequential runner regardless of which
+/// worker planned which query. With caching off, or with a shared cache
+/// in kExact lookup mode, the chosen plans and costs are identical to a
+/// sequential run: planning is deterministic, and an exact hit is only
+/// taken when the entry's full data characteristic (smaller AND larger
+/// input size) matches, so it returns exactly what planning would
+/// recompute no matter which worker populated the entry. With
+/// similarity-based lookup modes the hit pattern — and thus the configs
+/// near a threshold — may differ run to run.
+///
+/// Unlike the fail-fast sequential runner, every query is always
+/// attempted; on failures the error reported is the one of the lowest
+/// query index, which keeps the returned status deterministic under any
+/// thread interleaving.
+class ConcurrentWorkloadRunner {
+ public:
+  /// Mirrors the RaqoPlanner constructor plus the concurrency knobs.
+  /// `catalog` must outlive the runner. When `share_cache` is set and
+  /// the evaluator options enable caching, the shared cache is created
+  /// here and persists across Run calls (across-query semantics);
+  /// per-worker planners are rebuilt per Run.
+  ConcurrentWorkloadRunner(
+      const catalog::Catalog* catalog, cost::JoinCostModels models,
+      resource::ClusterConditions cluster,
+      resource::PricingModel pricing = resource::PricingModel(),
+      RaqoPlannerOptions planner_options = RaqoPlannerOptions(),
+      ConcurrentRunnerOptions runner_options = ConcurrentRunnerOptions());
+
+  /// Plans every query, fanned out across the worker pool.
+  Result<WorkloadReport> Run(const std::vector<WorkloadQuery>& workload);
+
+  /// Cumulative hit/miss counters of the shared cache (zeros when no
+  /// cache is shared). Per-run deltas are in WorkloadReport::shared_cache.
+  CacheStats shared_cache_stats() const;
+
+  /// Entries currently held by the shared cache (0 when none).
+  size_t shared_cache_size() const;
+
+  int num_threads() const { return options_.num_threads; }
+  bool has_shared_cache() const { return shared_cache_ != nullptr; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  cost::JoinCostModels models_;
+  resource::ClusterConditions cluster_;
+  resource::PricingModel pricing_;
+  RaqoPlannerOptions planner_options_;
+  ConcurrentRunnerOptions options_;
+  std::shared_ptr<ResourcePlanCache> shared_cache_;
+};
+
+}  // namespace raqo::core
+
+#endif  // RAQO_CORE_CONCURRENT_WORKLOAD_RUNNER_H_

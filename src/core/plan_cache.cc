@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 
 #include "common/logging.h"
 
@@ -64,6 +66,78 @@ std::vector<CachedResourcePlan> CsbTreeIndex::FindNeighbors(
   return out;
 }
 
+std::unique_ptr<ResourcePlanIndex> MakeResourcePlanIndex(
+    CacheIndexKind kind) {
+  if (kind == CacheIndexKind::kCsbTree) {
+    return std::make_unique<CsbTreeIndex>();
+  }
+  return std::make_unique<SortedArrayIndex>();
+}
+
+ShardedResourcePlanIndex::ShardedResourcePlanIndex(CacheIndexKind inner,
+                                                   size_t num_shards)
+    : inner_(inner), shards_(std::max<size_t>(1, num_shards)) {
+  for (Shard& shard : shards_) shard.index = MakeResourcePlanIndex(inner);
+}
+
+const ShardedResourcePlanIndex::Shard& ShardedResourcePlanIndex::ShardFor(
+    double key) const {
+  // +0.0 and -0.0 hash alike, matching their key equality.
+  if (key == 0.0) key = 0.0;
+  return shards_[std::hash<double>{}(key) % shards_.size()];
+}
+
+ShardedResourcePlanIndex::Shard& ShardedResourcePlanIndex::ShardFor(
+    double key) {
+  return const_cast<Shard&>(
+      static_cast<const ShardedResourcePlanIndex*>(this)->ShardFor(key));
+}
+
+void ShardedResourcePlanIndex::Insert(const CachedResourcePlan& plan) {
+  Shard& shard = ShardFor(plan.key_gb);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.index->Insert(plan);
+}
+
+std::optional<CachedResourcePlan> ShardedResourcePlanIndex::FindExact(
+    double key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index->FindExact(key);
+}
+
+std::vector<CachedResourcePlan> ShardedResourcePlanIndex::FindNeighbors(
+    double key, double threshold) const {
+  // Hash striping scatters a key range over every shard; gather per
+  // shard (each under its own lock) and restore the ascending order.
+  std::vector<CachedResourcePlan> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<CachedResourcePlan> part =
+        shard.index->FindNeighbors(key, threshold);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CachedResourcePlan& a, const CachedResourcePlan& b) {
+              return a.key_gb < b.key_gb;
+            });
+  return out;
+}
+
+size_t ShardedResourcePlanIndex::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index->size();
+  }
+  return total;
+}
+
+const char* ShardedResourcePlanIndex::name() const {
+  return inner_ == CacheIndexKind::kCsbTree ? "sharded-csb-tree"
+                                            : "sharded-sorted-array";
+}
+
 const char* CacheLookupModeName(CacheLookupMode mode) {
   switch (mode) {
     case CacheLookupMode::kExact:
@@ -78,38 +152,101 @@ const char* CacheLookupModeName(CacheLookupMode mode) {
 
 ResourcePlanCache::ResourcePlanCache(CacheLookupMode mode,
                                      double threshold_gb,
-                                     CacheIndexKind index_kind)
-    : mode_(mode), threshold_gb_(threshold_gb), index_kind_(index_kind) {
+                                     CacheIndexKind index_kind,
+                                     size_t shards)
+    : mode_(mode),
+      threshold_gb_(threshold_gb),
+      index_kind_(index_kind),
+      shards_(shards) {
   RAQO_CHECK(threshold_gb >= 0.0) << "cache threshold must be non-negative";
+}
+
+ResourcePlanIndex* ResourcePlanCache::FindIndex(
+    const std::string& model_name) const {
+  auto it = per_model_.find(model_name);
+  return it == per_model_.end() ? nullptr : it->second.get();
 }
 
 ResourcePlanIndex& ResourcePlanCache::IndexFor(
     const std::string& model_name) {
   std::unique_ptr<ResourcePlanIndex>& slot = per_model_[model_name];
   if (slot == nullptr) {
-    if (index_kind_ == CacheIndexKind::kCsbTree) {
-      slot = std::make_unique<CsbTreeIndex>();
+    if (shards_ > 0) {
+      slot = std::make_unique<ShardedResourcePlanIndex>(index_kind_, shards_);
     } else {
-      slot = std::make_unique<SortedArrayIndex>();
+      slot = MakeResourcePlanIndex(index_kind_);
     }
   }
   return *slot;
 }
 
+namespace {
+
+/// Exact mode stores one entry per (smaller, larger) input pair: the
+/// index key mixes the bit patterns of both sizes into a 53-bit
+/// integer-valued double (exactly representable, totally ordered), so
+/// distinct pairs land on distinct keys. An arithmetic fold such as
+/// ss + 1e6 * ls would round away small smaller-side differences once
+/// the larger side dominates the magnitude, silently overwriting
+/// distinct pairs. Residual hash collisions (~n^2 / 2^54) are harmless:
+/// lookups verify the true pair on the entry itself.
+double ExactStorageKey(double smaller_gb, double larger_gb) {
+  if (larger_gb == 0.0) return smaller_gb;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  std::memcpy(&a, &smaller_gb, sizeof(a));
+  std::memcpy(&b, &larger_gb, sizeof(b));
+  uint64_t h = a * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  h += b;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  return static_cast<double>(h >> 11);
+}
+
+}  // namespace
+
 std::optional<CachedResourcePlan> ResourcePlanCache::Lookup(
-    const std::string& model_name, double key_gb) {
-  ResourcePlanIndex& index = IndexFor(model_name);
+    const std::string& model_name, double key_gb,
+    std::optional<double> larger_gb) {
+  std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+  const ResourcePlanIndex* index = FindIndex(model_name);
+  if (index == nullptr) {
+    // No plan was ever recorded for this model: a miss, without taking
+    // the exclusive lock to materialize an empty index.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Exact mode with a larger-size guard: the entry must have been
+  // computed for this very (smaller, larger) pair — a configuration
+  // reused across pairs would depend on which join populated the cache
+  // first, which is acceptable for the similarity modes but fatal for
+  // determinism under concurrent sharing. The pair is re-verified on the
+  // entry, so folded-key aliasing can never produce a false hit.
+  if (mode_ == CacheLookupMode::kExact && larger_gb.has_value()) {
+    std::optional<CachedResourcePlan> exact =
+        index->FindExact(ExactStorageKey(key_gb, *larger_gb));
+    if (exact && exact->smaller_gb == key_gb &&
+        exact->larger_gb == *larger_gb) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      exact->key_gb = key_gb;  // restore the caller-facing key
+      return exact;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
 
   // All modes try an exact match first.
-  if (std::optional<CachedResourcePlan> exact = index.FindExact(key_gb)) {
-    ++stats_.hits;
+  if (std::optional<CachedResourcePlan> exact = index->FindExact(key_gb)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return exact;
   }
   if (mode_ != CacheLookupMode::kExact && threshold_gb_ > 0.0) {
     const std::vector<CachedResourcePlan> neighbors =
-        index.FindNeighbors(key_gb, threshold_gb_);
+        index->FindNeighbors(key_gb, threshold_gb_);
     if (!neighbors.empty()) {
-      ++stats_.hits;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       if (mode_ == CacheLookupMode::kNearestNeighbor) {
         const CachedResourcePlan* best = &neighbors[0];
         for (const CachedResourcePlan& n : neighbors) {
@@ -141,18 +278,40 @@ std::optional<CachedResourcePlan> ResourcePlanCache::Lookup(
       return blended;
     }
   }
-  ++stats_.misses;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
 void ResourcePlanCache::Insert(const std::string& model_name,
                                const CachedResourcePlan& plan) {
-  IndexFor(model_name).Insert(plan);
+  CachedResourcePlan entry = plan;
+  entry.smaller_gb = plan.key_gb;
+  if (mode_ == CacheLookupMode::kExact) {
+    // One entry per (smaller, larger) pair; with no larger size recorded
+    // the storage key degenerates to the plain data characteristic, so
+    // guard-less callers see the paper's original exact-match layout.
+    entry.key_gb = ExactStorageKey(plan.key_gb, plan.larger_gb);
+  }
+  {
+    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+    if (ResourcePlanIndex* index = FindIndex(model_name)) {
+      index->Insert(entry);
+      return;
+    }
+  }
+  // First insert for this model: create the index under the exclusive
+  // lock (IndexFor re-checks, so two racing creators agree).
+  std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+  IndexFor(model_name).Insert(entry);
 }
 
-void ResourcePlanCache::Clear() { per_model_.clear(); }
+void ResourcePlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+  per_model_.clear();
+}
 
 size_t ResourcePlanCache::size() const {
+  std::shared_lock<std::shared_mutex> map_lock(map_mu_);
   size_t total = 0;
   for (const auto& [name, index] : per_model_) total += index->size();
   return total;

@@ -1,10 +1,13 @@
 #ifndef RAQO_CORE_PLAN_CACHE_H_
 #define RAQO_CORE_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,17 @@ struct CachedResourcePlan {
   double key_gb = 0.0;
   resource::ResourceConfig config;
   double cost = 0.0;
+  /// Larger-input size of the join the plan was computed for. The
+  /// resource optimum depends on both inputs, so exact-mode lookups can
+  /// pass their larger size as a guard: a hit then provably returns what
+  /// recomputation would, which is what makes concurrent shared-cache
+  /// planning deterministic (see docs/CONCURRENCY.md).
+  double larger_gb = 0.0;
+  /// True smaller-input size. Managed by ResourcePlanCache: in exact
+  /// mode entries are stored under a key folding both sizes together
+  /// (one entry per pair instead of overwrite-by-smaller-size), and this
+  /// field keeps the original data characteristic for the pair guard.
+  double smaller_gb = 0.0;
 };
 
 /// Index over data-characteristic keys (Section VI-B.3). Two layouts are
@@ -75,6 +89,47 @@ class CsbTreeIndex : public ResourcePlanIndex {
   std::vector<CachedResourcePlan> payloads_;
 };
 
+/// Index layout selector.
+enum class CacheIndexKind {
+  kSortedArray,
+  kCsbTree,
+};
+
+/// A thread-safe index that stripes keys across `num_shards` inner
+/// indexes (SortedArrayIndex or CsbTreeIndex per `inner`), each behind
+/// its own mutex, so concurrent planners contend on a shard rather than
+/// on the whole index. Keys are distributed by hash, so FindNeighbors
+/// gathers from every shard and merges the results back into ascending
+/// key order.
+class ShardedResourcePlanIndex : public ResourcePlanIndex {
+ public:
+  ShardedResourcePlanIndex(CacheIndexKind inner, size_t num_shards);
+
+  void Insert(const CachedResourcePlan& plan) override;
+  std::optional<CachedResourcePlan> FindExact(double key) const override;
+  std::vector<CachedResourcePlan> FindNeighbors(
+      double key, double threshold) const override;
+  size_t size() const override;
+  const char* name() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<ResourcePlanIndex> index;
+  };
+
+  const Shard& ShardFor(double key) const;
+  Shard& ShardFor(double key);
+
+  CacheIndexKind inner_;
+  std::vector<Shard> shards_;
+};
+
+/// Builds a bare (unsharded) index of the given layout.
+std::unique_ptr<ResourcePlanIndex> MakeResourcePlanIndex(CacheIndexKind kind);
+
 /// Cache lookup behaviours (Section VI-B.3).
 enum class CacheLookupMode {
   /// Hit only on an exactly matching data characteristic.
@@ -88,13 +143,8 @@ enum class CacheLookupMode {
 
 const char* CacheLookupModeName(CacheLookupMode mode);
 
-/// Index layout selector.
-enum class CacheIndexKind {
-  kSortedArray,
-  kCsbTree,
-};
-
-/// Hit/miss counters.
+/// Hit/miss counters (a point-in-time snapshot when read off a live
+/// concurrent cache).
 struct CacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -106,15 +156,27 @@ struct CacheStats {
 /// operator in a query tree could be applied to another join operator in
 /// the same tree in case they have similar data characteristics", and
 /// across queries in a workload when the cache is kept warm.
+///
+/// With `shards > 0` the cache is safe for concurrent Lookup/Insert from
+/// many planner threads: each per-model index is a
+/// ShardedResourcePlanIndex with that many lock stripes, the per-model
+/// map is guarded by a reader/writer lock, and the hit/miss counters are
+/// atomic. With the default `shards == 0` the layout is the paper's
+/// single-threaded one.
 class ResourcePlanCache {
  public:
   ResourcePlanCache(CacheLookupMode mode, double threshold_gb,
-                    CacheIndexKind index_kind = CacheIndexKind::kSortedArray);
+                    CacheIndexKind index_kind = CacheIndexKind::kSortedArray,
+                    size_t shards = 0);
 
   /// Looks up a plan for (model, smaller input size). Updates hit/miss
-  /// statistics.
-  std::optional<CachedResourcePlan> Lookup(const std::string& model_name,
-                                           double key_gb);
+  /// statistics. In kExact mode a caller may pass `larger_gb` to demand
+  /// that the entry's full data characteristic matches (an entry for the
+  /// same smaller size but a different larger size counts as a miss);
+  /// the similarity modes ignore the guard — they approximate by design.
+  std::optional<CachedResourcePlan> Lookup(
+      const std::string& model_name, double key_gb,
+      std::optional<double> larger_gb = std::nullopt);
 
   /// Records the plan computed for (model, key).
   void Insert(const std::string& model_name, const CachedResourcePlan& plan);
@@ -123,22 +185,40 @@ class ResourcePlanCache {
   /// evaluating across-query caching).
   void Clear();
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  CacheStats stats() const {
+    return CacheStats{hits_.load(std::memory_order_relaxed),
+                      misses_.load(std::memory_order_relaxed)};
+  }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
   CacheLookupMode mode() const { return mode_; }
   double threshold_gb() const { return threshold_gb_; }
+  size_t shards() const { return shards_; }
 
   /// Total entries across all models.
   size_t size() const;
 
  private:
+  /// Returns the index for `model_name`, creating it if absent. The
+  /// caller must hold `map_mu_` (shared suffices once the index exists;
+  /// creation upgrades to exclusive internally via the two-phase pattern
+  /// in Lookup/Insert).
+  ResourcePlanIndex* FindIndex(const std::string& model_name) const;
   ResourcePlanIndex& IndexFor(const std::string& model_name);
 
   CacheLookupMode mode_;
   double threshold_gb_;
   CacheIndexKind index_kind_;
-  CacheStats stats_;
+  size_t shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  /// Guards `per_model_` (the map itself; sharded indexes carry their own
+  /// stripe locks, unsharded indexes rely on this lock being held in
+  /// shared mode only by single-threaded callers).
+  mutable std::shared_mutex map_mu_;
   std::map<std::string, std::unique_ptr<ResourcePlanIndex>> per_model_;
 };
 

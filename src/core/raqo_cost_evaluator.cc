@@ -25,11 +25,15 @@ RaqoCostEvaluator::RaqoCostEvaluator(cost::JoinCostModels models,
     case ResourceSearch::kAcceleratedHillClimb:
       planner_ = std::make_unique<AcceleratedHillClimbResourcePlanner>();
       break;
+    case ResourceSearch::kParallelBruteForce:
+      planner_ = std::make_unique<ParallelBruteForceResourcePlanner>(
+          options_.parallel_search_threads);
+      break;
   }
   if (options_.use_cache) {
     cache_ = std::make_unique<ResourcePlanCache>(
         options_.cache_mode, options_.cache_threshold_gb,
-        options_.cache_index);
+        options_.cache_index, options_.cache_shards);
   }
 }
 
@@ -40,19 +44,25 @@ void RaqoCostEvaluator::UpdateClusterConditions(
 }
 
 void RaqoCostEvaluator::ClearCache() {
-  if (cache_ != nullptr) cache_->Clear();
+  if (ResourcePlanCache* cache = active_cache()) cache->Clear();
 }
 
 CacheStats RaqoCostEvaluator::cache_stats() const {
-  return cache_ != nullptr ? cache_->stats() : CacheStats{};
+  const ResourcePlanCache* cache = active_cache();
+  return cache != nullptr ? cache->stats() : CacheStats{};
 }
 
 void RaqoCostEvaluator::ResetCacheStats() {
-  if (cache_ != nullptr) cache_->ResetStats();
+  if (ResourcePlanCache* cache = active_cache()) cache->ResetStats();
 }
 
 size_t RaqoCostEvaluator::cache_size() const {
-  return cache_ != nullptr ? cache_->size() : 0;
+  const ResourcePlanCache* cache = active_cache();
+  return cache != nullptr ? cache->size() : 0;
+}
+
+void RaqoCostEvaluator::ShareCache(std::shared_ptr<ResourcePlanCache> cache) {
+  shared_cache_ = std::move(cache);
 }
 
 Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
@@ -100,9 +110,10 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
   };
 
   // Cache lookup first (Section VI-C), keyed by the data characteristic.
-  if (cache_ != nullptr) {
+  ResourcePlanCache* cache = active_cache();
+  if (cache != nullptr) {
     if (std::optional<CachedResourcePlan> hit =
-            cache_->Lookup(model.name(), ss_gb)) {
+            cache->Lookup(model.name(), ss_gb, ls_gb)) {
       // Weighted-average hits can produce off-grid configurations; snap
       // back onto the allocatable grid.
       const resource::ResourceConfig config =
@@ -126,12 +137,13 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
   if (!planned.ok()) return planned.status();
   AddResourceConfigsExplored(planned->configs_explored);
 
-  if (cache_ != nullptr) {
+  if (cache != nullptr) {
     CachedResourcePlan entry;
     entry.key_gb = ss_gb;
     entry.config = planned->config;
     entry.cost = planned->cost;
-    cache_->Insert(model.name(), entry);
+    entry.larger_gb = ls_gb;
+    cache->Insert(model.name(), entry);
   }
 
   cost::JoinFeatures features;

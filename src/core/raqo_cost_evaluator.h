@@ -13,16 +13,21 @@
 namespace raqo::core {
 
 /// Resource-search strategies of cost-based RAQO (Section VI-B), plus
-/// the accelerated-stride extension for very large clusters.
+/// the accelerated-stride extension for very large clusters and a
+/// pool-backed brute force that splits the grid across worker threads.
 enum class ResourceSearch {
   kBruteForce,
   kHillClimb,
   kAcceleratedHillClimb,
+  kParallelBruteForce,
 };
 
 /// Configuration of the RAQO cost evaluator.
 struct RaqoEvaluatorOptions {
   ResourceSearch search = ResourceSearch::kHillClimb;
+  /// Worker threads of the kParallelBruteForce search (ignored by the
+  /// other strategies).
+  int parallel_search_threads = 4;
 
   /// Resource-plan caching (off by default, matching the paper's setup
   /// of clearing the cache before each query unless stated otherwise).
@@ -32,6 +37,10 @@ struct RaqoEvaluatorOptions {
   /// size.
   double cache_threshold_gb = 0.01;
   CacheIndexKind cache_index = CacheIndexKind::kSortedArray;
+  /// Lock stripes of the evaluator-owned cache; 0 builds the
+  /// single-threaded layout. Shared caches (ShareCache) bring their own
+  /// sharding.
+  size_t cache_shards = 0;
 
   /// Objective weight for resource planning: 1.0 plans resources for pure
   /// execution time, 0.0 for pure monetary cost.
@@ -70,6 +79,18 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   void ResetCacheStats();
   size_t cache_size() const;
 
+  /// Points this evaluator at a cache owned jointly with other planner
+  /// threads (the concurrent planning service: N planners, one cache).
+  /// The cache must be thread-safe (built with shards > 0) when more
+  /// than one planner shares it. Passing nullptr reverts to the
+  /// evaluator-owned cache configured by the options.
+  void ShareCache(std::shared_ptr<ResourcePlanCache> cache);
+
+  /// True when the active cache is shared with other planners; per-query
+  /// cache statistics are then workload-global, not per-planner, and the
+  /// planner refrains from clearing or resetting it between queries.
+  bool cache_is_shared() const { return shared_cache_ != nullptr; }
+
   const RaqoEvaluatorOptions& options() const { return options_; }
 
  protected:
@@ -77,12 +98,19 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
       const optimizer::JoinContext& context) override;
 
  private:
+  /// The cache planning goes through: the shared cache when one is
+  /// attached, the owned one otherwise (may be null when caching is off).
+  ResourcePlanCache* active_cache() const {
+    return shared_cache_ != nullptr ? shared_cache_.get() : cache_.get();
+  }
+
   cost::JoinCostModels models_;
   resource::ClusterConditions cluster_;
   resource::PricingModel pricing_;
   RaqoEvaluatorOptions options_;
   std::unique_ptr<ResourcePlanner> planner_;
   std::unique_ptr<ResourcePlanCache> cache_;
+  std::shared_ptr<ResourcePlanCache> shared_cache_;
 };
 
 }  // namespace raqo::core

@@ -50,10 +50,17 @@ Result<JointPlan> RaqoPlanner::RunPlanner(
 
 Result<JointPlan> RaqoPlanner::Plan(
     const std::vector<catalog::TableId>& tables) {
-  if (options_.clear_cache_between_queries) evaluator_.ClearCache();
-  evaluator_.ResetCacheStats();
+  // A cache shared with other planner threads is workload-scoped: its
+  // contents and statistics belong to the whole service, so this planner
+  // neither clears nor resets it per query (the per-query hit/miss
+  // fields then stay 0; the service reports the shared totals instead).
+  const bool shared = evaluator_.cache_is_shared();
+  if (options_.clear_cache_between_queries && !shared) {
+    evaluator_.ClearCache();
+  }
+  if (!shared) evaluator_.ResetCacheStats();
   Result<JointPlan> result = RunPlanner(tables, evaluator_);
-  if (result.ok()) {
+  if (result.ok() && !shared) {
     result->stats.cache_hits = evaluator_.cache_stats().hits;
     result->stats.cache_misses = evaluator_.cache_stats().misses;
   }
@@ -78,7 +85,9 @@ Result<JointPlan> RaqoPlanner::PlanForResources(
 Result<JointPlan> RaqoPlanner::PlanResourcesForPlan(
     const plan::PlanNode& plan) {
   Stopwatch watch;
-  if (options_.clear_cache_between_queries) evaluator_.ClearCache();
+  if (options_.clear_cache_between_queries && !evaluator_.cache_is_shared()) {
+    evaluator_.ClearCache();
+  }
   evaluator_.ResetCounters();
   plan::CardinalityEstimator estimator(catalog_);
   JointPlan out;

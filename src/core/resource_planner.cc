@@ -1,7 +1,10 @@
 #include "core/resource_planner.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <vector>
 
 namespace raqo::core {
 
@@ -31,6 +34,86 @@ Result<ResourcePlanResult> BruteForceResourcePlanner::PlanResources(
     return true;
   });
   best.configs_explored = explored;
+  if (best.cost == kInf) {
+    return Status::FailedPrecondition(
+        "no feasible resource configuration in the cluster grid");
+  }
+  return best;
+}
+
+ParallelBruteForceResourcePlanner::ParallelBruteForceResourcePlanner(
+    int num_threads)
+    : owned_pool_(std::make_unique<ThreadPool>(num_threads)) {
+  pool_ = owned_pool_.get();
+}
+
+ParallelBruteForceResourcePlanner::ParallelBruteForceResourcePlanner(
+    ThreadPool* pool)
+    : pool_(pool) {}
+
+Result<ResourcePlanResult> ParallelBruteForceResourcePlanner::PlanResources(
+    const ResourceCostFn& cost,
+    const resource::ClusterConditions& cluster) const {
+  const int64_t cs_points =
+      cluster.GridPoints(resource::kContainerSizeGb);
+  const int64_t nc_points = cluster.GridPoints(resource::kNumContainers);
+  const resource::ResourceConfig& min = cluster.min();
+  const resource::ResourceConfig& step = cluster.step();
+
+  struct BandBest {
+    resource::ResourceConfig config;
+    double cost = kInf;
+    int64_t explored = 0;
+    /// Row-major rank of the winning cell, for the deterministic
+    /// earliest-wins tie-break the sequential scan applies implicitly.
+    int64_t rank = 0;
+  };
+
+  // One band of container-size rows per chunk; ParallelFor sizes the
+  // chunks to the pool. Each band reproduces the sequential enumeration
+  // arithmetic exactly, so costs (and their floating-point quirks) match
+  // BruteForceResourcePlanner cell for cell.
+  std::mutex merge_mu;
+  std::vector<BandBest> bands;
+  std::atomic<int64_t> explored_total{0};
+  pool_->ParallelFor(cs_points, [&](int64_t row_begin, int64_t row_end) {
+    BandBest local;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const double cs = min.dim(resource::kContainerSizeGb) +
+                        static_cast<double>(i) *
+                            step.dim(resource::kContainerSizeGb);
+      for (int64_t j = 0; j < nc_points; ++j) {
+        const double nc = min.dim(resource::kNumContainers) +
+                          static_cast<double>(j) *
+                              step.dim(resource::kNumContainers);
+        const resource::ResourceConfig config(cs, nc);
+        ++local.explored;
+        const double c = Sanitize(cost(config));
+        if (c < local.cost) {
+          local.cost = c;
+          local.config = config;
+          local.rank = i * nc_points + j;
+        }
+      }
+    }
+    explored_total.fetch_add(local.explored, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(merge_mu);
+    bands.push_back(local);
+  });
+
+  ResourcePlanResult best;
+  best.cost = kInf;
+  int64_t best_rank = 0;
+  for (const BandBest& band : bands) {
+    if (band.cost < best.cost ||
+        (band.cost == best.cost && band.cost < kInf &&
+         band.rank < best_rank)) {
+      best.cost = band.cost;
+      best.config = band.config;
+      best_rank = band.rank;
+    }
+  }
+  best.configs_explored = explored_total.load(std::memory_order_relaxed);
   if (best.cost == kInf) {
     return Status::FailedPrecondition(
         "no feasible resource configuration in the cluster grid");

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "resource/cluster_conditions.h"
 #include "resource/resource_config.h"
 
@@ -74,6 +76,33 @@ class HillClimbResourcePlanner : public ResourcePlanner {
  private:
   resource::ResourceConfig start_;
   bool has_start_ = false;
+};
+
+/// Brute force with the rp x rc grid partitioned across a thread pool:
+/// each worker scans a contiguous band of container-size rows and keeps
+/// its local optimum; bands are merged in row-major order, so the result
+/// (config, cost, and tie-breaking) is bit-identical to
+/// BruteForceResourcePlanner while the wall clock shrinks with the
+/// worker count. The supplied cost function is invoked concurrently and
+/// must therefore be thread-safe (the learned-model objectives are: they
+/// only read immutable model weights).
+class ParallelBruteForceResourcePlanner : public ResourcePlanner {
+ public:
+  /// Owns a private pool of `num_threads` workers.
+  explicit ParallelBruteForceResourcePlanner(int num_threads);
+
+  /// Borrows `pool` (must outlive the planner). Do not call PlanResources
+  /// from tasks already running on that pool.
+  explicit ParallelBruteForceResourcePlanner(ThreadPool* pool);
+
+  Result<ResourcePlanResult> PlanResources(
+      const ResourceCostFn& cost,
+      const resource::ClusterConditions& cluster) const override;
+  const char* name() const override { return "parallel-brute-force"; }
+
+ private:
+  ThreadPool* pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 /// An extension beyond the paper's Algorithm 1 for very large resource

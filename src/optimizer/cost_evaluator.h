@@ -2,6 +2,7 @@
 #define RAQO_OPTIMIZER_COST_EVALUATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "common/result.h"
@@ -76,8 +77,15 @@ class PlanCostEvaluator {
  protected:
   virtual Result<OperatorCost> CostJoinImpl(const JoinContext& context) = 0;
 
+  /// Saturating accumulation: a long-lived service evaluator summing
+  /// near-saturated brute-force counts must not wrap into negatives.
   void AddResourceConfigsExplored(int64_t n) {
-    resource_configs_explored_ += n;
+    if (resource_configs_explored_ >
+        std::numeric_limits<int64_t>::max() - n) {
+      resource_configs_explored_ = std::numeric_limits<int64_t>::max();
+    } else {
+      resource_configs_explored_ += n;
+    }
   }
 
  private:

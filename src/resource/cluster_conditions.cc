@@ -1,6 +1,7 @@
 #include "resource/cluster_conditions.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -77,15 +78,28 @@ ResourceConfig ClusterConditions::SnapToGrid(
 }
 
 int64_t ClusterConditions::GridPoints(size_t dim) const {
-  return static_cast<int64_t>(
-             std::floor((max_.dim(dim) - min_.dim(dim)) / step_.dim(dim) +
-                        1e-9)) +
-         1;
+  const double points =
+      std::floor((max_.dim(dim) - min_.dim(dim)) / step_.dim(dim) + 1e-9) +
+      1.0;
+  // Casting a double beyond int64 range is undefined behaviour; clamp
+  // absurd grids (tiny steps over huge ranges) to a saturated count.
+  constexpr double kMax = 9.2e18;  // just under INT64_MAX
+  if (points >= kMax) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(points);
 }
 
 int64_t ClusterConditions::TotalGridSize() const {
+  // Saturating product: the rp * rc grid of a pathological cluster can
+  // exceed int64, and the "#Resource-Iterations" accounting built on it
+  // must not wrap.
   int64_t total = 1;
-  for (size_t d = 0; d < kNumResourceDims; ++d) total *= GridPoints(d);
+  for (size_t d = 0; d < kNumResourceDims; ++d) {
+    const int64_t points = GridPoints(d);
+    if (total > std::numeric_limits<int64_t>::max() / points) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    total *= points;
+  }
   return total;
 }
 

@@ -1,0 +1,570 @@
+// Concurrency invariants of the planning service layer: the thread
+// pool, the sharded thread-safe resource-plan cache, the parallel
+// brute-force resource planner, and the concurrent workload runner.
+// Every property here must hold under any thread interleaving; run the
+// suite under -DRAQO_SANITIZE=thread to let TSan check the data-race
+// side of that claim (see docs/CONCURRENCY.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/random_schema.h"
+#include "catalog/tpch.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/concurrent_workload_runner.h"
+#include "core/plan_cache.h"
+#include "core/resource_planner.h"
+#include "core/workload_runner.h"
+#include "sim/profile_runner.h"
+
+namespace raqo {
+namespace {
+
+using catalog::TableId;
+using catalog::TpchQuery;
+
+const cost::JoinCostModels& Models() {
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  return *models;
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.ParallelFor(1000, [&](int64_t begin, int64_t end) {
+    ASSERT_LE(begin, end);
+    for (int64_t i = begin; i < end; ++i) {
+      visits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  // Degenerate sizes.
+  pool.ParallelFor(0, [](int64_t, int64_t) { FAIL(); });
+  std::atomic<int> ones{0};
+  pool.ParallelFor(1, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1);
+    ones.fetch_add(1);
+  });
+  EXPECT_EQ(ones.load(), 1);
+}
+
+TEST(ThreadPoolTest, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining the queue
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// ---------------------------------------------------------------------
+// Sharded resource-plan index (satellite property (c)): concurrent
+// writers and readers never lose an inserted key, and FindNeighbors
+// stays sorted ascending.
+
+class ShardedIndexTest
+    : public ::testing::TestWithParam<core::CacheIndexKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Layouts, ShardedIndexTest,
+                         ::testing::Values(core::CacheIndexKind::kSortedArray,
+                                           core::CacheIndexKind::kCsbTree));
+
+TEST_P(ShardedIndexTest, MatchesUnshardedSequentially) {
+  core::ShardedResourcePlanIndex sharded(GetParam(), 8);
+  core::SortedArrayIndex reference;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    core::CachedResourcePlan plan;
+    plan.key_gb = std::round(rng.Uniform(0.0, 50.0) * 8.0) / 8.0;
+    plan.cost = rng.Uniform(1.0, 100.0);
+    plan.config = resource::ResourceConfig(rng.Uniform(1, 10),
+                                           rng.Uniform(1, 100));
+    sharded.Insert(plan);
+    reference.Insert(plan);
+  }
+  EXPECT_EQ(sharded.size(), reference.size());
+  for (double key = 0.0; key <= 50.0; key += 0.37) {
+    const auto a = sharded.FindExact(key);
+    const auto b = reference.FindExact(key);
+    ASSERT_EQ(a.has_value(), b.has_value()) << key;
+    if (a) {
+      EXPECT_EQ(a->key_gb, b->key_gb);
+    }
+    const auto na = sharded.FindNeighbors(key, 2.0);
+    const auto nb = reference.FindNeighbors(key, 2.0);
+    ASSERT_EQ(na.size(), nb.size()) << key;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].key_gb, nb[i].key_gb);
+    }
+  }
+}
+
+TEST_P(ShardedIndexTest, ConcurrentWritersAndReadersLoseNothing) {
+  core::ShardedResourcePlanIndex index(GetParam(), 8);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kKeysPerWriter = 400;
+  // Disjoint per-writer key spaces so the expected final contents are
+  // exact regardless of interleaving.
+  auto key_of = [](int writer, int i) {
+    return static_cast<double>(writer) * 1000.0 + static_cast<double>(i);
+  };
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kKeysPerWriter; ++i) {
+        core::CachedResourcePlan plan;
+        plan.key_gb = key_of(w, i);
+        plan.cost = static_cast<double>(i);
+        index.Insert(plan);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(static_cast<uint64_t>(r) + 99);
+      while (!stop.load(std::memory_order_acquire)) {
+        const double center = rng.Uniform(0.0, 4000.0);
+        const std::vector<core::CachedResourcePlan> neighbors =
+            index.FindNeighbors(center, 50.0);
+        // Results are sorted ascending and inside the window, always.
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          EXPECT_LE(std::fabs(neighbors[i].key_gb - center), 50.0);
+          if (i > 0) {
+            EXPECT_LT(neighbors[i - 1].key_gb, neighbors[i].key_gb);
+          }
+        }
+        // Any key already observed stays observable (no lost inserts).
+        if (!neighbors.empty()) {
+          EXPECT_TRUE(index.FindExact(neighbors[0].key_gb).has_value());
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Every inserted key is present afterwards.
+  EXPECT_EQ(index.size(), static_cast<size_t>(kWriters * kKeysPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      ASSERT_TRUE(index.FindExact(key_of(w, i)).has_value())
+          << "lost key from writer " << w << " #" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Thread-safe cache: atomic hit/miss counters account for every lookup.
+
+TEST(ConcurrentCacheTest, StatsAccountForEveryLookup) {
+  core::ResourcePlanCache cache(core::CacheLookupMode::kExact, 0.0,
+                                core::CacheIndexKind::kSortedArray,
+                                /*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const double key = std::floor(rng.Uniform(0.0, 100.0));
+        if (rng.Bernoulli(0.5)) {
+          core::CachedResourcePlan plan;
+          plan.key_gb = key;
+          cache.Insert("smj", plan);
+        } else {
+          (void)cache.Lookup("smj", key);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const core::CacheStats stats = cache.stats();
+  // Every lookup was either a hit or a miss; none lost to racing updates.
+  int64_t lookups = 0;
+  {
+    // Re-derive the exact per-thread op split (same seeds, same rng use).
+    for (int t = 0; t < kThreads; ++t) {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        (void)std::floor(rng.Uniform(0.0, 100.0));
+        if (!rng.Bernoulli(0.5)) ++lookups;
+      }
+    }
+  }
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_LE(cache.size(), 100u);
+}
+
+TEST(ConcurrentCacheTest, ExactModeGuardsTheFullDataCharacteristic) {
+  // The resource optimum depends on both join inputs; an exact-mode hit
+  // for the right smaller size but the wrong larger size would let cache
+  // population order leak into planning decisions. Entries for the same
+  // smaller size but different larger sizes coexist instead of
+  // overwriting each other.
+  core::ResourcePlanCache cache(core::CacheLookupMode::kExact, 0.0);
+  core::CachedResourcePlan plan;
+  plan.key_gb = 2.0;
+  plan.larger_gb = 10.0;
+  plan.cost = 1.0;
+  cache.Insert("smj", plan);
+  plan.larger_gb = 20.0;
+  plan.cost = 2.0;
+  cache.Insert("smj", plan);
+  EXPECT_EQ(cache.size(), 2u);  // distinct pairs did not overwrite
+
+  const auto first = cache.Lookup("smj", 2.0, 10.0);
+  const auto second = cache.Lookup("smj", 2.0, 20.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->cost, 1.0);
+  EXPECT_EQ(second->cost, 2.0);
+  EXPECT_EQ(first->key_gb, 2.0);  // caller-facing key is restored
+  EXPECT_FALSE(cache.Lookup("smj", 2.0, 11.0).has_value());
+
+  // Guard-less exact usage (no larger size on either side) keeps the
+  // paper's original layout.
+  core::CachedResourcePlan bare;
+  bare.key_gb = 5.0;
+  cache.Insert("smj", bare);
+  EXPECT_TRUE(cache.Lookup("smj", 5.0).has_value());
+
+  const core::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+// ---------------------------------------------------------------------
+// Parallel brute force (satellite property (b)): identical optimum and
+// an exact rp * rc exploration count.
+
+TEST(ParallelBruteForceTest, MatchesSequentialBruteForceExactly) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double max_cs = rng.Uniform(2.0, 16.0);
+    const double max_nc = static_cast<double>(rng.UniformInt(2, 300));
+    const double step_cs = rng.Uniform(0.5, 2.0);
+    const double step_nc = static_cast<double>(rng.UniformInt(1, 5));
+    const resource::ClusterConditions cluster =
+        *resource::ClusterConditions::Create(
+            resource::ResourceConfig(1.0, 1.0),
+            resource::ResourceConfig(max_cs, max_nc),
+            resource::ResourceConfig(step_cs, step_nc));
+    // A deterministic objective with a non-trivial landscape.
+    const double a = rng.Uniform(1.0, max_cs);
+    const double b = rng.Uniform(1.0, max_nc);
+    auto objective = [a, b](const resource::ResourceConfig& c) {
+      return std::fabs(c.container_size_gb() - a) * 3.0 +
+             std::fabs(c.num_containers() - b) * 0.25 +
+             std::sin(c.container_size_gb() * c.num_containers());
+    };
+    const auto sequential =
+        core::BruteForceResourcePlanner().PlanResources(objective, cluster);
+    for (int threads : {1, 2, 4, 8}) {
+      core::ParallelBruteForceResourcePlanner parallel(threads);
+      const auto result = parallel.PlanResources(objective, cluster);
+      ASSERT_TRUE(result.ok());
+      ASSERT_TRUE(sequential.ok());
+      EXPECT_EQ(result->cost, sequential->cost);
+      EXPECT_EQ(result->config, sequential->config);
+      EXPECT_EQ(result->configs_explored, cluster.TotalGridSize());
+      EXPECT_EQ(result->configs_explored, sequential->configs_explored);
+    }
+  }
+}
+
+TEST(ParallelBruteForceTest, TieBreaksLikeTheSequentialScan) {
+  // A flat objective makes every cell optimal; the sequential scan keeps
+  // the first cell in row-major order, and the parallel merge must too.
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::WithMax(8.0, 40.0);
+  auto flat = [](const resource::ResourceConfig&) { return 7.0; };
+  const auto sequential =
+      core::BruteForceResourcePlanner().PlanResources(flat, cluster);
+  core::ParallelBruteForceResourcePlanner parallel(4);
+  const auto result = parallel.PlanResources(flat, cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->config, sequential->config);
+}
+
+TEST(ParallelBruteForceTest, ReportsInfeasibleGrids) {
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::WithMax(4.0, 10.0);
+  auto infeasible = [](const resource::ResourceConfig&) {
+    return std::numeric_limits<double>::infinity();
+  };
+  core::ParallelBruteForceResourcePlanner parallel(4);
+  const auto result = parallel.PlanResources(infeasible, cluster);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(ParallelBruteForceTest, WorksAsEvaluatorSearchStrategy) {
+  // End-to-end: the kParallelBruteForce search inside RaqoPlanner picks
+  // the same joint plan as sequential brute force.
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const std::vector<TableId> tables =
+      *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+  core::RaqoPlannerOptions seq_options;
+  seq_options.evaluator.search = core::ResourceSearch::kBruteForce;
+  core::RaqoPlannerOptions par_options;
+  par_options.evaluator.search = core::ResourceSearch::kParallelBruteForce;
+  par_options.evaluator.parallel_search_threads = 4;
+  core::RaqoPlanner sequential(&cat, Models(),
+                               resource::ClusterConditions::PaperDefault(),
+                               resource::PricingModel(), seq_options);
+  core::RaqoPlanner parallel(&cat, Models(),
+                             resource::ClusterConditions::PaperDefault(),
+                             resource::PricingModel(), par_options);
+  const Result<core::JointPlan> a = sequential.Plan(tables);
+  const Result<core::JointPlan> b = parallel.Plan(tables);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cost.seconds, b->cost.seconds);
+  EXPECT_EQ(a->cost.dollars, b->cost.dollars);
+  EXPECT_TRUE(a->plan->StructurallyEquals(*b->plan));
+  EXPECT_EQ(a->stats.resource_configs_explored,
+            b->stats.resource_configs_explored);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent workload runner (satellite property (a)): report equals
+// the sequential runner's, merged in submission order.
+
+std::vector<core::WorkloadQuery> RandomWorkload(const catalog::Catalog& cat,
+                                                int num_queries,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::WorkloadQuery> workload;
+  for (int i = 0; i < num_queries; ++i) {
+    const int n = static_cast<int>(rng.UniformInt(2, 6));
+    core::WorkloadQuery query;
+    query.label = "q" + std::to_string(i);
+    query.tables = *catalog::RandomQueryTables(
+        cat, n, seed * 977 + static_cast<uint64_t>(i));
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+core::RaqoPlannerOptions ServiceOptions(bool cache) {
+  core::RaqoPlannerOptions options;
+  options.algorithm = core::PlannerAlgorithm::kSelinger;
+  options.evaluator.use_cache = cache;
+  // Exact-match lookups keep concurrent cache hits bit-identical to
+  // fresh planning, so the service stays deterministic (see the runner's
+  // class comment); similarity modes trade that for more reuse.
+  options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  options.clear_cache_between_queries = !cache;
+  return options;
+}
+
+TEST(ConcurrentWorkloadRunnerTest, MatchesSequentialRunnerWithoutCache) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 14;
+  schema.seed = 3;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  const std::vector<core::WorkloadQuery> workload =
+      RandomWorkload(cat, 24, 5);
+
+  core::RaqoPlanner planner(&cat, Models(),
+                            resource::ClusterConditions::PaperDefault(),
+                            resource::PricingModel(), ServiceOptions(false));
+  core::WorkloadRunner sequential(&planner);
+  const Result<core::WorkloadReport> seq = sequential.Run(workload);
+  ASSERT_TRUE(seq.ok());
+
+  for (int threads : {1, 2, 4, 8}) {
+    core::ConcurrentRunnerOptions concurrency;
+    concurrency.num_threads = threads;
+    core::ConcurrentWorkloadRunner service(
+        &cat, Models(), resource::ClusterConditions::PaperDefault(),
+        resource::PricingModel(), ServiceOptions(false), concurrency);
+    const Result<core::WorkloadReport> par = service.Run(workload);
+    ASSERT_TRUE(par.ok()) << threads;
+    ASSERT_EQ(par->queries.size(), seq->queries.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      EXPECT_EQ(par->queries[i].label, seq->queries[i].label);
+      EXPECT_EQ(par->queries[i].cost.seconds, seq->queries[i].cost.seconds);
+      EXPECT_EQ(par->queries[i].cost.dollars, seq->queries[i].cost.dollars);
+      EXPECT_EQ(par->queries[i].plan, seq->queries[i].plan);
+      ASSERT_EQ(par->queries[i].join_resources.size(),
+                seq->queries[i].join_resources.size());
+      for (size_t j = 0; j < par->queries[i].join_resources.size(); ++j) {
+        EXPECT_EQ(par->queries[i].join_resources[j],
+                  seq->queries[i].join_resources[j]);
+      }
+    }
+  }
+}
+
+TEST(ConcurrentWorkloadRunnerTest, SharedExactCacheKeepsPlansIdentical) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 12;
+  schema.seed = 11;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  // Heavy repetition so the shared cache actually gets hit across
+  // workers.
+  std::vector<core::WorkloadQuery> workload = RandomWorkload(cat, 8, 21);
+  const size_t unique = workload.size();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (size_t i = 0; i < unique; ++i) {
+      core::WorkloadQuery copy = workload[i];
+      copy.label += "-rep" + std::to_string(rep);
+      workload.push_back(std::move(copy));
+    }
+  }
+
+  core::RaqoPlanner planner(&cat, Models(),
+                            resource::ClusterConditions::PaperDefault(),
+                            resource::PricingModel(), ServiceOptions(false));
+  core::WorkloadRunner sequential(&planner);
+  const Result<core::WorkloadReport> seq = sequential.Run(workload);
+  ASSERT_TRUE(seq.ok());
+
+  core::ConcurrentRunnerOptions concurrency;
+  concurrency.num_threads = 4;
+  concurrency.share_cache = true;
+  concurrency.cache_shards = 8;
+  core::ConcurrentWorkloadRunner service(
+      &cat, Models(), resource::ClusterConditions::PaperDefault(),
+      resource::PricingModel(), ServiceOptions(true), concurrency);
+  ASSERT_TRUE(service.has_shared_cache());
+  const Result<core::WorkloadReport> par = service.Run(workload);
+  ASSERT_TRUE(par.ok());
+
+  ASSERT_EQ(par->queries.size(), seq->queries.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(par->queries[i].cost.seconds, seq->queries[i].cost.seconds)
+        << workload[i].label;
+    EXPECT_EQ(par->queries[i].plan, seq->queries[i].plan);
+    ASSERT_EQ(par->queries[i].join_resources.size(),
+              seq->queries[i].join_resources.size());
+    for (size_t j = 0; j < par->queries[i].join_resources.size(); ++j) {
+      EXPECT_EQ(par->queries[i].join_resources[j],
+                seq->queries[i].join_resources[j]);
+    }
+  }
+  // The repeated queries produced real contention-time cache traffic.
+  EXPECT_GT(par->shared_cache.hits, 0);
+  EXPECT_GT(service.shared_cache_size(), 0u);
+  // Fewer resource iterations than the cache-less sequential baseline:
+  // across-query reuse worked.
+  EXPECT_LT(par->total_resource_configs_explored,
+            seq->total_resource_configs_explored);
+}
+
+TEST(ConcurrentWorkloadRunnerTest, TotalsEqualSumOfPerQueryReports) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  std::vector<core::WorkloadQuery> workload = {
+      {"Q3", *catalog::TpchQueryTables(cat, TpchQuery::kQ3)},
+      {"Q2", *catalog::TpchQueryTables(cat, TpchQuery::kQ2)},
+      {"Q3-again", *catalog::TpchQueryTables(cat, TpchQuery::kQ3)},
+      {"Q12", *catalog::TpchQueryTables(cat, TpchQuery::kQ12)},
+  };
+  // Both runners, cache on and off, must satisfy the sum invariant.
+  for (const bool cache : {false, true}) {
+    core::RaqoPlanner planner(&cat, Models(),
+                              resource::ClusterConditions::PaperDefault(),
+                              resource::PricingModel(),
+                              ServiceOptions(cache));
+    core::WorkloadRunner sequential(&planner);
+    core::ConcurrentRunnerOptions concurrency;
+    concurrency.num_threads = 3;
+    core::ConcurrentWorkloadRunner service(
+        &cat, Models(), resource::ClusterConditions::PaperDefault(),
+        resource::PricingModel(), ServiceOptions(cache), concurrency);
+    for (const Result<core::WorkloadReport>& report :
+         {sequential.Run(workload), service.Run(workload)}) {
+      ASSERT_TRUE(report.ok());
+      double wall = 0.0;
+      int64_t iters = 0;
+      int64_t hits = 0;
+      int64_t misses = 0;
+      for (const core::QueryRunReport& q : report->queries) {
+        wall += q.wall_ms;
+        iters += q.resource_configs_explored;
+        hits += q.cache_hits;
+        misses += q.cache_misses;
+      }
+      EXPECT_DOUBLE_EQ(report->total_wall_ms, wall);
+      EXPECT_EQ(report->total_resource_configs_explored, iters);
+      EXPECT_EQ(report->total_cache_hits, hits);
+      EXPECT_EQ(report->total_cache_misses, misses);
+      EXPECT_GT(report->wall_clock_ms, 0.0);
+    }
+  }
+}
+
+TEST(ConcurrentWorkloadRunnerTest, ReportsLowestIndexErrorDeterministically) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(1.0);
+  std::vector<core::WorkloadQuery> workload = {
+      {"ok", *catalog::TpchQueryTables(cat, TpchQuery::kQ3)},
+      {"bad-dup", {0, 0}},
+      {"ok-2", *catalog::TpchQueryTables(cat, TpchQuery::kQ2)},
+      {"bad-dup-2", {1, 1}},
+  };
+  core::ConcurrentRunnerOptions concurrency;
+  concurrency.num_threads = 4;
+  core::ConcurrentWorkloadRunner service(
+      &cat, Models(), resource::ClusterConditions::PaperDefault(),
+      resource::PricingModel(), ServiceOptions(false), concurrency);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const Result<core::WorkloadReport> report = service.Run(workload);
+    ASSERT_FALSE(report.ok());
+    // Always the index-1 failure, regardless of scheduling.
+    EXPECT_TRUE(report.status().IsInvalidArgument())
+        << report.status().ToString();
+  }
+  EXPECT_FALSE(service.Run({}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Saturation guards on the exploration counters.
+
+TEST(CounterSaturationTest, AbsurdGridsClampInsteadOfOverflowing) {
+  const resource::ClusterConditions huge =
+      *resource::ClusterConditions::Create(
+          resource::ResourceConfig(1e-300, 1.0),
+          resource::ResourceConfig(1e+300, 9e18),
+          resource::ResourceConfig(1e-300, 1e-9));
+  EXPECT_GT(huge.GridPoints(resource::kContainerSizeGb), 0);
+  EXPECT_GT(huge.GridPoints(resource::kNumContainers), 0);
+  EXPECT_EQ(huge.TotalGridSize(), std::numeric_limits<int64_t>::max());
+}
+
+}  // namespace
+}  // namespace raqo

@@ -8,7 +8,14 @@
 #include "catalog/random_schema.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/concurrent_workload_runner.h"
 #include "core/raqo_planner.h"
+#include "core/workload_runner.h"
+#include "optimizer/bushy_dp.h"
+#include "optimizer/fixed_resource_evaluator.h"
+#include "optimizer/plan_cost.h"
+#include "optimizer/selinger.h"
+#include "plan/cardinality.h"
 #include "plan/plan_builder.h"
 #include "plan/table_set.h"
 #include "resource/cluster_conditions.h"
@@ -170,6 +177,135 @@ TEST_P(SeededPropertyTest, PlannerFuzzOnRandomSchemas) {
       Result<sim::SimPlanResult> run =
           simulator.RunPlan(*joint->plan, sim::ExecParams{});
       EXPECT_TRUE(run.ok()) << run.status().ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency determinism: for any seed, the concurrent workload runner
+// picks the same per-query cost, plan, and join resource configurations
+// as the sequential runner.
+
+TEST_P(SeededPropertyTest, ConcurrentRunnerMatchesSequential) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 12;
+  schema.seed = GetParam();
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+
+  Rng rng(GetParam() * 13 + 5);
+  std::vector<core::WorkloadQuery> workload;
+  for (int i = 0; i < 16; ++i) {
+    core::WorkloadQuery query;
+    query.label = "q" + std::to_string(i);
+    query.tables = *catalog::RandomQueryTables(
+        cat, static_cast<int>(rng.UniformInt(2, 7)), GetParam() + i * 31);
+    workload.push_back(std::move(query));
+  }
+
+  // Shared exact-match caching keeps concurrent planning bit-identical
+  // to sequential planning (see ConcurrentWorkloadRunner's contract).
+  core::RaqoPlannerOptions options;
+  options.evaluator.use_cache = true;
+  options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  options.clear_cache_between_queries = false;
+
+  core::RaqoPlanner planner(&cat, *models, cluster,
+                            resource::PricingModel(), options);
+  core::WorkloadRunner sequential(&planner);
+  const Result<core::WorkloadReport> seq = sequential.Run(workload);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  core::ConcurrentRunnerOptions concurrency;
+  concurrency.num_threads = 4;
+  core::ConcurrentWorkloadRunner service(&cat, *models, cluster,
+                                         resource::PricingModel(), options,
+                                         concurrency);
+  const Result<core::WorkloadReport> par = service.Run(workload);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  ASSERT_EQ(par->queries.size(), seq->queries.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(par->queries[i].cost.seconds, seq->queries[i].cost.seconds)
+        << workload[i].label;
+    EXPECT_EQ(par->queries[i].cost.dollars, seq->queries[i].cost.dollars);
+    EXPECT_EQ(par->queries[i].plan, seq->queries[i].plan);
+    ASSERT_EQ(par->queries[i].join_resources.size(),
+              seq->queries[i].join_resources.size());
+    for (size_t j = 0; j < par->queries[i].join_resources.size(); ++j) {
+      EXPECT_EQ(par->queries[i].join_resources[j],
+                seq->queries[i].join_resources[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cross-planner agreement: on random join graphs up to 7 tables under a
+// fixed resource configuration, the bushy DP optimum is never worse than
+// Selinger's left-deep optimum, both planners' reported costs survive
+// independent re-evaluation, and when the bushy winner is itself a
+// linear tree the two agree exactly (the cost model is symmetric in
+// child order, so every linear shape is left-deep-reachable).
+
+TEST_P(SeededPropertyTest, CrossPlannerAgreementOnRandomGraphs) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 10;
+  schema.seed = GetParam() * 3 + 2;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  const resource::ResourceConfig fixed(6, 20);
+
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 7));
+    std::vector<TableId> tables =
+        *catalog::RandomQueryTables(cat, n, GetParam() * 101 + trial);
+
+    optimizer::FixedResourceEvaluator bushy_eval(*models, fixed);
+    optimizer::FixedResourceEvaluator selinger_eval(*models, fixed);
+    Result<optimizer::PlannedQuery> bushy =
+        optimizer::BushyDpPlanner().Plan(cat, tables, bushy_eval);
+    Result<optimizer::PlannedQuery> selinger =
+        optimizer::SelingerPlanner().Plan(cat, tables, selinger_eval);
+    ASSERT_TRUE(bushy.ok()) << bushy.status().ToString();
+    ASSERT_TRUE(selinger.ok()) << selinger.status().ToString();
+
+    // Bushy space contains the left-deep space.
+    EXPECT_LE(bushy->cost.seconds,
+              selinger->cost.seconds * (1 + 1e-9));
+
+    // Each planner's reported cost matches an independent re-evaluation
+    // of the plan it returned.
+    plan::CardinalityEstimator estimator(&cat);
+    optimizer::FixedResourceEvaluator check(*models, fixed);
+    const Result<cost::CostVector> bushy_again =
+        optimizer::EvaluatePlanCostConst(*bushy->plan, estimator, check);
+    const Result<cost::CostVector> selinger_again =
+        optimizer::EvaluatePlanCostConst(*selinger->plan, estimator, check);
+    ASSERT_TRUE(bushy_again.ok());
+    ASSERT_TRUE(selinger_again.ok());
+    EXPECT_NEAR(bushy_again->seconds, bushy->cost.seconds,
+                1e-9 * (1.0 + bushy->cost.seconds));
+    EXPECT_NEAR(selinger_again->seconds, selinger->cost.seconds,
+                1e-9 * (1.0 + selinger->cost.seconds));
+
+    // A linear bushy winner means both explored the same effective
+    // space, so the optima must coincide.
+    bool linear = true;
+    bushy->plan->VisitJoins([&](const plan::PlanNode& join) {
+      if (!join.left()->is_scan() && !join.right()->is_scan()) {
+        linear = false;
+      }
+    });
+    if (linear) {
+      EXPECT_NEAR(bushy->cost.seconds, selinger->cost.seconds,
+                  1e-9 * (1.0 + selinger->cost.seconds))
+          << "linear bushy optimum disagrees with Selinger on trial "
+          << trial;
     }
   }
 }
