@@ -1,0 +1,194 @@
+// Overhead budget of the observability layer. The instrumentation is
+// compiled into every planner hot path, so its *disabled* cost is the
+// one that matters: with tracing off and metrics off the gates must be
+// invisible, and the default configuration (metrics on, tracing off)
+// must stay within 5% of fully dark planning. The bench measures whole
+// planning runs at each observability level plus the per-call cost of
+// the disabled primitives, and exits non-zero when the 5% budget is
+// blown — so CI can run it as a regression gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/tpch.h"
+#include "common/stopwatch.h"
+#include "core/raqo_planner.h"
+#include "core/workload_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/profile_runner.h"
+
+namespace raqo {
+namespace {
+
+std::vector<core::WorkloadQuery> TpchWorkload(
+    const catalog::Catalog& catalog) {
+  std::vector<core::WorkloadQuery> workload;
+  for (catalog::TpchQuery q :
+       {catalog::TpchQuery::kQ12, catalog::TpchQuery::kQ3,
+        catalog::TpchQuery::kQ2, catalog::TpchQuery::kAll}) {
+    core::WorkloadQuery query;
+    query.label = catalog::TpchQueryName(q);
+    query.tables = *catalog::TpchQueryTables(catalog, q);
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+/// One full planning pass over the workload; returns wall millis.
+double PlanOnce(core::RaqoPlanner& planner,
+                const std::vector<core::WorkloadQuery>& workload) {
+  core::WorkloadRunner runner(&planner);
+  Stopwatch watch;
+  Result<core::WorkloadReport> report = runner.Run(workload);
+  const double ms = watch.ElapsedMillis();
+  RAQO_CHECK(report.ok()) << report.status().ToString();
+  return ms;
+}
+
+/// Best-of-`reps` timing after one warmup pass: the minimum is the run
+/// least disturbed by the machine, which is what an overhead comparison
+/// should use.
+double BestOf(int reps, core::RaqoPlanner& planner,
+              const std::vector<core::WorkloadQuery>& workload) {
+  PlanOnce(planner, workload);  // warmup: caches, branch predictors
+  double best = PlanOnce(planner, workload);
+  for (int r = 1; r < reps; ++r) {
+    best = std::min(best, PlanOnce(planner, workload));
+  }
+  return best;
+}
+
+/// Keeps the compiler from deleting a measured loop.
+template <typename T>
+void Sink(T&& value) {
+  volatile auto v = value;
+  (void)v;
+}
+
+}  // namespace
+}  // namespace raqo
+
+int main() {
+  using namespace raqo;
+
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
+  Result<cost::JoinCostModels> models =
+      sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  RAQO_CHECK(models.ok()) << models.status().ToString();
+  const std::vector<core::WorkloadQuery> workload = TpchWorkload(catalog);
+
+  core::RaqoPlannerOptions options;
+  options.algorithm = core::PlannerAlgorithm::kSelinger;
+  options.evaluator.use_cache = true;
+  options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  core::RaqoPlanner planner(&catalog, *models,
+                            resource::ClusterConditions::PaperDefault(),
+                            resource::PricingModel(), options);
+
+  constexpr int kReps = 5;
+  struct Level {
+    const char* name;
+    bool metrics;
+    bool tracing;
+    double best_ms = 0.0;
+  };
+  Level levels[] = {
+      {"all off (baseline)", false, false},
+      {"metrics on (default)", true, false},
+      {"metrics + tracing on", true, true},
+  };
+  for (Level& level : levels) {
+    obs::DefaultMetrics().set_enabled(level.metrics);
+    obs::DefaultTracer().set_enabled(level.tracing);
+    obs::DefaultTracer().Clear();
+    level.best_ms = BestOf(kReps, planner, workload);
+  }
+  obs::DefaultMetrics().set_enabled(true);  // restore defaults
+  obs::DefaultTracer().set_enabled(false);
+  obs::DefaultTracer().Clear();
+
+  bench::Section("planning a TPC-H workload at each observability level");
+  bench::Table table({"configuration", "best ms", "vs baseline"});
+  const double baseline = levels[0].best_ms;
+  for (const Level& level : levels) {
+    table.AddRow({level.name, bench::Num(level.best_ms, "%.3f"),
+                  bench::Num(100.0 * (level.best_ms / baseline - 1.0),
+                             "%+.1f%%")});
+  }
+  table.Print();
+
+  // Disabled-primitive costs: what every instrumentation site pays when
+  // the layer is off.
+  bench::Section("disabled-path primitives (per call)");
+  constexpr int64_t kIters = 2'000'000;
+  bench::Table prim({"primitive", "ns/call"});
+  {
+    obs::DefaultTracer().set_enabled(false);
+    Stopwatch watch;
+    int64_t live = 0;
+    for (int64_t i = 0; i < kIters; ++i) {
+      obs::Span span = obs::DefaultTracer().StartSpan("off");
+      live += span.recording() ? 1 : 0;
+    }
+    Sink(live);
+    prim.AddRow({"StartSpan, tracing off",
+                 bench::Num(watch.ElapsedMicros() * 1e3 / kIters, "%.2f")});
+  }
+  {
+    obs::DefaultMetrics().set_enabled(false);
+    static obs::Counter* counter =
+        obs::DefaultMetrics().GetCounter("bench.gate");
+    Stopwatch watch;
+    int64_t live = 0;
+    for (int64_t i = 0; i < kIters; ++i) {
+      if (obs::MetricsOn()) counter->Add(1);
+      live += i;
+    }
+    Sink(live);
+    prim.AddRow({"counter site, metrics off",
+                 bench::Num(watch.ElapsedMicros() * 1e3 / kIters, "%.2f")});
+    obs::DefaultMetrics().set_enabled(true);
+  }
+  {
+    static obs::Counter* counter =
+        obs::DefaultMetrics().GetCounter("bench.hot");
+    Stopwatch watch;
+    for (int64_t i = 0; i < kIters; ++i) {
+      if (obs::MetricsOn()) counter->Add(1);
+    }
+    prim.AddRow({"counter site, metrics on",
+                 bench::Num(watch.ElapsedMicros() * 1e3 / kIters, "%.2f")});
+    Sink(counter->Value());
+  }
+  {
+    static obs::Histogram* histogram =
+        obs::DefaultMetrics().GetHistogram("bench.hist");
+    Stopwatch watch;
+    for (int64_t i = 0; i < kIters; ++i) {
+      histogram->Record(static_cast<double>(i % 1000));
+    }
+    prim.AddRow({"histogram Record, metrics on",
+                 bench::Num(watch.ElapsedMicros() * 1e3 / kIters, "%.2f")});
+    Sink(histogram->Count());
+  }
+  prim.Print();
+
+  // The regression gate: the default configuration (metrics on, tracing
+  // compiled in but disabled) must cost less than 5% over fully dark.
+  const double overhead = levels[1].best_ms / baseline - 1.0;
+  std::printf("\ndefault-configuration overhead: %+.2f%% (budget 5%%)\n",
+              overhead * 100.0);
+  if (overhead >= 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.2f%% exceeds the 5%% "
+                 "budget\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

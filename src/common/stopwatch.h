@@ -14,6 +14,14 @@ class Stopwatch {
   /// Resets the start point to now.
   void Restart() { start_ = Clock::now(); }
 
+  /// Elapsed time since construction / Restart, in microseconds (the
+  /// unit of the observability layer's latency histograms and Chrome
+  /// trace timestamps).
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
   /// Elapsed time since construction / Restart, in milliseconds.
   double ElapsedMillis() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - start_)

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raqo::core {
 
@@ -64,16 +66,46 @@ Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
   std::vector<std::optional<QueryRunReport>> slots(workload.size());
   std::vector<Status> errors(workload.size());
   std::atomic<size_t> cursor{0};
-  auto worker_loop = [&](RaqoPlanner* planner) {
+  auto worker_loop = [&](RaqoPlanner* planner, int worker_index) {
     while (true) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= workload.size()) return;
       const WorkloadQuery& query = workload[i];
+      // Queue wait: how long the query sat in the submission list before
+      // a worker claimed it. Span ids come from one process-wide atomic
+      // counter, so they are stable identifiers even though the claiming
+      // worker and the interleaving vary run to run.
+      const double queue_wait_us =
+          obs::MetricsOn() || obs::TracingOn() ? watch.ElapsedMicros() : 0.0;
+      obs::Span span;
+      if (obs::TracingOn()) {
+        span = obs::DefaultTracer().StartSpan("runner.query");
+        span.SetAttr("query", query.label);
+        span.SetAttr("index", static_cast<int64_t>(i));
+        span.SetAttr("worker", static_cast<int64_t>(worker_index));
+        span.SetAttr("queue_wait_us", queue_wait_us);
+      }
+      if (obs::MetricsOn()) {
+        static obs::Histogram* queue_wait = obs::DefaultMetrics().GetHistogram(
+            "runner.queue_wait_us");
+        queue_wait->Record(queue_wait_us);
+      }
       Result<JointPlan> plan = planner->Plan(query.tables);
+      if (obs::MetricsOn()) {
+        static obs::Counter* planned =
+            obs::DefaultMetrics().GetCounter("runner.queries");
+        static obs::Counter* failed =
+            obs::DefaultMetrics().GetCounter("runner.errors");
+        planned->Add(1);
+        if (!plan.ok()) failed->Add(1);
+      }
       if (!plan.ok()) {
+        if (span.recording()) span.SetAttr("error", plan.status().message());
         errors[i] = plan.status();
         continue;
       }
+      if (span.recording()) span.SetAttr("cost_seconds", plan->cost.seconds);
+      span.End();
       QueryRunReport entry;
       entry.label = query.label;
       entry.cost = plan->cost;
@@ -88,7 +120,7 @@ Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
   };
 
   if (num_workers == 1) {
-    worker_loop(planners[0].get());
+    worker_loop(planners[0].get(), 0);
   } else {
     // Workers 1..N-1 run on the pool; worker 0 runs here so the calling
     // thread contributes instead of idling.
@@ -97,9 +129,10 @@ Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
     futures.reserve(static_cast<size_t>(num_workers) - 1);
     for (int w = 1; w < num_workers; ++w) {
       RaqoPlanner* planner = planners[static_cast<size_t>(w)].get();
-      futures.push_back(pool.Submit([&, planner] { worker_loop(planner); }));
+      futures.push_back(
+          pool.Submit([&, planner, w] { worker_loop(planner, w); }));
     }
-    worker_loop(planners[0].get());
+    worker_loop(planners[0].get(), 0);
     for (std::future<void>& f : futures) f.get();
   }
 
@@ -131,6 +164,12 @@ CacheStats ConcurrentWorkloadRunner::shared_cache_stats() const {
 
 size_t ConcurrentWorkloadRunner::shared_cache_size() const {
   return shared_cache_ != nullptr ? shared_cache_->size() : 0;
+}
+
+std::vector<ShardStats> ConcurrentWorkloadRunner::shared_cache_shard_stats()
+    const {
+  return shared_cache_ != nullptr ? shared_cache_->shard_stats()
+                                  : std::vector<ShardStats>{};
 }
 
 }  // namespace raqo::core

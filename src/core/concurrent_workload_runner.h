@@ -66,6 +66,10 @@ class ConcurrentWorkloadRunner {
   /// Entries currently held by the shared cache (0 when none).
   size_t shared_cache_size() const;
 
+  /// Per-shard activity of the shared cache (empty when no cache is
+  /// shared): entries, lookups, inserts, and lock contention per stripe.
+  std::vector<ShardStats> shared_cache_shard_stats() const;
+
   int num_threads() const { return options_.num_threads; }
   bool has_shared_cache() const { return shared_cache_ != nullptr; }
 

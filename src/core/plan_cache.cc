@@ -6,6 +6,9 @@
 #include <functional>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raqo::core {
 
@@ -80,6 +83,23 @@ ShardedResourcePlanIndex::ShardedResourcePlanIndex(CacheIndexKind inner,
   for (Shard& shard : shards_) shard.index = MakeResourcePlanIndex(inner);
 }
 
+std::unique_lock<std::mutex> ShardedResourcePlanIndex::LockShard(
+    const Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: another planner thread holds this stripe. Only now is
+    // the clock read, so the uncontended path stays wait-free of timing
+    // overhead.
+    Stopwatch waited;
+    lock.lock();
+    shard.contended_acquires.fetch_add(1, std::memory_order_relaxed);
+    shard.lock_wait_ns.fetch_add(
+        static_cast<int64_t>(waited.ElapsedMicros() * 1e3),
+        std::memory_order_relaxed);
+  }
+  return lock;
+}
+
 const ShardedResourcePlanIndex::Shard& ShardedResourcePlanIndex::ShardFor(
     double key) const {
   // +0.0 and -0.0 hash alike, matching their key equality.
@@ -95,14 +115,16 @@ ShardedResourcePlanIndex::Shard& ShardedResourcePlanIndex::ShardFor(
 
 void ShardedResourcePlanIndex::Insert(const CachedResourcePlan& plan) {
   Shard& shard = ShardFor(plan.key_gb);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.inserts.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   shard.index->Insert(plan);
 }
 
 std::optional<CachedResourcePlan> ShardedResourcePlanIndex::FindExact(
     double key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lookups.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   return shard.index->FindExact(key);
 }
 
@@ -112,7 +134,8 @@ std::vector<CachedResourcePlan> ShardedResourcePlanIndex::FindNeighbors(
   // shard (each under its own lock) and restore the ascending order.
   std::vector<CachedResourcePlan> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lookups.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
     std::vector<CachedResourcePlan> part =
         shard.index->FindNeighbors(key, threshold);
     out.insert(out.end(), part.begin(), part.end());
@@ -136,6 +159,25 @@ size_t ShardedResourcePlanIndex::size() const {
 const char* ShardedResourcePlanIndex::name() const {
   return inner_ == CacheIndexKind::kCsbTree ? "sharded-csb-tree"
                                             : "sharded-sorted-array";
+}
+
+std::vector<ShardStats> ShardedResourcePlanIndex::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    ShardStats s;
+    s.lookups = shard.lookups.load(std::memory_order_relaxed);
+    s.inserts = shard.inserts.load(std::memory_order_relaxed);
+    s.contended_acquires =
+        shard.contended_acquires.load(std::memory_order_relaxed);
+    s.lock_wait_ns = shard.lock_wait_ns.load(std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock = LockShard(shard);
+      s.entries = shard.index->size();
+    }
+    out.push_back(s);
+  }
+  return out;
 }
 
 const char* CacheLookupModeName(CacheLookupMode mode) {
@@ -207,6 +249,37 @@ double ExactStorageKey(double smaller_gb, double larger_gb) {
 }  // namespace
 
 std::optional<CachedResourcePlan> ResourcePlanCache::Lookup(
+    const std::string& model_name, double key_gb,
+    std::optional<double> larger_gb) {
+  const bool metrics_on = obs::MetricsOn();
+  const bool tracing_on = obs::TracingOn();
+  if (!metrics_on && !tracing_on) {
+    return LookupImpl(model_name, key_gb, larger_gb);
+  }
+
+  Stopwatch timer;
+  obs::Span span = obs::DefaultTracer().StartSpan("cache.lookup");
+  std::optional<CachedResourcePlan> result =
+      LookupImpl(model_name, key_gb, larger_gb);
+  if (span.recording()) {
+    span.SetAttr("model", model_name);
+    span.SetAttr("key_gb", key_gb);
+    span.SetAttr("hit", static_cast<int64_t>(result.has_value()));
+  }
+  if (metrics_on) {
+    static obs::Counter* hit_count =
+        obs::DefaultMetrics().GetCounter("cache.lookup.hit");
+    static obs::Counter* miss_count =
+        obs::DefaultMetrics().GetCounter("cache.lookup.miss");
+    static obs::Histogram* latency =
+        obs::DefaultMetrics().GetHistogram("cache.lookup.wall_us");
+    (result.has_value() ? hit_count : miss_count)->Add(1);
+    latency->Record(timer.ElapsedMicros());
+  }
+  return result;
+}
+
+std::optional<CachedResourcePlan> ResourcePlanCache::LookupImpl(
     const std::string& model_name, double key_gb,
     std::optional<double> larger_gb) {
   std::shared_lock<std::shared_mutex> map_lock(map_mu_);
@@ -315,6 +388,27 @@ size_t ResourcePlanCache::size() const {
   size_t total = 0;
   for (const auto& [name, index] : per_model_) total += index->size();
   return total;
+}
+
+std::vector<ShardStats> ResourcePlanCache::shard_stats() const {
+  if (shards_ == 0) return {};
+  std::vector<ShardStats> out;
+  std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+  for (const auto& [name, index] : per_model_) {
+    // shards_ > 0 means every per-model index is sharded.
+    const auto& sharded =
+        static_cast<const ShardedResourcePlanIndex&>(*index);
+    std::vector<ShardStats> per = sharded.shard_stats();
+    if (out.size() < per.size()) out.resize(per.size());
+    for (size_t i = 0; i < per.size(); ++i) {
+      out[i].entries += per[i].entries;
+      out[i].lookups += per[i].lookups;
+      out[i].inserts += per[i].inserts;
+      out[i].contended_acquires += per[i].contended_acquires;
+      out[i].lock_wait_ns += per[i].lock_wait_ns;
+    }
+  }
+  return out;
 }
 
 }  // namespace raqo::core

@@ -101,6 +101,18 @@ enum class CacheIndexKind {
 /// on the whole index. Keys are distributed by hash, so FindNeighbors
 /// gathers from every shard and merges the results back into ascending
 /// key order.
+/// Per-shard activity counters (a point-in-time snapshot when read off a
+/// live concurrent index). `lock_wait_ns` accumulates only time spent
+/// blocked behind another thread — uncontended acquisitions go through a
+/// try_lock fast path that never reads the clock.
+struct ShardStats {
+  size_t entries = 0;
+  int64_t lookups = 0;
+  int64_t inserts = 0;
+  int64_t contended_acquires = 0;
+  int64_t lock_wait_ns = 0;
+};
+
 class ShardedResourcePlanIndex : public ResourcePlanIndex {
  public:
   ShardedResourcePlanIndex(CacheIndexKind inner, size_t num_shards);
@@ -114,11 +126,24 @@ class ShardedResourcePlanIndex : public ResourcePlanIndex {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// One entry per shard, in shard order. Exposes the skew a workload's
+  /// key distribution induces over the lock stripes.
+  std::vector<ShardStats> shard_stats() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;
     std::unique_ptr<ResourcePlanIndex> index;
+    mutable std::atomic<int64_t> lookups{0};
+    mutable std::atomic<int64_t> inserts{0};
+    mutable std::atomic<int64_t> contended_acquires{0};
+    mutable std::atomic<int64_t> lock_wait_ns{0};
   };
+
+  /// Acquires `shard.mu`, charging blocked time to the shard's wait
+  /// counters. try_lock first so the common uncontended path costs no
+  /// clock read.
+  static std::unique_lock<std::mutex> LockShard(const Shard& shard);
 
   const Shard& ShardFor(double key) const;
   Shard& ShardFor(double key);
@@ -148,6 +173,13 @@ const char* CacheLookupModeName(CacheLookupMode mode);
 struct CacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
+
+  int64_t lookups() const { return hits + misses; }
+  /// Hits as a fraction of lookups; 0 when no lookup happened yet.
+  double hit_rate() const {
+    const int64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
 };
 
 /// The resource-plan cache: per cost model (SMJ, BHJ, ...) an index of
@@ -174,6 +206,11 @@ class ResourcePlanCache {
   /// that the entry's full data characteristic matches (an entry for the
   /// same smaller size but a different larger size counts as a miss);
   /// the similarity modes ignore the guard — they approximate by design.
+  ///
+  /// When the observability layer is on, each call records a
+  /// `cache.lookup` span plus hit/miss counters and a latency histogram
+  /// under the same prefix (obs/metrics.h); with both metrics and
+  /// tracing off the instrumentation is a pair of relaxed loads.
   std::optional<CachedResourcePlan> Lookup(
       const std::string& model_name, double key_gb,
       std::optional<double> larger_gb = std::nullopt);
@@ -189,10 +226,21 @@ class ResourcePlanCache {
     return CacheStats{hits_.load(std::memory_order_relaxed),
                       misses_.load(std::memory_order_relaxed)};
   }
-  void ResetStats() {
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
+
+  /// Zeroes the hit/miss counters and returns their pre-reset values.
+  /// Each counter is drained with a single atomic exchange, so no
+  /// concurrent increment can slip into the window between reading a
+  /// counter and zeroing it and be lost; across the two counters the
+  /// snapshot is per-counter consistent, the strongest guarantee
+  /// available without serializing every Lookup.
+  CacheStats ResetStats() {
+    return CacheStats{hits_.exchange(0, std::memory_order_relaxed),
+                      misses_.exchange(0, std::memory_order_relaxed)};
   }
+
+  /// Aggregated per-shard stats: entry `i` sums shard `i` of every
+  /// per-model sharded index. Empty when the cache is unsharded.
+  std::vector<ShardStats> shard_stats() const;
 
   CacheLookupMode mode() const { return mode_; }
   double threshold_gb() const { return threshold_gb_; }
@@ -202,6 +250,12 @@ class ResourcePlanCache {
   size_t size() const;
 
  private:
+  /// The uninstrumented lookup; Lookup() wraps it with the observability
+  /// layer so the hot path stays branch-light when everything is off.
+  std::optional<CachedResourcePlan> LookupImpl(
+      const std::string& model_name, double key_gb,
+      std::optional<double> larger_gb);
+
   /// Returns the index for `model_name`, creating it if absent. The
   /// caller must hold `map_mu_` (shared suffices once the index exists;
   /// creation upgrades to exclusive internally via the two-phase pattern

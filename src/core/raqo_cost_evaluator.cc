@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "cost/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace raqo::core {
 
@@ -18,16 +21,20 @@ RaqoCostEvaluator::RaqoCostEvaluator(cost::JoinCostModels models,
   switch (options_.search) {
     case ResourceSearch::kBruteForce:
       planner_ = std::make_unique<BruteForceResourcePlanner>();
+      resource_span_name_ = "planner.resource.grid";
       break;
     case ResourceSearch::kHillClimb:
       planner_ = std::make_unique<HillClimbResourcePlanner>();
+      resource_span_name_ = "planner.resource.hillclimb";
       break;
     case ResourceSearch::kAcceleratedHillClimb:
       planner_ = std::make_unique<AcceleratedHillClimbResourcePlanner>();
+      resource_span_name_ = "planner.resource.hillclimb";
       break;
     case ResourceSearch::kParallelBruteForce:
       planner_ = std::make_unique<ParallelBruteForceResourcePlanner>(
           options_.parallel_search_threads);
+      resource_span_name_ = "planner.resource.grid";
       break;
   }
   if (options_.use_cache) {
@@ -52,13 +59,20 @@ CacheStats RaqoCostEvaluator::cache_stats() const {
   return cache != nullptr ? cache->stats() : CacheStats{};
 }
 
-void RaqoCostEvaluator::ResetCacheStats() {
-  if (ResourcePlanCache* cache = active_cache()) cache->ResetStats();
+CacheStats RaqoCostEvaluator::ResetCacheStats() {
+  ResourcePlanCache* cache = active_cache();
+  return cache != nullptr ? cache->ResetStats() : CacheStats{};
 }
 
 size_t RaqoCostEvaluator::cache_size() const {
   const ResourcePlanCache* cache = active_cache();
   return cache != nullptr ? cache->size() : 0;
+}
+
+std::vector<ShardStats> RaqoCostEvaluator::cache_shard_stats() const {
+  const ResourcePlanCache* cache = active_cache();
+  return cache != nullptr ? cache->shard_stats()
+                          : std::vector<ShardStats>{};
 }
 
 void RaqoCostEvaluator::ShareCache(std::shared_ptr<ResourcePlanCache> cache) {
@@ -132,8 +146,41 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
     }
   }
 
-  Result<ResourcePlanResult> planned =
-      planner_->PlanResources(objective, search_cluster);
+  Result<ResourcePlanResult> planned = [&] {
+    const bool metrics_on = obs::MetricsOn();
+    const bool tracing_on = obs::TracingOn();
+    if (!metrics_on && !tracing_on) {
+      return planner_->PlanResources(objective, search_cluster);
+    }
+    Stopwatch timer;
+    obs::Span span = obs::DefaultTracer().StartSpan(resource_span_name_);
+    Result<ResourcePlanResult> result =
+        planner_->PlanResources(objective, search_cluster);
+    if (span.recording()) {
+      span.SetAttr("strategy", planner_->name());
+      span.SetAttr("model", model.name());
+      span.SetAttr("smaller_gb", ss_gb);
+      span.SetAttr("larger_gb", ls_gb);
+      if (result.ok()) {
+        span.SetAttr("configs_explored",
+                     static_cast<int64_t>(result->configs_explored));
+      } else {
+        span.SetAttr("error", result.status().message());
+      }
+    }
+    if (metrics_on) {
+      static obs::Counter* searches =
+          obs::DefaultMetrics().GetCounter("planner.resource.searches");
+      static obs::Counter* explored = obs::DefaultMetrics().GetCounter(
+          "planner.resource.configs_explored");
+      static obs::Histogram* latency =
+          obs::DefaultMetrics().GetHistogram("planner.resource.wall_us");
+      searches->Add(1);
+      if (result.ok()) explored->Add(result->configs_explored);
+      latency->Record(timer.ElapsedMicros());
+    }
+    return result;
+  }();
   if (!planned.ok()) return planned.status();
   AddResourceConfigsExplored(planned->configs_explored);
 

@@ -76,8 +76,13 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   /// Cache maintenance/statistics (zeroed stats when caching is off).
   void ClearCache();
   CacheStats cache_stats() const;
-  void ResetCacheStats();
+  /// Zeroes the counters atomically and returns the pre-reset snapshot
+  /// (see ResourcePlanCache::ResetStats); zeroes when caching is off.
+  CacheStats ResetCacheStats();
   size_t cache_size() const;
+  /// Per-shard stats of the active cache; empty when caching is off or
+  /// the cache is unsharded.
+  std::vector<ShardStats> cache_shard_stats() const;
 
   /// Points this evaluator at a cache owned jointly with other planner
   /// threads (the concurrent planning service: N planners, one cache).
@@ -108,6 +113,10 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   resource::ClusterConditions cluster_;
   resource::PricingModel pricing_;
   RaqoEvaluatorOptions options_;
+  /// Trace-span name of the resource search this evaluator runs:
+  /// "planner.resource.grid" for the exhaustive strategies,
+  /// "planner.resource.hillclimb" for the climbing ones.
+  const char* resource_span_name_ = "planner.resource.grid";
   std::unique_ptr<ResourcePlanner> planner_;
   std::unique_ptr<ResourcePlanCache> cache_;
   std::shared_ptr<ResourcePlanCache> shared_cache_;

@@ -4,6 +4,8 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/fixed_resource_evaluator.h"
 #include "optimizer/plan_cost.h"
 #include "plan/cardinality.h"
@@ -59,7 +61,32 @@ Result<JointPlan> RaqoPlanner::Plan(
     evaluator_.ClearCache();
   }
   if (!shared) evaluator_.ResetCacheStats();
+
+  obs::Span span;
+  if (obs::TracingOn()) {
+    span = obs::DefaultTracer().StartSpan("planner.query");
+    span.SetAttr("algorithm", PlannerAlgorithmName(options_.algorithm));
+    span.SetAttr("num_tables", static_cast<int64_t>(tables.size()));
+  }
   Result<JointPlan> result = RunPlanner(tables, evaluator_);
+  if (span.recording()) {
+    if (result.ok()) {
+      span.SetAttr("plans_considered", result->stats.plans_considered);
+      span.SetAttr("cost_seconds", result->cost.seconds);
+    } else {
+      span.SetAttr("error", result.status().message());
+    }
+  }
+  span.End();
+
+  if (obs::MetricsOn()) {
+    static obs::Counter* queries =
+        obs::DefaultMetrics().GetCounter("planner.queries");
+    static obs::Counter* errors =
+        obs::DefaultMetrics().GetCounter("planner.errors");
+    queries->Add(1);
+    if (!result.ok()) errors->Add(1);
+  }
   if (result.ok() && !shared) {
     result->stats.cache_hits = evaluator_.cache_stats().hits;
     result->stats.cache_misses = evaluator_.cache_stats().misses;

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace raqo::core {
 
@@ -39,8 +40,16 @@ Result<WorkloadReport> WorkloadRunner::Run(
   }
   Stopwatch watch;
   WorkloadReport report;
-  for (const WorkloadQuery& query : workload) {
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const WorkloadQuery& query = workload[i];
+    obs::Span span;
+    if (obs::TracingOn()) {
+      span = obs::DefaultTracer().StartSpan("runner.query");
+      span.SetAttr("query", query.label);
+      span.SetAttr("index", static_cast<int64_t>(i));
+    }
     RAQO_ASSIGN_OR_RETURN(JointPlan plan, planner_->Plan(query.tables));
+    span.End();
     QueryRunReport entry;
     entry.label = query.label;
     entry.cost = plan.cost;

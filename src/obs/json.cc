@@ -1,0 +1,145 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/strings.h"
+
+namespace raqo::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips doubles; trim the common integral case for
+  // readability.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return StrPrintf("%.17g", v);
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += StrPrintf("    \"%s\": %lld",
+                     JsonEscape(snapshot.counters[i].first).c_str(),
+                     static_cast<long long>(snapshot.counters[i].second));
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += StrPrintf("    \"%s\": %s",
+                     JsonEscape(snapshot.gauges[i].first).c_str(),
+                     JsonNumber(snapshot.gauges[i].second).c_str());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += StrPrintf("    \"%s\": {\"count\": %lld, \"sum\": %s, "
+                     "\"buckets\": [",
+                     JsonEscape(h.name).c_str(),
+                     static_cast<long long>(h.count),
+                     JsonNumber(h.sum).c_str());
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      const std::string le =
+          b < h.bounds.size() ? JsonNumber(h.bounds[b]) : "\"inf\"";
+      out += StrPrintf("{\"le\": %s, \"count\": %lld}", le.c_str(),
+                       static_cast<long long>(h.counts[b]));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string SpansToChromeTraceJson(const std::vector<FinishedSpan>& spans) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata so the trace UI labels worker rows.
+  std::set<uint32_t> tids;
+  for (const FinishedSpan& span : spans) tids.insert(span.tid);
+  for (const uint32_t tid : tids) {
+    if (!first) out += ",";
+    first = false;
+    out += StrPrintf(
+        "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": %u, \"args\": {\"name\": \"raqo-thread-%u\"}}",
+        tid, tid);
+  }
+  for (const FinishedSpan& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += StrPrintf(
+        "\n  {\"name\": \"%s\", \"cat\": \"raqo\", \"ph\": \"X\", "
+        "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %u, \"args\": "
+        "{\"span_id\": %llu, \"parent_id\": %llu",
+        JsonEscape(span.name).c_str(), JsonNumber(span.start_us).c_str(),
+        JsonNumber(span.dur_us).c_str(), span.tid,
+        static_cast<unsigned long long>(span.id),
+        static_cast<unsigned long long>(span.parent_id));
+    for (const SpanAttr& attr : span.attrs) {
+      out += StrPrintf(", \"%s\": ", JsonEscape(attr.key).c_str());
+      if (attr.quoted) {
+        out += '"';
+        out += JsonEscape(attr.value);
+        out += '"';
+      } else {
+        out += attr.value;
+      }
+    }
+    out += "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::FailedPrecondition("cannot open " + path +
+                                      " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int closed = std::fclose(f);
+  if (written != content.size() || closed != 0) {
+    return Status::FailedPrecondition("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace raqo::obs

@@ -1,0 +1,39 @@
+#ifndef RAQO_OBS_JSON_H_
+#define RAQO_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raqo::obs {
+
+/// Escapes a string for embedding inside JSON double quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number ("null" for non-finite values,
+/// which JSON cannot represent).
+std::string JsonNumber(double v);
+
+/// Metrics snapshot as a JSON document:
+/// {"counters": {...}, "gauges": {...},
+///  "histograms": {name: {"count","sum","buckets":[{"le","count"},...]}}}
+/// The overflow bucket's bound is the string "inf".
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Spans as a Chrome trace_event JSON document — loadable directly in
+/// chrome://tracing and https://ui.perfetto.dev. Every span becomes one
+/// complete ("ph":"X") event with its attributes (plus span/parent ids)
+/// under "args"; thread names are emitted as metadata events so workers
+/// are labeled in the UI.
+std::string SpansToChromeTraceJson(const std::vector<FinishedSpan>& spans);
+
+/// Writes `content` to `path` (overwrite).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace raqo::obs
+
+#endif  // RAQO_OBS_JSON_H_

@@ -1,0 +1,95 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace raqo::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  RAQO_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1,    2,    5,    10,    20,    50,    100,    200,    500,
+      1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+      1000000};
+  return *bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->BucketCounts();
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& DefaultMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace raqo::obs

@@ -1,0 +1,144 @@
+#ifndef RAQO_OBS_METRICS_H_
+#define RAQO_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace raqo::obs {
+
+/// A monotonically increasing counter. Add() is one relaxed atomic
+/// add — safe to call from any number of threads, no lock ever taken.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-write-wins instantaneous value (cache sizes, worker counts).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds in
+/// ascending order; values above the last bound land in an implicit
+/// overflow bucket, so there are bounds.size() + 1 buckets. Record() is
+/// a branchless-ish scan over a handful of bounds plus three relaxed
+/// atomic ops — no lock on the hot path; Snapshot readers see a
+/// point-in-time view per bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value) {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds.size() + 1 entries (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket bounds for latency histograms, in microseconds:
+/// 1-2-5 decades from 1 us to 1 s.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  ///< bounds.size() + 1 (last = overflow)
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns named metrics. Registration (GetCounter & friends) takes a
+/// mutex once per call site — instrumentation holds the returned pointer
+/// in a function-local static, so the steady-state hot path is only the
+/// metric's own relaxed atomics. Metric objects are never destroyed or
+/// moved while the registry lives, so handed-out pointers stay valid
+/// across Reset()/Snapshot().
+///
+/// The `enabled` flag is advisory: instrumentation sites check it (one
+/// relaxed load via MetricsOn()) before touching clocks or metrics, which
+/// is what makes the disabled configuration near-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Finds or creates the named metric. For histograms, `bounds` is used
+  /// only on first creation; later calls with the same name return the
+  /// existing histogram unchanged.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(
+      const std::string& name,
+      const std::vector<double>& bounds = DefaultLatencyBoundsUs());
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric's value. Registered metric objects (and any
+  /// pointers instrumentation holds to them) stay valid.
+  void ResetAll();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry the built-in instrumentation records into.
+/// Enabled by default (counters are cheap); disable with
+/// DefaultMetrics().set_enabled(false) to strip even that cost.
+MetricsRegistry& DefaultMetrics();
+
+/// One relaxed atomic load; the gate every instrumentation site checks
+/// before doing any metrics work.
+inline bool MetricsOn() { return DefaultMetrics().enabled(); }
+
+}  // namespace raqo::obs
+
+#endif  // RAQO_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace raqo::obs {
+
+namespace {
+
+/// Stable small thread ids: assigned in order of each thread's first
+/// span, so trace rows group naturally per worker.
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread stack of open spans. Spans are RAII-scoped, so the stack
+/// is LIFO per thread; frames carry the owning tracer so independent
+/// tracers nest independently.
+struct Frame {
+  const Tracer* tracer;
+  uint64_t id;
+};
+thread_local std::vector<Frame> g_open_spans;
+
+uint64_t InnermostOpenSpan(const Tracer* tracer) {
+  for (auto it = g_open_spans.rbegin(); it != g_open_spans.rend(); ++it) {
+    if (it->tracer == tracer) return it->id;
+  }
+  return 0;
+}
+
+void PopOpenSpan(const Tracer* tracer, uint64_t id) {
+  for (auto it = g_open_spans.rbegin(); it != g_open_spans.rend(); ++it) {
+    if (it->tracer == tracer && it->id == id) {
+      g_open_spans.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), data_(std::move(other.data_)) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    data_ = std::move(other.data_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::SetAttr(const char* key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  data_.attrs.push_back(SpanAttr{key, value, /*quoted=*/true});
+}
+
+void Span::SetAttr(const char* key, const char* value) {
+  SetAttr(key, std::string(value));
+}
+
+void Span::SetAttr(const char* key, int64_t value) {
+  if (tracer_ == nullptr) return;
+  data_.attrs.push_back(
+      SpanAttr{key, std::to_string(value), /*quoted=*/false});
+}
+
+void Span::SetAttr(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  data_.attrs.push_back(
+      SpanAttr{key, StrPrintf("%.6g", value), /*quoted=*/false});
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  data_.dur_us = tracer->NowUs() - data_.start_us;
+  PopOpenSpan(tracer, data_.id);
+  tracer->Finish(std::move(data_));
+}
+
+Tracer::Tracer(TracerOptions options)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(options.ring_capacity < 1 ? 1 : options.ring_capacity) {}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Span Tracer::StartSpan(const char* name) {
+  Span span;
+  if (!enabled()) return span;
+  span.tracer_ = this;
+  span.data_.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.data_.parent_id = InnermostOpenSpan(this);
+  span.data_.tid = CurrentThreadId();
+  span.data_.name = name;
+  span.data_.start_us = NowUs();
+  g_open_spans.push_back(Frame{this, span.data_.id});
+  return span;
+}
+
+void Tracer::Finish(FinishedSpan&& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<FinishedSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FinishedSpan> out;
+  out.reserve(ring_.size());
+  // Once wrapped, head_ points at the oldest element.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+int64_t Tracer::total_finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - static_cast<int64_t>(ring_.size());
+}
+
+Tracer& DefaultTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace raqo::obs

@@ -1,0 +1,140 @@
+#ifndef RAQO_OBS_TRACE_H_
+#define RAQO_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace raqo::obs {
+
+/// One span attribute, pre-rendered to its JSON form. `quoted` is false
+/// for numeric values, which are emitted as JSON numbers.
+struct SpanAttr {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// A completed span as stored in the tracer's ring buffer.
+struct FinishedSpan {
+  /// Process-unique id (from one atomic counter, so ids are stable under
+  /// any thread interleaving; 0 is never issued).
+  uint64_t id = 0;
+  /// Id of the enclosing span on the same thread, 0 for roots.
+  uint64_t parent_id = 0;
+  /// Small stable per-thread id (assignment order of first span use).
+  uint32_t tid = 0;
+  std::string name;
+  /// Microseconds since the tracer's construction (its epoch).
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<SpanAttr> attrs;
+};
+
+class Tracer;
+
+/// RAII span handle returned by Tracer::StartSpan. When the tracer is
+/// disabled the handle is inert: every member is a no-op, so call sites
+/// need no branches of their own. A recording span finishes (computes
+/// its duration, pops the nesting stack, lands in the ring buffer) at
+/// End() or destruction, whichever comes first, and must do so on the
+/// thread that started it — that is what keeps the per-thread nesting
+/// stack LIFO.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// True when attached to an enabled tracer (attributes will be kept).
+  bool recording() const { return tracer_ != nullptr; }
+  uint64_t id() const { return data_.id; }
+
+  void SetAttr(const char* key, const std::string& value);
+  void SetAttr(const char* key, const char* value);
+  void SetAttr(const char* key, int64_t value);
+  void SetAttr(const char* key, double value);
+
+  /// Finishes the span now; further calls (and destruction) are no-ops.
+  void End();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  FinishedSpan data_;
+};
+
+struct TracerOptions {
+  /// Completed spans kept; when full, the oldest span is overwritten
+  /// (the drop is counted). Bounded so tracing a long run cannot exhaust
+  /// memory.
+  size_t ring_capacity = 1 << 16;
+};
+
+/// Produces structured, nested spans into a bounded ring buffer.
+/// StartSpan when disabled is one relaxed atomic load returning an inert
+/// handle; when enabled it is one clock read plus a thread-local stack
+/// push. Finishing takes a short mutex-protected ring append (spans
+/// finish orders of magnitude less often than metrics tick). Disabled by
+/// default.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = TracerOptions());
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Starts a span nested under the calling thread's innermost open span
+  /// of this tracer (if any).
+  Span StartSpan(const char* name);
+
+  /// Completed spans, oldest first. A point-in-time copy.
+  std::vector<FinishedSpan> Snapshot() const;
+
+  /// Drops all buffered spans and the drop counter.
+  void Clear();
+
+  /// Spans ever finished (including ones since overwritten).
+  int64_t total_finished() const;
+  /// Spans overwritten because the ring was full.
+  int64_t dropped() const;
+
+  /// Microseconds since this tracer's construction.
+  double NowUs() const;
+
+ private:
+  friend class Span;
+  void Finish(FinishedSpan&& span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FinishedSpan> ring_;
+  size_t head_ = 0;  ///< next overwrite position once the ring is full
+  int64_t total_ = 0;
+};
+
+/// The process-wide tracer the built-in instrumentation records into.
+/// Disabled by default; flip on around the region of interest and export
+/// with SpansToChromeTraceJson (obs/json.h).
+Tracer& DefaultTracer();
+
+/// One relaxed atomic load; the gate every instrumentation site checks
+/// before creating spans.
+inline bool TracingOn() { return DefaultTracer().enabled(); }
+
+}  // namespace raqo::obs
+
+#endif  // RAQO_OBS_TRACE_H_

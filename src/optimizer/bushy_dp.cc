@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/cardinality.h"
 #include "plan/table_set.h"
 
@@ -56,6 +58,16 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
     result.stats.wall_ms = watch.ElapsedMillis();
     return result;
   }
+
+  obs::Span span;
+  if (obs::TracingOn()) {
+    span = obs::DefaultTracer().StartSpan("planner.bushy_dp");
+    span.SetAttr("num_tables", static_cast<int64_t>(n));
+  }
+  // Enumeration counters, kept in locals on the hot path and flushed to
+  // the metrics registry once per planning run.
+  int64_t subproblems = 0;
+  int64_t pruned = 0;
 
   std::vector<uint32_t> adjacency(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
@@ -134,7 +146,10 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
       context.left_bytes = left_bytes;
       context.right_bytes = right_bytes;
       Result<OperatorCost> op = evaluator.CostJoin(context);
-      if (!op.ok()) continue;
+      if (!op.ok()) {
+        ++pruned;  // infeasible candidate (e.g. BHJ OOM)
+        continue;
+      }
       const cost::CostVector total = dp[left].cost + dp[right].cost + op->cost;
       const double scalar = total.Weighted(options_.time_weight);
       DpEntry& entry = dp[mask];
@@ -151,6 +166,7 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
 
   for (uint32_t mask = 1; mask <= full; ++mask) {
     if (__builtin_popcount(mask) < 2) continue;
+    ++subproblems;
     // Enumerate unordered splits: fix the lowest bit in the left part so
     // each {left, right} pair is visited once (operator costing is
     // symmetric in the input sizes).
@@ -166,10 +182,39 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
            !parts_connected(sub, mask ^ sub))) {
         // Connected subsets must be built from connected, adjacent parts;
         // cross products are reserved for disconnected subsets.
+        ++pruned;
         continue;
       }
       try_split(mask, sub);
     }
+  }
+
+  // Flush the enumeration counters before either exit below (bulk adds,
+  // not per-item hot-path increments).
+  int64_t memo_entries = 0;
+  for (const DpEntry& e : dp) memo_entries += e.valid ? 1 : 0;
+  if (span.recording()) {
+    span.SetAttr("subproblems", subproblems);
+    span.SetAttr("pruned", pruned);
+    span.SetAttr("memo_entries", memo_entries);
+    span.SetAttr("plans_considered", stats.plans_considered);
+  }
+  if (obs::MetricsOn()) {
+    static obs::Counter* runs =
+        obs::DefaultMetrics().GetCounter("planner.bushy_dp.runs");
+    static obs::Counter* subproblems_total =
+        obs::DefaultMetrics().GetCounter("planner.bushy_dp.subproblems");
+    static obs::Counter* pruned_total =
+        obs::DefaultMetrics().GetCounter("planner.bushy_dp.pruned");
+    static obs::Counter* plans_total = obs::DefaultMetrics().GetCounter(
+        "planner.bushy_dp.plans_considered");
+    static obs::Gauge* memo_size =
+        obs::DefaultMetrics().GetGauge("planner.bushy_dp.memo_entries");
+    runs->Add(1);
+    subproblems_total->Add(subproblems);
+    pruned_total->Add(pruned);
+    plans_total->Add(stats.plans_considered);
+    memo_size->Set(static_cast<double>(memo_entries));
   }
 
   if (!dp[full].valid) {

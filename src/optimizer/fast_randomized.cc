@@ -4,6 +4,8 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan_cost.h"
 #include "plan/cardinality.h"
 #include "plan/plan_builder.h"
@@ -118,6 +120,18 @@ Result<MultiObjectiveResult> FastRandomizedPlanner::Plan(
     return result;
   }
 
+  obs::Span span;
+  if (obs::TracingOn()) {
+    span = obs::DefaultTracer().StartSpan("planner.randomized");
+    span.SetAttr("num_tables", static_cast<int64_t>(tables.size()));
+    span.SetAttr("iterations", static_cast<int64_t>(options_.iterations));
+  }
+  // Search counters, kept in locals on the hot path and flushed to the
+  // metrics registry once per planning run.
+  int64_t moves = 0;
+  int64_t admitted = 0;
+  int64_t infeasible = 0;
+
   // Seed the archive with random plans. Random seeding can produce
   // infeasible plans (e.g. all-BHJ over huge inputs); keep drawing a
   // bounded number of times.
@@ -130,9 +144,14 @@ Result<MultiObjectiveResult> FastRandomizedPlanner::Plan(
     ++stats.plans_considered;
     Result<cost::CostVector> cost =
         EvaluatePlanCost(*candidate, estimator, evaluator);
-    if (!cost.ok()) continue;
-    ArchiveInsert(result.frontier, std::move(candidate), *cost,
-                  options_.approx_eps);
+    if (!cost.ok()) {
+      ++infeasible;
+      continue;
+    }
+    admitted += ArchiveInsert(result.frontier, std::move(candidate), *cost,
+                              options_.approx_eps)
+                    ? 1
+                    : 0;
     ++seeded;
   }
   if (result.frontier.empty()) {
@@ -151,6 +170,7 @@ Result<MultiObjectiveResult> FastRandomizedPlanner::Plan(
   // Improvement phases: mutate random archive members.
   for (int iter = 0; iter < options_.iterations; ++iter) {
     for (int move = 0; move < options_.moves_per_iteration; ++move) {
+      ++moves;
       const size_t pick = static_cast<size_t>(rng.UniformInt(
           0, static_cast<int64_t>(result.frontier.size()) - 1));
       std::unique_ptr<plan::PlanNode> candidate =
@@ -163,9 +183,14 @@ Result<MultiObjectiveResult> FastRandomizedPlanner::Plan(
       ++stats.plans_considered;
       Result<cost::CostVector> cost =
           EvaluatePlanCost(*candidate, estimator, evaluator);
-      if (!cost.ok()) continue;  // infeasible mutation
-      ArchiveInsert(result.frontier, std::move(candidate), *cost,
-                    options_.approx_eps);
+      if (!cost.ok()) {
+        ++infeasible;  // infeasible mutation
+        continue;
+      }
+      admitted += ArchiveInsert(result.frontier, std::move(candidate), *cost,
+                                options_.approx_eps)
+                      ? 1
+                      : 0;
     }
   }
 
@@ -173,6 +198,32 @@ Result<MultiObjectiveResult> FastRandomizedPlanner::Plan(
             [](const ParetoEntry& a, const ParetoEntry& b) {
               return a.cost.seconds < b.cost.seconds;
             });
+
+  if (span.recording()) {
+    span.SetAttr("moves", moves);
+    span.SetAttr("admitted", admitted);
+    span.SetAttr("infeasible", infeasible);
+    span.SetAttr("frontier_size",
+                 static_cast<int64_t>(result.frontier.size()));
+    span.SetAttr("plans_considered", stats.plans_considered);
+  }
+  if (obs::MetricsOn()) {
+    static obs::Counter* runs =
+        obs::DefaultMetrics().GetCounter("planner.randomized.runs");
+    static obs::Counter* moves_total =
+        obs::DefaultMetrics().GetCounter("planner.randomized.moves");
+    static obs::Counter* admitted_total =
+        obs::DefaultMetrics().GetCounter("planner.randomized.admitted");
+    static obs::Counter* infeasible_total =
+        obs::DefaultMetrics().GetCounter("planner.randomized.infeasible");
+    static obs::Counter* plans_total = obs::DefaultMetrics().GetCounter(
+        "planner.randomized.plans_considered");
+    runs->Add(1);
+    moves_total->Add(moves);
+    admitted_total->Add(admitted);
+    infeasible_total->Add(infeasible);
+    plans_total->Add(stats.plans_considered);
+  }
 
   stats.operator_cost_calls = evaluator.operator_cost_calls();
   stats.resource_configs_explored = evaluator.resource_configs_explored();

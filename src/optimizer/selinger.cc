@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan_cost.h"
 #include "plan/cardinality.h"
 #include "plan/table_set.h"
@@ -61,6 +63,16 @@ Result<PlannedQuery> SelingerPlanner::Plan(
     return result;
   }
 
+  obs::Span span;
+  if (obs::TracingOn()) {
+    span = obs::DefaultTracer().StartSpan("planner.selinger");
+    span.SetAttr("num_tables", static_cast<int64_t>(n));
+  }
+  // Enumeration counters, kept in locals on the hot path and flushed to
+  // the metrics registry once per planning run.
+  int64_t subproblems = 0;
+  int64_t pruned = 0;
+
   // Precompute: bytes of every subset are resolved lazily through the
   // estimator; adjacency between query positions comes from the join
   // graph.
@@ -108,7 +120,10 @@ Result<PlannedQuery> SelingerPlanner::Plan(
       context.left_bytes = left_bytes;
       context.right_bytes = right_bytes;
       Result<OperatorCost> op = evaluator.CostJoin(context);
-      if (!op.ok()) continue;  // infeasible candidate (e.g. BHJ OOM)
+      if (!op.ok()) {
+        ++pruned;  // infeasible candidate (e.g. BHJ OOM)
+        continue;
+      }
       const cost::CostVector total = base.cost + op->cost;
       const double scalar = total.Weighted(options_.time_weight);
       DpEntry& entry = dp[mask];
@@ -126,6 +141,7 @@ Result<PlannedQuery> SelingerPlanner::Plan(
 
   for (uint32_t mask = 1; mask <= full; ++mask) {
     if (__builtin_popcount(mask) < 2) continue;
+    ++subproblems;
     // Pass 1: only joins along graph edges.
     for (int t = 0; t < n; ++t) {
       const uint32_t bit = uint32_t{1} << t;
@@ -134,6 +150,7 @@ Result<PlannedQuery> SelingerPlanner::Plan(
       if (!dp[prev].valid) continue;
       if (options_.avoid_cross_products &&
           (adjacency[static_cast<size_t>(t)] & prev) == 0) {
+        ++pruned;  // cross product skipped
         continue;
       }
       try_extend(mask, prev, t);
@@ -149,6 +166,35 @@ Result<PlannedQuery> SelingerPlanner::Plan(
         try_extend(mask, prev, t);
       }
     }
+  }
+
+  // Flush the enumeration counters before either exit below. Counters
+  // are added in bulk here (not per item inside the DP loop), so the
+  // observability cost per run is a handful of atomic adds.
+  int64_t memo_entries = 0;
+  for (const DpEntry& e : dp) memo_entries += e.valid ? 1 : 0;
+  if (span.recording()) {
+    span.SetAttr("subproblems", subproblems);
+    span.SetAttr("pruned", pruned);
+    span.SetAttr("memo_entries", memo_entries);
+    span.SetAttr("plans_considered", stats.plans_considered);
+  }
+  if (obs::MetricsOn()) {
+    static obs::Counter* runs =
+        obs::DefaultMetrics().GetCounter("planner.selinger.runs");
+    static obs::Counter* subproblems_total =
+        obs::DefaultMetrics().GetCounter("planner.selinger.subproblems");
+    static obs::Counter* pruned_total =
+        obs::DefaultMetrics().GetCounter("planner.selinger.pruned");
+    static obs::Counter* plans_total = obs::DefaultMetrics().GetCounter(
+        "planner.selinger.plans_considered");
+    static obs::Gauge* memo_size =
+        obs::DefaultMetrics().GetGauge("planner.selinger.memo_entries");
+    runs->Add(1);
+    subproblems_total->Add(subproblems);
+    pruned_total->Add(pruned);
+    plans_total->Add(stats.plans_considered);
+    memo_size->Set(static_cast<double>(memo_entries));
   }
 
   if (!dp[full].valid) {
