@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "catalog/random_schema.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "core/concurrent_workload_runner.h"
 #include "core/workload_runner.h"
@@ -84,6 +85,8 @@ int main() {
   const Result<core::WorkloadReport> baseline = sequential.Run(workload);
   RAQO_CHECK(baseline.ok()) << baseline.status().ToString();
 
+  // Rendered to BENCH_concurrent.json alongside the printed table.
+  std::string json_levels;
   bench::Table table({"threads", "wall clock (ms)", "speedup",
                       "cache hits", "cache misses", "plans identical"});
   table.AddRow({"sequential", bench::Num(baseline->wall_clock_ms, "%.1f"),
@@ -112,8 +115,35 @@ int main() {
                   bench::Int(report->shared_cache.hits),
                   bench::Int(report->shared_cache.misses),
                   identical ? "yes" : "NO"});
+    const int64_t hits = report->shared_cache.hits;
+    const int64_t misses = report->shared_cache.misses;
+    const double hit_rate =
+        hits + misses > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+            : 0.0;
+    if (!json_levels.empty()) json_levels += ", ";
+    json_levels += StrPrintf(
+        "{\"threads\": %d, \"wall_ms\": %s, \"speedup\": %s, "
+        "\"cache_hits\": %lld, \"cache_misses\": %lld, \"hit_rate\": %s, "
+        "\"plans_identical\": %s}",
+        threads, JsonNumber(report->wall_clock_ms).c_str(),
+        JsonNumber(baseline->wall_clock_ms / report->wall_clock_ms).c_str(),
+        (long long)hits, (long long)misses, JsonNumber(hit_rate).c_str(),
+        identical ? "true" : "false");
   }
   table.Print();
+
+  const std::string json = StrPrintf(
+      "{\"bench\": \"concurrent_workload\", \"queries\": %zu, "
+      "\"sequential_wall_ms\": %s, \"levels\": [%s]}\n",
+      workload.size(), JsonNumber(baseline->wall_clock_ms).c_str(),
+      json_levels.c_str());
+  if (Status written = WriteTextFile("BENCH_concurrent.json", json);
+      !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_concurrent.json\n");
   std::printf(
       "\nspeedup scales with physical cores (target: >=2x at 4 threads on "
       "a >=4-core host); plans, costs, and resource configurations are "

@@ -1,0 +1,203 @@
+// Closed-loop load generator for the RAQO planning server: an
+// in-process server on a loopback port, then ramped concurrency levels
+// (1 -> 64 connections) of clients that each fire requests
+// back-to-back and wait for every answer. Reports throughput and
+// p50/p99 latency per level, plus the shared plan-cache hit rate, and
+// writes the same numbers machine-readably to BENCH_server.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/tpch.h"
+#include "common/json.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sim/profile_runner.h"
+
+namespace {
+
+using namespace raqo;
+
+constexpr int kRequestsPerClient = 24;
+
+double Percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+struct LevelResult {
+  int connections = 0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+
+  core::RaqoPlannerOptions planner_options;
+  planner_options.evaluator.use_cache = true;
+  planner_options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  planner_options.clear_cache_between_queries = false;
+
+  server::PlanningServiceOptions service_options;
+  service_options.planner = planner_options;
+  server::PlanningService service(&catalog, models,
+                                  resource::ClusterConditions::PaperDefault(),
+                                  resource::PricingModel(), service_options);
+
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_workers = std::max(
+      4u, std::thread::hardware_concurrency());
+  server_options.max_queue = 256;
+  server_options.max_connections = 128;
+  server::PlanningServer server(&service, server_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // The request mix: repeated join shapes, so the shared exact-match
+  // cache warms up the way a real planning service's would.
+  const std::vector<std::vector<std::string>> mix = {
+      {"orders", "lineitem"},
+      {"orders", "lineitem", "customer"},
+      {"part", "partsupp", "supplier"},
+      {"orders", "lineitem", "customer", "nation"},
+  };
+
+  bench::Section(StrPrintf(
+      "Planning server under closed-loop load (%d workers, queue %zu, "
+      "%d requests per connection)",
+      server_options.num_workers, server_options.max_queue,
+      kRequestsPerClient));
+
+  std::vector<LevelResult> levels;
+  for (int connections : {1, 4, 16, 64}) {
+    std::vector<std::thread> clients;
+    std::mutex latencies_mu;
+    std::vector<double> latencies_us;
+    std::atomic<int64_t> errors{0};
+
+    const auto level_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        Result<server::PlanningClient> client =
+            server::PlanningClient::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          errors.fetch_add(kRequestsPerClient);
+          return;
+        }
+        std::vector<double> mine;
+        mine.reserve(kRequestsPerClient);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          server::PlanRequest request;
+          request.id = StrPrintf("c%d.%d", c, i);
+          request.tables = mix[static_cast<size_t>(c + i) % mix.size()];
+          const auto start = std::chrono::steady_clock::now();
+          Result<server::PlanResponse> response = client->Call(request);
+          const double us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (!response.ok() || !response->ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          mine.push_back(us);
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies_us.insert(latencies_us.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - level_start)
+            .count();
+
+    std::sort(latencies_us.begin(), latencies_us.end());
+    LevelResult level;
+    level.connections = connections;
+    level.requests = static_cast<int64_t>(latencies_us.size());
+    level.errors = errors.load();
+    level.wall_ms = wall_ms;
+    level.throughput_rps =
+        wall_ms > 0.0 ? 1000.0 * static_cast<double>(level.requests) / wall_ms
+                      : 0.0;
+    level.p50_us = Percentile(latencies_us, 0.50);
+    level.p99_us = Percentile(latencies_us, 0.99);
+    levels.push_back(level);
+  }
+
+  server.Shutdown();
+  server.Wait();
+
+  bench::Table table({"connections", "requests", "errors", "wall (ms)",
+                      "throughput (req/s)", "p50 (us)", "p99 (us)"});
+  for (const LevelResult& level : levels) {
+    table.AddRow({bench::Int(level.connections), bench::Int(level.requests),
+                  bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
+                  bench::Num(level.throughput_rps, "%.0f"),
+                  bench::Num(level.p50_us, "%.0f"),
+                  bench::Num(level.p99_us, "%.0f")});
+  }
+  table.Print();
+
+  const core::CacheStats cache = service.shared_cache_stats();
+  const double hit_rate =
+      cache.hits + cache.misses > 0
+          ? static_cast<double>(cache.hits) /
+                static_cast<double>(cache.hits + cache.misses)
+          : 0.0;
+  std::printf("\nshared plan cache: %lld hits / %lld misses (%.1f%% hit "
+              "rate)\n",
+              (long long)cache.hits, (long long)cache.misses,
+              100.0 * hit_rate);
+
+  // Machine-readable mirror of the table above.
+  std::string json = "{\"bench\": \"server_load\", \"levels\": [";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& level = levels[i];
+    if (i > 0) json += ", ";
+    json += StrPrintf(
+        "{\"connections\": %d, \"requests\": %lld, \"errors\": %lld, "
+        "\"wall_ms\": %s, \"throughput_rps\": %s, \"p50_us\": %s, "
+        "\"p99_us\": %s}",
+        level.connections, (long long)level.requests, (long long)level.errors,
+        JsonNumber(level.wall_ms).c_str(),
+        JsonNumber(level.throughput_rps).c_str(),
+        JsonNumber(level.p50_us).c_str(), JsonNumber(level.p99_us).c_str());
+  }
+  json += StrPrintf(
+      "], \"cache\": {\"hits\": %lld, \"misses\": %lld, \"hit_rate\": %s}}",
+      (long long)cache.hits, (long long)cache.misses,
+      JsonNumber(hit_rate).c_str());
+  json += "\n";
+  if (Status written = WriteTextFile("BENCH_server.json", json);
+      !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_server.json\n");
+
+  int64_t total_errors = 0;
+  for (const LevelResult& level : levels) total_errors += level.errors;
+  return total_errors == 0 ? 0 : 1;
+}

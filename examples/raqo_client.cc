@@ -1,0 +1,88 @@
+// Command-line client for the RAQO planning server:
+//
+//   raqo_client --port 7470 --sql "select * from orders, lineitem, customer"
+//   raqo_client --port 7470 --sql "select * from orders, lineitem" \
+//       --max-dollars 0.40
+//
+// Prints the chosen plan, the per-join resource configuration, and the
+// predicted cost/latency the server answered with.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/client.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raqo;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 7470;
+  if (const char* v = FlagValue(argc, argv, "--host")) host = v;
+  if (const char* v = FlagValue(argc, argv, "--port")) {
+    port = static_cast<uint16_t>(std::atoi(v));
+  }
+
+  server::PlanRequest request;
+  request.id = "raqo_client";
+  request.sql = "select * from orders, lineitem, customer";
+  if (const char* v = FlagValue(argc, argv, "--sql")) request.sql = v;
+  if (const char* v = FlagValue(argc, argv, "--max-dollars")) {
+    request.has_max_dollars = true;
+    request.max_dollars = std::atof(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--algorithm")) {
+    request.algorithm = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "--search")) request.search = v;
+  if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
+    request.deadline_ms = std::atoll(v);
+  }
+
+  Result<server::PlanningClient> client =
+      server::PlanningClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  Result<server::PlanResponse> response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "call: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->ok()) {
+    std::fprintf(stderr, "%s: %s\n", response->status.c_str(),
+                 response->error.c_str());
+    return 2;
+  }
+
+  std::printf("plan:     %s\n", response->plan.c_str());
+  for (size_t i = 0; i < response->join_resources.size(); ++i) {
+    const resource::ResourceConfig& r = response->join_resources[i];
+    std::printf("join %zu:   %.0f x %.1f GB containers\n", i,
+                r.num_containers(), r.container_size_gb());
+  }
+  std::printf("cost:     %.3f s, $%.4f\n", response->cost.seconds,
+              response->cost.dollars);
+  std::printf(
+      "planning: %.2f ms wall, %lld plans, %lld resource configs, "
+      "cache %lld/%lld, queue wait %.0f us\n",
+      response->stats.wall_ms, (long long)response->stats.plans_considered,
+      (long long)response->stats.resource_configs_explored,
+      (long long)response->stats.cache_hits,
+      (long long)(response->stats.cache_hits + response->stats.cache_misses),
+      response->queue_wait_us);
+  return 0;
+}

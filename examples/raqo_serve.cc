@@ -1,0 +1,97 @@
+// The RAQO planning server as a process: binds a TCP port, plans every
+// request it is sent (see docs/SERVER.md for the wire protocol), and
+// drains gracefully on SIGTERM/SIGINT — in-flight requests finish,
+// responses flush, telemetry lands on disk, then the process exits 0.
+//
+//   raqo_serve --port 7470 --workers 8 --telemetry-dir /tmp/raqo
+//
+// Try it with raqo_client or bench/server_load.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "catalog/tpch.h"
+#include "server/server.h"
+#include "sim/profile_runner.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raqo;
+
+  double scale = 100.0;
+  server::ServerOptions server_options;
+  server_options.port = 7470;
+  if (const char* v = FlagValue(argc, argv, "--port")) {
+    server_options.port = static_cast<uint16_t>(std::atoi(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "--workers")) {
+    server_options.num_workers = std::atoi(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-queue")) {
+    server_options.max_queue = static_cast<size_t>(std::atoll(v));
+  }
+  if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
+    server_options.default_deadline_ms = std::atoll(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--telemetry-dir")) {
+    server_options.telemetry_dir = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "--scale")) {
+    scale = std::atof(v);
+  }
+
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(scale);
+  Result<cost::JoinCostModels> models =
+      sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+  if (!models.ok()) {
+    std::fprintf(stderr, "%s\n", models.status().ToString().c_str());
+    return 1;
+  }
+
+  core::RaqoPlannerOptions planner_options;
+  planner_options.evaluator.use_cache = true;
+  planner_options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  planner_options.clear_cache_between_queries = false;
+
+  server::PlanningServiceOptions service_options;
+  service_options.planner = planner_options;
+  server::PlanningService service(&catalog, *models,
+                                  resource::ClusterConditions::PaperDefault(),
+                                  resource::PricingModel(), service_options);
+
+  server::PlanningServer server(&service, server_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  server::InstallShutdownSignalHandlers(&server);
+  std::printf("raqo_serve: TPC-H sf%.0f catalog, %d workers, queue %zu\n",
+              scale, server_options.num_workers, server_options.max_queue);
+  std::printf("raqo_serve: listening on %s:%u (SIGTERM drains)\n",
+              server_options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  server.Wait();
+  server::InstallShutdownSignalHandlers(nullptr);
+
+  const server::ServerStats stats = server.stats();
+  std::printf(
+      "raqo_serve: drained; %lld connections, %lld requests admitted, "
+      "%lld responses, %lld queue-full, %lld deadline-expired\n",
+      (long long)stats.connections_accepted, (long long)stats.requests_admitted,
+      (long long)stats.responses_sent, (long long)stats.rejected_queue_full,
+      (long long)stats.rejected_deadline);
+  return 0;
+}

@@ -1,0 +1,443 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace raqo {
+
+namespace {
+
+/// Nesting bound for ParseJson; deeper documents are rejected rather
+/// than recursed into (wire input is untrusted).
+constexpr int kMaxParseDepth = 64;
+
+/// Appends the UTF-8 encoding of a code point (parser-validated range).
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    RAQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrPrintf("%s (at offset %zu)", message.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxParseDepth) {
+      return Error("document nests deeper than the parser allows");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of document");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        RAQO_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::MakeString(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue object = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a string object key");
+      }
+      RAQO_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      RAQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.AddMember(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue array = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      RAQO_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          RAQO_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; anything else is malformed.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeLiteral("\\u")) {
+              return Error("high surrogate without a following \\u escape");
+            }
+            RAQO_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unexpected low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed; digits must follow
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("invalid value");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits must follow the decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits must follow the exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number");
+    }
+    return JsonValue::MakeNumber(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips doubles; trim the common integral case for
+  // readability.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return StrPrintf("%.17g", v);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::FailedPrecondition("cannot open " + path +
+                                      " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int closed = std::fclose(f);
+  if (written != content.size() || closed != 0) {
+    return Status::FailedPrecondition("short write to " + path);
+  }
+  return Status::OK();
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue value;
+  value.kind_ = Kind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue value;
+  value.kind_ = Kind::kNumber;
+  value.number_ = v;
+  return value;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue value;
+  value.kind_ = Kind::kArray;
+  return value;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue value;
+  value.kind_ = Kind::kObject;
+  return value;
+}
+
+bool JsonValue::bool_value() const {
+  RAQO_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  RAQO_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  RAQO_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  RAQO_CHECK(is_array());
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  RAQO_CHECK(is_object());
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindNumber(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindBool(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindArray(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_array() ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindObject(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_object() ? v : nullptr;
+}
+
+void JsonValue::Append(JsonValue v) {
+  RAQO_CHECK(is_array());
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::AddMember(std::string key, JsonValue v) {
+  RAQO_CHECK(is_object());
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace raqo

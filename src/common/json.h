@@ -1,0 +1,89 @@
+#ifndef RAQO_COMMON_JSON_H_
+#define RAQO_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace raqo {
+
+/// Escapes a string for embedding inside JSON double quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double as a JSON number ("null" for non-finite values,
+/// which JSON cannot represent).
+std::string JsonNumber(double v);
+
+/// Writes `content` to `path` (overwrite).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+/// A parsed JSON document: null / bool / number / string / array /
+/// object. Objects keep their members in document order and look keys up
+/// by linear scan — the wire messages this backs carry a handful of keys
+/// each. Numbers are doubles, the only number JSON has.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// A null value.
+  JsonValue() = default;
+
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors CHECK the kind; test it first, or go through the
+  /// Find* helpers, which return nullptr on any shape mismatch.
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key (first match); nullptr when this is not an
+  /// object or the key is absent.
+  const JsonValue* Find(std::string_view key) const;
+  /// Find + kind filter: nullptr unless the member exists with the kind.
+  const JsonValue* FindString(std::string_view key) const;
+  const JsonValue* FindNumber(std::string_view key) const;
+  const JsonValue* FindBool(std::string_view key) const;
+  const JsonValue* FindArray(std::string_view key) const;
+  const JsonValue* FindObject(std::string_view key) const;
+
+  /// Builders used by the parser (and handy in tests): only valid on the
+  /// matching kind.
+  void Append(JsonValue v);                        ///< array
+  void AddMember(std::string key, JsonValue v);    ///< object
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON document spanning all of `text` (surrounding
+/// whitespace allowed; trailing garbage is an error). Nesting is
+/// depth-limited so adversarial input from a socket cannot overflow the
+/// stack. Fails with InvalidArgument describing the first syntax error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace raqo
+
+#endif  // RAQO_COMMON_JSON_H_

@@ -1,0 +1,143 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace raqo::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::FailedPrecondition(
+      StrPrintf("%s: %s", what, std::strerror(errno)));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int UniqueFd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetTcpNoDelay(int fd) {
+  const int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  RAQO_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (listen(fd.get(), backlog) < 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  RAQO_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect");
+  return fd;
+}
+
+Status SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return Status::FailedPrecondition("connection closed");
+      }
+      return Status::FailedPrecondition(StrPrintf(
+          "connection closed mid-message (%zu of %zu bytes)", got, len));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace raqo::net

@@ -1,0 +1,66 @@
+#ifndef RAQO_COMMON_NET_H_
+#define RAQO_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace raqo::net {
+
+/// Move-only RAII owner of a file descriptor (socket, epoll, eventfd);
+/// closes on destruction. -1 means "none".
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release();
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts the descriptor into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle batching on a TCP socket (request/response traffic).
+Status SetTcpNoDelay(int fd);
+
+/// Creates a TCP listen socket bound to host:port (port 0 picks an
+/// ephemeral port; read it back with LocalPort). SO_REUSEADDR is set so
+/// restarts do not trip over TIME_WAIT.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog);
+
+/// The locally bound port of a socket (after bind).
+Result<uint16_t> LocalPort(int fd);
+
+/// Opens a blocking TCP connection to host:port.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all `len` bytes (blocking socket; retries on EINTR and short
+/// writes, never raises SIGPIPE).
+Status SendAll(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes (blocking socket; retries on EINTR). A
+/// clean peer close before any byte is FailedPrecondition with message
+/// "connection closed"; a close mid-message is a short-read error.
+Status RecvAll(int fd, void* data, size_t len);
+
+}  // namespace raqo::net
+
+#endif  // RAQO_COMMON_NET_H_

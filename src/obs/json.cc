@@ -1,54 +1,10 @@
 #include "obs/json.h"
 
-#include <cmath>
-#include <cstdio>
 #include <set>
 
 #include "common/strings.h"
 
 namespace raqo::obs {
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  // %.17g round-trips doubles; trim the common integral case for
-  // readability.
-  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
-      std::fabs(v) < 1e15) {
-    return std::to_string(static_cast<int64_t>(v));
-  }
-  return StrPrintf("%.17g", v);
-}
 
 std::string MetricsToJson(const MetricsSnapshot& snapshot) {
   std::string out = "{\n  \"counters\": {";
@@ -126,20 +82,6 @@ std::string SpansToChromeTraceJson(const std::vector<FinishedSpan>& spans) {
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;
-}
-
-Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::FailedPrecondition("cannot open " + path +
-                                      " for writing");
-  }
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const int closed = std::fclose(f);
-  if (written != content.size() || closed != 0) {
-    return Status::FailedPrecondition("short write to " + path);
-  }
-  return Status::OK();
 }
 
 }  // namespace raqo::obs

@@ -2,21 +2,21 @@
 #define RAQO_OBS_JSON_H_
 
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace raqo::obs {
 
-/// Escapes a string for embedding inside JSON double quotes.
-std::string JsonEscape(std::string_view s);
-
-/// Renders a double as a JSON number ("null" for non-finite values,
-/// which JSON cannot represent).
-std::string JsonNumber(double v);
+/// The generic JSON primitives live in common/json.h so wire-facing code
+/// (the planning server's protocol) can use them without depending on
+/// the observability library; re-exported here for source compatibility.
+using ::raqo::JsonEscape;
+using ::raqo::JsonNumber;
+using ::raqo::WriteTextFile;
 
 /// Metrics snapshot as a JSON document:
 /// {"counters": {...}, "gauges": {...},
@@ -30,9 +30,6 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot);
 /// under "args"; thread names are emitted as metadata events so workers
 /// are labeled in the UI.
 std::string SpansToChromeTraceJson(const std::vector<FinishedSpan>& spans);
-
-/// Writes `content` to `path` (overwrite).
-Status WriteTextFile(const std::string& path, const std::string& content);
 
 }  // namespace raqo::obs
 

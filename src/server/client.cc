@@ -1,0 +1,30 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace raqo::server {
+
+Result<PlanningClient> PlanningClient::Connect(const std::string& host,
+                                               uint16_t port) {
+  RAQO_ASSIGN_OR_RETURN(net::UniqueFd fd, net::ConnectTcp(host, port));
+  return PlanningClient(std::move(fd));
+}
+
+Result<PlanResponse> PlanningClient::Call(const PlanRequest& request) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  Status sent = WriteFrame(fd_.get(), SerializePlanRequest(request));
+  if (!sent.ok()) {
+    fd_.reset();
+    return sent;
+  }
+  Result<std::string> payload = ReadFrame(fd_.get(), 64u << 20);
+  if (!payload.ok()) {
+    fd_.reset();
+    return payload.status();
+  }
+  return ParsePlanResponse(*payload);
+}
+
+}  // namespace raqo::server

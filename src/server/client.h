@@ -1,0 +1,44 @@
+#ifndef RAQO_SERVER_CLIENT_H_
+#define RAQO_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/net.h"
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace raqo::server {
+
+/// A blocking planning-server client over one TCP connection: Call()
+/// writes a request frame and waits for the matching response frame
+/// (strict request/response — no pipelining, so responses need no id
+/// correlation). Not thread-safe; open one client per thread.
+class PlanningClient {
+ public:
+  /// Connects to a running planning server.
+  static Result<PlanningClient> Connect(const std::string& host,
+                                        uint16_t port);
+
+  PlanningClient(PlanningClient&&) = default;
+  PlanningClient& operator=(PlanningClient&&) = default;
+
+  /// One round trip. A non-OK result means the conversation itself
+  /// failed (connection dropped, malformed frame); a planner- or
+  /// admission-level failure comes back as an OK result whose response
+  /// carries the wire status ("RESOURCE_EXHAUSTED", ...).
+  Result<PlanResponse> Call(const PlanRequest& request);
+
+  /// Closes the connection (destruction does too).
+  void Close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit PlanningClient(net::UniqueFd fd) : fd_(std::move(fd)) {}
+
+  net::UniqueFd fd_;
+};
+
+}  // namespace raqo::server
+
+#endif  // RAQO_SERVER_CLIENT_H_

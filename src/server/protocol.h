@@ -1,0 +1,141 @@
+#ifndef RAQO_SERVER_PROTOCOL_H_
+#define RAQO_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "cost/cost_vector.h"
+#include "resource/resource_config.h"
+
+namespace raqo::server {
+
+/// Wire status strings. The first block mirrors raqo::StatusCode; the
+/// server adds three service-level conditions that no library call
+/// produces: a queued request whose deadline passed before a worker
+/// picked it up (DEADLINE_EXCEEDED) and a request or connection that
+/// arrived while the server was draining or full (UNAVAILABLE).
+inline constexpr const char kWireOk[] = "OK";
+inline constexpr const char kWireInvalidArgument[] = "INVALID_ARGUMENT";
+inline constexpr const char kWireNotFound[] = "NOT_FOUND";
+inline constexpr const char kWireResourceExhausted[] = "RESOURCE_EXHAUSTED";
+inline constexpr const char kWireDeadlineExceeded[] = "DEADLINE_EXCEEDED";
+inline constexpr const char kWireUnavailable[] = "UNAVAILABLE";
+inline constexpr const char kWireInternal[] = "INTERNAL";
+
+/// Wire rendering of a library status code ("OK", "NOT_FOUND", ...).
+std::string WireStatusName(StatusCode code);
+
+/// Upper bound on the SQL text of one request; longer statements are
+/// rejected before the parser sees them (they arrive from untrusted
+/// sockets).
+inline constexpr size_t kMaxSqlBytes = 64 * 1024;
+
+/// One planning request. Exactly one of `sql` / `tables` names the
+/// query; the optional resource envelope / money budget select the
+/// planner use case (Section IV): none -> Plan, `resources` ->
+/// PlanForResources, `max_dollars` -> PlanForMoneyBudget.
+struct PlanRequest {
+  /// Caller-chosen identifier, echoed verbatim in the response.
+  std::string id;
+
+  /// "select * from orders, lineitem where ..." (see query/sql_parser.h).
+  std::string sql;
+  /// Alternative join-graph spec: catalog table names, FROM-clause order.
+  std::vector<std::string> tables;
+
+  /// Fixed resource envelope (r => p planning).
+  bool has_resources = false;
+  resource::ResourceConfig resources;
+
+  /// Monetary budget (c => (p, r) planning).
+  bool has_max_dollars = false;
+  double max_dollars = 0.0;
+
+  /// Planner knobs; empty/unset fields keep the server defaults.
+  std::string algorithm;  ///< "", "selinger", or "randomized"
+  std::string search;     ///< "", "grid", "hillclimb", "accelerated", "parallel"
+  bool has_use_cache = false;
+  bool use_cache = false;
+  bool has_time_weight = false;
+  double time_weight = 1.0;
+
+  /// Admission-to-execution deadline; a request still queued when it
+  /// expires is cancelled with DEADLINE_EXCEEDED. 0 = server default.
+  int64_t deadline_ms = 0;
+
+  /// Test hook: hold the worker for this long before planning. Ignored
+  /// unless the server enables test hooks.
+  int64_t debug_sleep_ms = 0;
+};
+
+/// Planning statistics carried back over the wire (the subset of
+/// optimizer::PlanningStats that the bench and clients consume).
+struct WireStats {
+  double wall_ms = 0.0;
+  int64_t plans_considered = 0;
+  int64_t resource_configs_explored = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+};
+
+/// One planning response. On success `plan` is the chosen operator tree
+/// rendered with catalog table names and `join_resources` holds the
+/// per-join resource configuration in the plan's post-order (VisitJoins
+/// order) — together the joint (p, r) of Figure 8(b).
+struct PlanResponse {
+  std::string id;
+  std::string status = kWireOk;
+  std::string error;
+
+  std::string plan;
+  cost::CostVector cost;
+  std::vector<resource::ResourceConfig> join_resources;
+  WireStats stats;
+
+  /// How long the request sat in the admission queue before a worker
+  /// picked it up.
+  double queue_wait_us = 0.0;
+
+  bool ok() const { return status == kWireOk; }
+};
+
+/// Builds an error response (no plan payload).
+PlanResponse ErrorResponse(std::string wire_status, std::string message,
+                           std::string id = "");
+
+std::string SerializePlanRequest(const PlanRequest& request);
+Result<PlanRequest> ParsePlanRequest(std::string_view json);
+
+std::string SerializePlanResponse(const PlanResponse& response);
+Result<PlanResponse> ParsePlanResponse(std::string_view json);
+
+/// Framing: every message is a 4-byte big-endian payload length followed
+/// by that many bytes of UTF-8 JSON.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+std::string EncodeFrame(std::string_view payload);
+
+enum class FrameDecode {
+  kNeedMore,   ///< fewer bytes buffered than one complete frame
+  kComplete,   ///< *payload/*frame_size describe the first frame
+  kTooLarge,   ///< advertised length exceeds max_frame_bytes
+};
+
+/// Inspects `buffer` for one complete frame without copying. On
+/// kComplete, `*payload` aliases `buffer` and `*frame_size` is the total
+/// bytes to consume (header + payload).
+FrameDecode TryDecodeFrame(std::string_view buffer, size_t max_frame_bytes,
+                           std::string_view* payload, size_t* frame_size);
+
+/// Blocking framed I/O for clients (and tests): one frame per call.
+Status WriteFrame(int fd, std::string_view payload);
+Result<std::string> ReadFrame(int fd, size_t max_frame_bytes);
+
+}  // namespace raqo::server
+
+#endif  // RAQO_SERVER_PROTOCOL_H_

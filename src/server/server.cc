@@ -1,0 +1,646 @@
+#include "server/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raqo::server {
+
+namespace {
+
+// epoll user-data slots for the two non-connection descriptors.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+constexpr int kEpollWaitMs = 50;
+
+double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+PlanningServer::PlanningServer(const PlanningService* service,
+                               ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  RAQO_CHECK(service != nullptr);
+  options_.num_workers = std::max(1, options_.num_workers);
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+}
+
+PlanningServer::~PlanningServer() {
+  Shutdown();
+  Wait();
+}
+
+Status PlanningServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+
+  RAQO_ASSIGN_OR_RETURN(net::UniqueFd listen,
+                        net::ListenTcp(options_.host, options_.port, 128));
+  RAQO_RETURN_IF_ERROR(net::SetNonBlocking(listen.get()));
+  RAQO_ASSIGN_OR_RETURN(port_, net::LocalPort(listen.get()));
+
+  int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    return Status::Internal(StrPrintf("epoll_create1: %s", strerror(errno)));
+  }
+  epoll_fd_.reset(epfd);
+
+  int evfd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (evfd < 0) {
+    return Status::Internal(StrPrintf("eventfd: %s", strerror(errno)));
+  }
+  wake_fd_.reset(evfd);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen.get(), &ev) != 0) {
+    return Status::Internal(StrPrintf("epoll_ctl(listen): %s",
+                                      strerror(errno)));
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    return Status::Internal(StrPrintf("epoll_ctl(eventfd): %s",
+                                      strerror(errno)));
+  }
+
+  listen_fd_ = std::move(listen);
+
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_->Submit([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void PlanningServer::Shutdown() {
+  // Async-signal-safe: one atomic store and one write(2). The I/O thread
+  // notices the flag on its next wake-up and runs the drain.
+  draining_.store(true, std::memory_order_release);
+  const int fd = wake_fd_.get();
+  if (fd >= 0) {
+    const uint64_t one = 1;
+    ssize_t ignored = write(fd, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void PlanningServer::Wait() {
+  if (io_thread_.joinable()) io_thread_.join();
+  // Normally IoLoop already stopped the pool; this covers Start() paths
+  // that created workers but failed before spawning the I/O thread.
+  if (workers_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      workers_stop_.store(true, std::memory_order_release);
+    }
+    queue_cv_.notify_all();
+    workers_.reset();
+  }
+}
+
+ServerStats PlanningServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    out.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  out.requests_executing = executing_.load(std::memory_order_relaxed);
+  out.open_connections = open_conns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void PlanningServer::Bump(int64_t ServerStats::*field, int64_t delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += delta;
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread
+// ---------------------------------------------------------------------------
+
+void PlanningServer::IoLoop() {
+  bool drain_started = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  std::vector<epoll_event> events(64);
+
+  for (;;) {
+    if (!drain_started && draining()) {
+      drain_started = true;
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+      // Stop accepting: deregister and close the listen socket so new
+      // connections are refused by the kernel from here on.
+      if (listen_fd_.valid()) {
+        epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+        listen_fd_.reset();
+      }
+    }
+
+    if (drain_started) {
+      // Retire connections that are fully answered and flushed.
+      std::vector<uint64_t> idle;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->outstanding == 0 && conn->write_off >= conn->write_buf.size()) {
+          idle.push_back(id);
+        }
+      }
+      for (uint64_t id : idle) CloseConnection(id);
+      const bool all_answered =
+          outstanding_.load(std::memory_order_acquire) == 0;
+      if (all_answered && conns_.empty()) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline) {
+        // Hard cap: drop whatever is left so Shutdown always terminates.
+        std::vector<uint64_t> rest;
+        rest.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) rest.push_back(id);
+        for (uint64_t id : rest) CloseConnection(id);
+        break;
+      }
+    }
+
+    int n = epoll_wait(epoll_fd_.get(), events.data(),
+                       static_cast<int>(events.size()), kEpollWaitMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "raqo_server: epoll_wait: " << strerror(errno) << "\n";
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptNewConnections();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drained = 0;
+        ssize_t ignored = read(wake_fd_.get(), &drained, sizeof(drained));
+        (void)ignored;
+        continue;  // completions are delivered below, every iteration
+      }
+      // A connection may have been closed by an earlier event in this
+      // same batch; look it up fresh.
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(it->second.get());
+        it = conns_.find(tag);
+        if (it == conns_.end()) continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        HandleWritable(it->second.get());
+      }
+    }
+    DeliverCompletions();
+  }
+
+  // Drained: stop the workers (their queue is empty — outstanding_ hit
+  // zero — unless the drain timed out, in which case leftovers are
+  // abandoned along with their connections).
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_.store(true, std::memory_order_release);
+  }
+  queue_cv_.notify_all();
+  workers_.reset();  // joins the pool
+  conns_.clear();
+  open_conns_.store(0, std::memory_order_relaxed);
+  FlushTelemetry();
+}
+
+void PlanningServer::AcceptNewConnections() {
+  for (;;) {
+    int fd = accept4(listen_fd_.get(), nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      std::cerr << "raqo_server: accept4: " << strerror(errno) << "\n";
+      return;
+    }
+    net::UniqueFd accepted(fd);
+    if (draining()) continue;  // closing the fd is the whole answer
+    if (conns_.size() >= options_.max_connections) {
+      // Best effort: tell the client why before closing. The socket is
+      // fresh, so a single non-blocking send almost always fits.
+      const std::string frame = EncodeFrame(SerializePlanResponse(
+          ErrorResponse(kWireUnavailable,
+                        StrPrintf("connection limit (%zu) reached",
+                                  options_.max_connections))));
+      ssize_t ignored =
+          send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+      (void)ignored;
+      Bump(&ServerStats::connections_rejected);
+      if (obs::MetricsOn()) {
+        static obs::Counter* rejected =
+            obs::DefaultMetrics().GetCounter("server.connections.rejected");
+        rejected->Add();
+      }
+      continue;
+    }
+    net::SetTcpNoDelay(fd);  // request/response traffic; best effort
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = std::move(accepted);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) != 0) {
+      std::cerr << "raqo_server: epoll_ctl(conn): " << strerror(errno)
+                << "\n";
+      continue;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    Bump(&ServerStats::connections_accepted);
+    if (obs::MetricsOn()) {
+      static obs::Counter* accepts =
+          obs::DefaultMetrics().GetCounter("server.accept");
+      static obs::Gauge* open =
+          obs::DefaultMetrics().GetGauge("server.connections");
+      accepts->Add();
+      open->Set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void PlanningServer::HandleReadable(Connection* conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->read_buf.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+
+  ExtractFrames(conn);
+  // ExtractFrames may have dropped the connection (oversized frame).
+  auto it = conns_.find(conn->id);
+  if (it == conns_.end()) return;
+  conn = it->second.get();
+
+  if (conn->peer_closed && conn->outstanding == 0 &&
+      conn->write_off >= conn->write_buf.size()) {
+    CloseConnection(conn->id);
+  }
+}
+
+void PlanningServer::ExtractFrames(Connection* conn) {
+  size_t consumed = 0;
+  const uint64_t conn_id = conn->id;
+  for (;;) {
+    std::string_view rest(conn->read_buf);
+    rest.remove_prefix(consumed);
+    std::string_view payload;
+    size_t frame_size = 0;
+    FrameDecode decode = TryDecodeFrame(rest, options_.max_frame_bytes,
+                                        &payload, &frame_size);
+    if (decode == FrameDecode::kNeedMore) break;
+    if (decode == FrameDecode::kTooLarge) {
+      Bump(&ServerStats::protocol_errors);
+      conn->close_after_flush = true;
+      conn->read_buf.clear();
+      // May close the connection; conn must not be touched after.
+      QueueResponse(conn,
+                    ErrorResponse(kWireInvalidArgument,
+                                  StrPrintf("frame exceeds %zu-byte limit",
+                                            options_.max_frame_bytes)));
+      return;
+    }
+    // AdmitOrReject may append rejections to write_buf but never touches
+    // read_buf, so the consumed/rest bookkeeping stays valid.
+    AdmitOrReject(conn, std::string(payload));
+    consumed += frame_size;
+    if (conns_.find(conn_id) == conns_.end()) return;  // write error closed it
+  }
+  if (consumed > 0) conn->read_buf.erase(0, consumed);
+}
+
+void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
+  if (draining()) {
+    Bump(&ServerStats::rejected_draining);
+    QueueResponse(conn, ErrorResponse(kWireUnavailable, "server is draining"));
+    return;
+  }
+  size_t depth = 0;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < options_.max_queue) {
+      PendingRequest pending;
+      pending.conn_id = conn->id;
+      pending.payload = std::move(payload);
+      pending.admitted_at = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(pending));
+      depth = queue_.size();
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    Bump(&ServerStats::rejected_queue_full);
+    if (obs::MetricsOn()) {
+      static obs::Counter* rejected =
+          obs::DefaultMetrics().GetCounter("server.rejected.queue_full");
+      rejected->Add();
+    }
+    QueueResponse(
+        conn, ErrorResponse(kWireResourceExhausted,
+                            StrPrintf("admission queue full (%zu pending)",
+                                      options_.max_queue)));
+    return;
+  }
+  conn->outstanding++;
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  Bump(&ServerStats::requests_admitted);
+  if (obs::MetricsOn()) {
+    static obs::Gauge* queue_depth =
+        obs::DefaultMetrics().GetGauge("server.queue_depth");
+    queue_depth->Set(static_cast<double>(depth));
+  }
+  queue_cv_.notify_one();
+}
+
+void PlanningServer::QueueResponse(Connection* conn,
+                                   const PlanResponse& response) {
+  SendRawResponse(conn, SerializePlanResponse(response));
+}
+
+void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
+  const size_t buffered = conn->write_buf.size() - conn->write_off;
+  if (buffered + kFrameHeaderBytes + payload.size() >
+      options_.max_write_buffer_bytes) {
+    // The client is not reading its responses; buffering more would let
+    // one slow reader hold arbitrary memory.
+    std::cerr << "raqo_server: dropping connection " << conn->id
+              << ": write buffer over " << options_.max_write_buffer_bytes
+              << " bytes\n";
+    CloseConnection(conn->id);
+    return;
+  }
+  // Reclaim the consumed prefix before growing.
+  if (conn->write_off > 0) {
+    conn->write_buf.erase(0, conn->write_off);
+    conn->write_off = 0;
+  }
+  conn->write_buf += EncodeFrame(payload);
+  Bump(&ServerStats::responses_sent);
+  HandleWritable(conn);  // may close; conn must not be touched after
+}
+
+void PlanningServer::HandleWritable(Connection* conn) {
+  while (conn->write_off < conn->write_buf.size()) {
+    ssize_t n = send(conn->fd.get(), conn->write_buf.data() + conn->write_off,
+                     conn->write_buf.size() - conn->write_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->write_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateWriteInterest(conn);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+  conn->write_buf.clear();
+  conn->write_off = 0;
+  if (conn->close_after_flush ||
+      (conn->peer_closed && conn->outstanding == 0)) {
+    CloseConnection(conn->id);
+    return;
+  }
+  UpdateWriteInterest(conn);
+}
+
+void PlanningServer::UpdateWriteInterest(Connection* conn) {
+  const bool want_out = conn->write_off < conn->write_buf.size();
+  if (want_out == conn->registered_out) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+  ev.data.u64 = conn->id;
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0) {
+    conn->registered_out = want_out;
+  }
+}
+
+void PlanningServer::DeliverCompletions() {
+  std::deque<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    // The admitted request is answered exactly here, even when its
+    // connection is already gone (the response is then dropped).
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;
+    Connection* conn = it->second.get();
+    conn->outstanding--;
+    SendRawResponse(conn, std::move(completion.payload));
+  }
+}
+
+void PlanningServer::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
+  conns_.erase(it);  // UniqueFd closes the socket
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  if (obs::MetricsOn()) {
+    static obs::Gauge* open =
+        obs::DefaultMetrics().GetGauge("server.connections");
+    open->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void PlanningServer::FlushTelemetry() {
+  if (options_.telemetry_dir.empty()) return;
+  const std::string metrics_path = options_.telemetry_dir + "/metrics.json";
+  Status status = WriteTextFile(
+      metrics_path, obs::MetricsToJson(obs::DefaultMetrics().Snapshot()));
+  if (!status.ok()) {
+    std::cerr << "raqo_server: telemetry flush failed: "
+              << status.ToString() << "\n";
+  }
+  const std::string trace_path = options_.telemetry_dir + "/trace.json";
+  status = WriteTextFile(
+      trace_path,
+      obs::SpansToChromeTraceJson(obs::DefaultTracer().Snapshot()));
+  if (!status.ok()) {
+    std::cerr << "raqo_server: telemetry flush failed: "
+              << status.ToString() << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads (run on the PR-1 ThreadPool)
+// ---------------------------------------------------------------------------
+
+void PlanningServer::PostCompletion(uint64_t conn_id, std::string payload) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(Completion{conn_id, std::move(payload)});
+  }
+  const uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_.get(), &one, sizeof(one));
+  (void)ignored;
+}
+
+void PlanningServer::WorkerLoop() {
+  for (;;) {
+    PendingRequest pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return workers_stop_.load(std::memory_order_acquire) ||
+               !queue_.empty();
+      });
+      if (workers_stop_.load(std::memory_order_acquire)) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      if (obs::MetricsOn()) {
+        static obs::Gauge* queue_depth =
+            obs::DefaultMetrics().GetGauge("server.queue_depth");
+        queue_depth->Set(static_cast<double>(queue_.size()));
+      }
+    }
+
+    executing_.fetch_add(1, std::memory_order_acq_rel);
+    const double queue_wait_us = ElapsedUs(pending.admitted_at);
+
+    obs::Span span;
+    if (obs::TracingOn()) {
+      span = obs::DefaultTracer().StartSpan("server.request");
+      span.SetAttr("queue_wait_us", queue_wait_us);
+    }
+    if (obs::MetricsOn()) {
+      static obs::Counter* requests =
+          obs::DefaultMetrics().GetCounter("server.requests");
+      static obs::Histogram* wait_hist =
+          obs::DefaultMetrics().GetHistogram("server.queue_wait_us");
+      requests->Add();
+      wait_hist->Record(queue_wait_us);
+    }
+
+    PlanResponse response;
+    Result<PlanRequest> request = ParsePlanRequest(pending.payload);
+    if (!request.ok()) {
+      Bump(&ServerStats::protocol_errors);
+      response = ErrorResponse(kWireInvalidArgument,
+                               request.status().message());
+    } else {
+      const int64_t deadline_ms = request->deadline_ms > 0
+                                      ? request->deadline_ms
+                                      : options_.default_deadline_ms;
+      if (deadline_ms > 0 && queue_wait_us > 1000.0 * deadline_ms) {
+        // Cancelled while queued: the planner never runs.
+        Bump(&ServerStats::rejected_deadline);
+        if (obs::MetricsOn()) {
+          static obs::Counter* rejected =
+              obs::DefaultMetrics().GetCounter("server.rejected.deadline");
+          rejected->Add();
+        }
+        response = ErrorResponse(
+            kWireDeadlineExceeded,
+            StrPrintf("deadline of %lld ms expired after %.0f us in queue",
+                      static_cast<long long>(deadline_ms), queue_wait_us),
+            request->id);
+      } else {
+        if (options_.enable_test_hooks && request->debug_sleep_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(request->debug_sleep_ms));
+        }
+        response = service_->Handle(*request);
+      }
+    }
+    response.queue_wait_us = queue_wait_us;
+
+    const double total_us = ElapsedUs(pending.admitted_at);
+    if (span.recording()) {
+      span.SetAttr("id", response.id);
+      span.SetAttr("status", response.status);
+      span.End();
+    }
+    if (obs::MetricsOn()) {
+      static obs::Histogram* request_hist =
+          obs::DefaultMetrics().GetHistogram("server.request_us");
+      static obs::Counter* ok_responses =
+          obs::DefaultMetrics().GetCounter("server.responses.ok");
+      request_hist->Record(total_us);
+      if (response.ok()) ok_responses->Add();
+    }
+    executing_.fetch_sub(1, std::memory_order_acq_rel);
+    PostCompletion(pending.conn_id, SerializePlanResponse(response));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signal wiring
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<PlanningServer*> g_signal_server{nullptr};
+
+void OnShutdownSignal(int /*signum*/) {
+  PlanningServer* server = g_signal_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->Shutdown();
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers(PlanningServer* server) {
+  g_signal_server.store(server, std::memory_order_release);
+  if (server != nullptr) {
+    std::signal(SIGTERM, OnShutdownSignal);
+    std::signal(SIGINT, OnShutdownSignal);
+  } else {
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+  }
+}
+
+}  // namespace raqo::server

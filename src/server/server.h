@@ -1,0 +1,206 @@
+#ifndef RAQO_SERVER_SERVER_H_
+#define RAQO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/service.h"
+
+namespace raqo::server {
+
+/// Configuration of the network server.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the chosen one with port().
+  uint16_t port = 0;
+  /// Planner worker threads (one PR-1 ThreadPool).
+  int num_workers = 4;
+  /// Admission control: requests admitted but not yet picked up by a
+  /// worker. One more request is rejected with RESOURCE_EXHAUSTED
+  /// instead of growing memory without bound.
+  size_t max_queue = 64;
+  /// Beyond this, new connections get an UNAVAILABLE frame and a close.
+  size_t max_connections = 256;
+  /// Largest acceptable request frame; the connection is closed after an
+  /// INVALID_ARGUMENT response when a header advertises more.
+  size_t max_frame_bytes = 1 << 20;
+  /// Response backlog buffered per slow-reading client before the
+  /// connection is dropped (backpressure, never unbounded memory).
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// Deadline applied to requests that carry none (0 = unlimited).
+  int64_t default_deadline_ms = 0;
+  /// Hard cap on the graceful drain; connections still unflushed after
+  /// this are dropped so Shutdown always terminates.
+  int64_t drain_timeout_ms = 30000;
+  /// Honor the `debug_sleep_ms` request field (tests and load harnesses
+  /// only; never enable when serving real clients).
+  bool enable_test_hooks = false;
+  /// When non-empty, the graceful drain flushes the default metrics
+  /// registry and tracer as metrics.json / trace.json into this
+  /// directory before the server stops.
+  std::string telemetry_dir;
+};
+
+/// Point-in-time counters of server activity (also exported as
+/// server.* metrics in the default registry).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;
+  int64_t requests_admitted = 0;
+  int64_t responses_sent = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_deadline = 0;
+  int64_t rejected_draining = 0;
+  int64_t protocol_errors = 0;
+  int64_t queue_depth = 0;
+  int64_t requests_executing = 0;
+  int64_t open_connections = 0;
+};
+
+/// The RAQO planning server: one epoll I/O thread accepting
+/// length-prefixed JSON request frames (server/protocol.h) and a PR-1
+/// ThreadPool of planner workers executing them against the shared
+/// PlanningService. Production behaviors, not demo ones:
+///
+///  - admission control: a bounded queue; overflow answers
+///    RESOURCE_EXHAUSTED immediately instead of buffering,
+///  - per-request deadlines: a request still queued past its deadline is
+///    cancelled with DEADLINE_EXCEEDED, never planned,
+///  - connection limits and per-connection write buffering for slow
+///    readers, with a byte cap that drops abusive clients,
+///  - graceful drain on Shutdown()/SIGTERM: stop accepting, answer new
+///    frames UNAVAILABLE, finish every admitted request, flush all
+///    responses, then export telemetry and stop.
+///
+/// Thread model: Start() spawns the I/O thread and `num_workers` planner
+/// workers; Shutdown() is async-signal-safe (an atomic flag plus one
+/// eventfd write) so a SIGTERM handler may call it directly; Wait()
+/// joins the drained server.
+class PlanningServer {
+ public:
+  /// `service` must outlive the server.
+  PlanningServer(const PlanningService* service, ServerOptions options);
+  ~PlanningServer();
+
+  PlanningServer(const PlanningServer&) = delete;
+  PlanningServer& operator=(const PlanningServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O and worker threads.
+  Status Start();
+
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Begins the graceful drain. Async-signal-safe and idempotent.
+  void Shutdown();
+
+  /// Blocks until the drain completes and all threads have exited.
+  void Wait();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const;
+
+ private:
+  /// Per-connection state owned by the I/O thread.
+  struct Connection {
+    uint64_t id = 0;
+    net::UniqueFd fd;
+    std::string read_buf;
+    std::string write_buf;   ///< unsent response bytes (slow clients)
+    size_t write_off = 0;    ///< consumed prefix of write_buf
+    int outstanding = 0;     ///< admitted requests not yet answered
+    bool peer_closed = false;
+    bool close_after_flush = false;
+    bool registered_out = false;  ///< EPOLLOUT currently armed
+  };
+
+  /// One admitted request waiting for (or held by) a worker. The
+  /// deadline is evaluated by the worker that picks it up — the wire
+  /// deadline_ms bounds the admission-to-pickup wait, so the request
+  /// itself need not be parsed on the I/O thread.
+  struct PendingRequest {
+    uint64_t conn_id = 0;
+    std::string payload;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  /// A response travelling from a worker back to the I/O thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string payload;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  // I/O-thread helpers.
+  void AcceptNewConnections();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void ExtractFrames(Connection* conn);
+  void AdmitOrReject(Connection* conn, std::string payload);
+  void QueueResponse(Connection* conn, const PlanResponse& response);
+  void SendRawResponse(Connection* conn, std::string payload);
+  void DeliverCompletions();
+  void UpdateWriteInterest(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void FlushTelemetry();
+  void PostCompletion(uint64_t conn_id, std::string payload);
+  void Bump(int64_t ServerStats::*field, int64_t delta = 1);
+
+  const PlanningService* service_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  net::UniqueFd listen_fd_;
+  net::UniqueFd epoll_fd_;
+  net::UniqueFd wake_fd_;  ///< eventfd: worker completions + Shutdown()
+
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> workers_stop_{false};
+  /// Admitted requests not yet answered on their connection (queued,
+  /// executing, or response in flight back to the I/O thread).
+  std::atomic<int64_t> outstanding_{0};
+  std::atomic<int64_t> executing_{0};
+  std::atomic<int64_t> open_conns_{0};
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  ///< 0 = listen socket, 1 = eventfd
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+/// Installs SIGTERM + SIGINT handlers that trigger `server->Shutdown()`
+/// (the handler only flips an atomic and writes an eventfd). Pass
+/// nullptr to uninstall. One server per process can be wired this way.
+void InstallShutdownSignalHandlers(PlanningServer* server);
+
+}  // namespace raqo::server
+
+#endif  // RAQO_SERVER_SERVER_H_

@@ -1,0 +1,165 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "query/sql_parser.h"
+
+namespace raqo::server {
+
+namespace {
+
+PlanResponse FromStatus(const Status& status, const std::string& id) {
+  return ErrorResponse(WireStatusName(status.code()), status.message(), id);
+}
+
+Status ApplyKnobs(const PlanRequest& request,
+                  core::RaqoPlannerOptions* options) {
+  if (request.algorithm == "selinger") {
+    options->algorithm = core::PlannerAlgorithm::kSelinger;
+  } else if (request.algorithm == "randomized") {
+    options->algorithm = core::PlannerAlgorithm::kFastRandomized;
+  } else if (!request.algorithm.empty()) {
+    return Status::InvalidArgument("unknown algorithm knob '" +
+                                   request.algorithm +
+                                   "' (selinger | randomized)");
+  }
+  if (request.search == "grid") {
+    options->evaluator.search = core::ResourceSearch::kBruteForce;
+  } else if (request.search == "hillclimb") {
+    options->evaluator.search = core::ResourceSearch::kHillClimb;
+  } else if (request.search == "accelerated") {
+    options->evaluator.search = core::ResourceSearch::kAcceleratedHillClimb;
+  } else if (request.search == "parallel") {
+    options->evaluator.search = core::ResourceSearch::kParallelBruteForce;
+  } else if (!request.search.empty()) {
+    return Status::InvalidArgument(
+        "unknown search knob '" + request.search +
+        "' (grid | hillclimb | accelerated | parallel)");
+  }
+  if (request.has_use_cache) {
+    options->evaluator.use_cache = request.use_cache;
+  }
+  if (request.has_time_weight) {
+    if (request.time_weight < 0.0 || request.time_weight > 1.0) {
+      return Status::InvalidArgument("time_weight must be in [0, 1]");
+    }
+    options->evaluator.time_weight = request.time_weight;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PlanningService::PlanningService(const catalog::Catalog* catalog,
+                                 cost::JoinCostModels models,
+                                 resource::ClusterConditions cluster,
+                                 resource::PricingModel pricing,
+                                 PlanningServiceOptions options)
+    : catalog_(catalog),
+      models_(std::move(models)),
+      cluster_(cluster),
+      pricing_(pricing),
+      options_(std::move(options)) {
+  RAQO_CHECK(catalog != nullptr);
+  if (options_.share_cache) {
+    // Built eagerly (not only when the base options cache) so a request
+    // flipping use_cache on still lands in one service-wide cache.
+    shared_cache_ = std::make_shared<core::ResourcePlanCache>(
+        options_.planner.evaluator.cache_mode,
+        options_.planner.evaluator.cache_threshold_gb,
+        options_.planner.evaluator.cache_index,
+        std::max<size_t>(1, options_.cache_shards));
+  }
+}
+
+PlanResponse PlanningService::Handle(const PlanRequest& request) const {
+  if (request.sql.empty() == request.tables.empty()) {
+    return ErrorResponse(
+        kWireInvalidArgument,
+        "request must carry exactly one of \"sql\" or \"tables\"",
+        request.id);
+  }
+  if (request.has_resources && request.has_max_dollars) {
+    return ErrorResponse(
+        kWireInvalidArgument,
+        "\"resources\" and \"max_dollars\" are mutually exclusive",
+        request.id);
+  }
+
+  // Resolve the query: SQL through the parser (filters scale a private
+  // catalog copy), or a plain table-name list.
+  const catalog::Catalog* catalog = catalog_;
+  catalog::Catalog filtered;
+  std::vector<catalog::TableId> tables;
+  if (!request.sql.empty()) {
+    if (request.sql.size() > kMaxSqlBytes) {
+      return ErrorResponse(
+          kWireInvalidArgument,
+          StrPrintf("sql of %zu bytes exceeds the %zu-byte limit",
+                    request.sql.size(), kMaxSqlBytes),
+          request.id);
+    }
+    Result<query::ParsedQuery> parsed =
+        query::ParseJoinQuery(*catalog_, request.sql);
+    if (!parsed.ok()) return FromStatus(parsed.status(), request.id);
+    tables = parsed->tables;
+    if (!parsed->filters.empty()) {
+      Result<catalog::Catalog> scaled =
+          query::ApplyFilters(*catalog_, *parsed);
+      if (!scaled.ok()) return FromStatus(scaled.status(), request.id);
+      filtered = std::move(*scaled);
+      catalog = &filtered;
+    }
+  } else {
+    for (const std::string& name : request.tables) {
+      Result<catalog::TableId> id = catalog_->FindTable(name);
+      if (!id.ok()) return FromStatus(id.status(), request.id);
+      tables.push_back(*id);
+    }
+  }
+
+  core::RaqoPlannerOptions planner_options = options_.planner;
+  if (Status knobs = ApplyKnobs(request, &planner_options); !knobs.ok()) {
+    return FromStatus(knobs, request.id);
+  }
+
+  core::RaqoPlanner planner(catalog, models_, cluster_, pricing_,
+                            planner_options);
+  if (shared_cache_ != nullptr && planner_options.evaluator.use_cache) {
+    planner.evaluator().ShareCache(shared_cache_);
+  }
+
+  Result<core::JointPlan> plan =
+      request.has_resources
+          ? planner.PlanForResources(tables, request.resources)
+      : request.has_max_dollars
+          ? planner.PlanForMoneyBudget(tables, request.max_dollars)
+          : planner.Plan(tables);
+  if (!plan.ok()) return FromStatus(plan.status(), request.id);
+
+  PlanResponse response;
+  response.id = request.id;
+  response.plan = plan->plan->ToString(catalog);
+  response.cost = plan->cost;
+  plan->plan->VisitJoins([&](const plan::PlanNode& join) {
+    response.join_resources.push_back(
+        join.resources().value_or(resource::ResourceConfig()));
+  });
+  response.stats.wall_ms = plan->stats.wall_ms;
+  response.stats.plans_considered = plan->stats.plans_considered;
+  response.stats.resource_configs_explored =
+      plan->stats.resource_configs_explored;
+  response.stats.cache_hits = plan->stats.cache_hits;
+  response.stats.cache_misses = plan->stats.cache_misses;
+  return response;
+}
+
+core::CacheStats PlanningService::shared_cache_stats() const {
+  return shared_cache_ != nullptr ? shared_cache_->stats()
+                                  : core::CacheStats{};
+}
+
+}  // namespace raqo::server

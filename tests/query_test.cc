@@ -77,6 +77,66 @@ TEST_F(SqlParserTest, RejectsMalformedSyntax) {
   EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders $").ok());
 }
 
+TEST_F(SqlParserTest, EveryTruncationFailsCleanly) {
+  // Chopping a valid statement at any byte must produce a clean
+  // InvalidArgument (or, for "select *", a valid shorter parse is
+  // impossible here since the from-list would be missing) — never a
+  // crash and never an empty diagnostic.
+  const std::string valid =
+      "select * from orders, lineitem where o_orderkey = l_orderkey";
+  for (size_t n = 0; n < valid.size(); ++n) {
+    Result<ParsedQuery> q = ParseJoinQuery(cat_, valid.substr(0, n));
+    // Prefixes ending inside the final identifier can still parse (e.g.
+    // "... where o_orderkey = l_order" names an unknown column, which
+    // only filter derivation rejects); everything else must fail.
+    if (q.ok()) continue;
+    EXPECT_FALSE(q.status().message().empty()) << "prefix length " << n;
+  }
+  // The canonical truncations fail outright.
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders, line").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "select * from orders where o_").ok());
+  EXPECT_FALSE(ParseJoinQuery(cat_, "sel").ok());
+}
+
+TEST_F(SqlParserTest, GarbageBytesFailCleanly) {
+  for (const char* garbage :
+       {"\x01\x02\x03", "select * from orders \xff\xfe",
+        "select * from \"orders\"", "((((((((", "where where where",
+        "select select select * from orders",
+        "select * from orders where o_orderkey = = l_orderkey"}) {
+    Result<ParsedQuery> q = ParseJoinQuery(cat_, garbage);
+    ASSERT_FALSE(q.ok()) << garbage;
+    EXPECT_TRUE(q.status().IsInvalidArgument() || q.status().IsNotFound())
+        << q.status().ToString();
+    EXPECT_FALSE(q.status().message().empty());
+  }
+}
+
+TEST_F(SqlParserTest, OversizedQueriesFailWithoutCrashing) {
+  // A from-list of thousands of (unknown) tables: the parser walks it
+  // and reports the first unknown name instead of misbehaving on size.
+  std::string many_tables = "select * from orders";
+  for (int i = 0; i < 5000; ++i) {
+    many_tables += ", t" + std::to_string(i);
+  }
+  Result<ParsedQuery> q = ParseJoinQuery(cat_, many_tables);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsNotFound()) << q.status().ToString();
+
+  // One enormous identifier (1 MiB) is rejected as unknown, not copied
+  // into a crash.
+  const std::string huge_name(1 << 20, 'x');
+  Result<ParsedQuery> huge =
+      ParseJoinQuery(cat_, "select * from " + huge_name);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_TRUE(huge.status().IsNotFound()) << huge.status().ToString();
+
+  // A kilometer of trailing whitespace after a valid statement is fine.
+  EXPECT_TRUE(
+      ParseJoinQuery(cat_, "select * from orders" + std::string(100000, ' '))
+          .ok());
+}
+
 TEST_F(SqlParserTest, RejectsPredicateOnMissingOrSelfTable) {
   EXPECT_FALSE(
       ParseJoinQuery(cat_,

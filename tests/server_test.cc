@@ -1,0 +1,718 @@
+// The planning server end to end: wire protocol round trips, framing,
+// admission control, deadlines, connection limits, and the SIGTERM
+// drain — all over real loopback sockets against real planner workers.
+// Run under -DRAQO_SANITIZE=thread and =address; every test here must
+// be clean under both (see docs/SERVER.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/tpch.h"
+#include "common/json.h"
+#include "common/net.h"
+#include "core/raqo_planner.h"
+#include "obs/trace.h"
+#include "plan/plan_node.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "sim/profile_runner.h"
+
+namespace raqo {
+namespace {
+
+using server::ErrorResponse;
+using server::PlanRequest;
+using server::PlanResponse;
+using server::PlanningClient;
+using server::PlanningServer;
+using server::PlanningService;
+using server::ServerOptions;
+
+const cost::JoinCostModels& Models() {
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  return *models;
+}
+
+const catalog::Catalog& TestCatalog() {
+  static const catalog::Catalog* catalog =
+      new catalog::Catalog(catalog::BuildTpchCatalog(100.0));
+  return *catalog;
+}
+
+core::RaqoPlannerOptions TestPlannerOptions() {
+  core::RaqoPlannerOptions options;
+  options.evaluator.use_cache = true;
+  options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  options.clear_cache_between_queries = false;
+  return options;
+}
+
+PlanningService MakeService() {
+  server::PlanningServiceOptions options;
+  options.planner = TestPlannerOptions();
+  return PlanningService(&TestCatalog(), Models(),
+                         resource::ClusterConditions::PaperDefault(),
+                         resource::PricingModel(), options);
+}
+
+/// Polls `pred` for up to ~5 s.
+bool WaitUntil(const std::function<bool()>& pred) {
+  for (int i = 0; i < 1000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+
+TEST(ProtocolTest, RequestRoundTripsThroughJson) {
+  PlanRequest request;
+  request.id = "q-42 \"quoted\"";
+  request.sql = "select * from orders, lineitem where o_orderkey > 17";
+  request.has_max_dollars = true;
+  request.max_dollars = 0.625;
+  request.algorithm = "selinger";
+  request.search = "hillclimb";
+  request.has_use_cache = true;
+  request.use_cache = false;
+  request.has_time_weight = true;
+  request.time_weight = 0.25;
+  request.deadline_ms = 1500;
+  request.debug_sleep_ms = 3;
+
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, request.id);
+  EXPECT_EQ(parsed->sql, request.sql);
+  EXPECT_TRUE(parsed->tables.empty());
+  EXPECT_FALSE(parsed->has_resources);
+  ASSERT_TRUE(parsed->has_max_dollars);
+  EXPECT_EQ(parsed->max_dollars, request.max_dollars);
+  EXPECT_EQ(parsed->algorithm, "selinger");
+  EXPECT_EQ(parsed->search, "hillclimb");
+  ASSERT_TRUE(parsed->has_use_cache);
+  EXPECT_FALSE(parsed->use_cache);
+  ASSERT_TRUE(parsed->has_time_weight);
+  EXPECT_EQ(parsed->time_weight, 0.25);
+  EXPECT_EQ(parsed->deadline_ms, 1500);
+  EXPECT_EQ(parsed->debug_sleep_ms, 3);
+}
+
+TEST(ProtocolTest, TableListAndResourcesRoundTrip) {
+  PlanRequest request;
+  request.tables = {"orders", "lineitem", "customer"};
+  request.has_resources = true;
+  request.resources = resource::ResourceConfig(7.5, 12);
+
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tables, request.tables);
+  ASSERT_TRUE(parsed->has_resources);
+  EXPECT_EQ(parsed->resources.num_containers(), 12);
+  EXPECT_EQ(parsed->resources.container_size_gb(), 7.5);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsBitIdentically) {
+  PlanResponse response;
+  response.id = "r1";
+  response.plan = "(orders ⨝ lineitem)";
+  response.cost.seconds = 123.45600000000013;  // needs all 17 digits
+  response.cost.dollars = 0.1 + 0.2;           // 0.30000000000000004
+  const resource::ResourceConfig r(3.25, 9);
+  response.join_resources = {r, r};
+  response.stats.wall_ms = 1.5;
+  response.stats.plans_considered = 77;
+  response.stats.resource_configs_explored = 1234;
+  response.stats.cache_hits = 5;
+  response.stats.cache_misses = 6;
+  response.queue_wait_us = 42.5;
+
+  Result<PlanResponse> parsed =
+      server::ParsePlanResponse(server::SerializePlanResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_EQ(parsed->plan, response.plan);
+  EXPECT_EQ(parsed->cost.seconds, response.cost.seconds);
+  EXPECT_EQ(parsed->cost.dollars, response.cost.dollars);
+  ASSERT_EQ(parsed->join_resources.size(), 2u);
+  EXPECT_EQ(parsed->join_resources[0].num_containers(), 9);
+  EXPECT_EQ(parsed->join_resources[0].container_size_gb(), 3.25);
+  EXPECT_EQ(parsed->stats.plans_considered, 77);
+  EXPECT_EQ(parsed->queue_wait_us, 42.5);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesStatusAndMessage) {
+  PlanResponse error = ErrorResponse(server::kWireResourceExhausted,
+                                     "queue full", "q7");
+  Result<PlanResponse> parsed =
+      server::ParsePlanResponse(server::SerializePlanResponse(error));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->status, "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(parsed->error, "queue full");
+  EXPECT_EQ(parsed->id, "q7");
+}
+
+TEST(ProtocolTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(server::ParsePlanRequest("not json").ok());
+  EXPECT_FALSE(server::ParsePlanRequest("[1,2,3]").ok());
+  EXPECT_FALSE(server::ParsePlanRequest("{\"sql\": 7}").ok());
+  EXPECT_FALSE(server::ParsePlanResponse("{").ok());
+}
+
+TEST(ProtocolTest, FrameEncodesBigEndianLength) {
+  const std::string frame = server::EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), server::kFrameHeaderBytes + 3);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(ProtocolTest, TryDecodeFrameHandlesPartialAndOversized) {
+  const std::string frame = server::EncodeFrame("hello");
+  std::string_view payload;
+  size_t frame_size = 0;
+
+  // Every strict prefix needs more bytes.
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(server::TryDecodeFrame(std::string_view(frame).substr(0, n),
+                                     1024, &payload, &frame_size),
+              server::FrameDecode::kNeedMore);
+  }
+  ASSERT_EQ(server::TryDecodeFrame(frame, 1024, &payload, &frame_size),
+            server::FrameDecode::kComplete);
+  EXPECT_EQ(payload, "hello");
+  EXPECT_EQ(frame_size, frame.size());
+
+  // A header advertising more than the cap is rejected before any
+  // payload accumulates.
+  EXPECT_EQ(server::TryDecodeFrame(frame, 4, &payload, &frame_size),
+            server::FrameDecode::kTooLarge);
+}
+
+// ---------------------------------------------------------------------
+// PlanningService (request handling without sockets)
+
+TEST(PlanningServiceTest, RejectsAmbiguousQuerySpec) {
+  PlanningService service = MakeService();
+  PlanRequest both;
+  both.sql = "select * from orders, lineitem";
+  both.tables = {"orders"};
+  EXPECT_EQ(service.Handle(both).status, "INVALID_ARGUMENT");
+
+  PlanRequest neither;
+  EXPECT_EQ(service.Handle(neither).status, "INVALID_ARGUMENT");
+
+  PlanRequest conflicting;
+  conflicting.tables = {"orders", "lineitem"};
+  conflicting.has_resources = true;
+  conflicting.has_max_dollars = true;
+  EXPECT_EQ(service.Handle(conflicting).status, "INVALID_ARGUMENT");
+}
+
+TEST(PlanningServiceTest, ReportsUnknownTablesAndKnobs) {
+  PlanningService service = MakeService();
+  PlanRequest unknown;
+  unknown.tables = {"orders", "no_such_table"};
+  EXPECT_EQ(service.Handle(unknown).status, "NOT_FOUND");
+
+  PlanRequest bad_knob;
+  bad_knob.tables = {"orders", "lineitem"};
+  bad_knob.algorithm = "quantum";
+  EXPECT_EQ(service.Handle(bad_knob).status, "INVALID_ARGUMENT");
+
+  PlanRequest bad_weight;
+  bad_weight.tables = {"orders", "lineitem"};
+  bad_weight.has_time_weight = true;
+  bad_weight.time_weight = 1.5;
+  EXPECT_EQ(service.Handle(bad_weight).status, "INVALID_ARGUMENT");
+}
+
+TEST(PlanningServiceTest, OversizedSqlIsRejectedCleanly) {
+  PlanningService service = MakeService();
+  PlanRequest big;
+  big.sql = "select * from " + std::string(server::kMaxSqlBytes, 'x');
+  PlanResponse response = service.Handle(big);
+  EXPECT_EQ(response.status, "INVALID_ARGUMENT");
+  EXPECT_NE(response.error.find("exceeds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over loopback
+
+struct TestServer {
+  explicit TestServer(ServerOptions options = ServerOptions())
+      : service(MakeService()) {
+    options.port = 0;  // ephemeral
+    server = std::make_unique<PlanningServer>(&service, options);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  }
+
+  PlanningClient Connect() {
+    Result<PlanningClient> client =
+        PlanningClient::Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  PlanningService service;
+  std::unique_ptr<PlanningServer> server;
+};
+
+TEST(PlanningServerTest, RoundTripMatchesDirectPlannerCall) {
+  TestServer ts;
+  PlanningClient client = ts.Connect();
+
+  PlanRequest request;
+  request.id = "rt";
+  request.sql = "select * from orders, lineitem, customer";
+  Result<PlanResponse> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->status << ": " << response->error;
+
+  // The same planning, one function call instead of one socket away.
+  const catalog::Catalog& catalog = TestCatalog();
+  core::RaqoPlanner direct(&catalog, Models(),
+                           resource::ClusterConditions::PaperDefault(),
+                           resource::PricingModel(), TestPlannerOptions());
+  std::vector<catalog::TableId> tables;
+  for (const char* name : {"orders", "lineitem", "customer"}) {
+    tables.push_back(*catalog.FindTable(name));
+  }
+  Result<core::JointPlan> expected = direct.Plan(tables);
+  ASSERT_TRUE(expected.ok());
+
+  // Bit-identical: the wire format prints doubles with %.17g, which
+  // round-trips IEEE doubles exactly.
+  EXPECT_EQ(response->id, "rt");
+  EXPECT_EQ(response->plan, expected->plan->ToString(&catalog));
+  EXPECT_EQ(response->cost.seconds, expected->cost.seconds);
+  EXPECT_EQ(response->cost.dollars, expected->cost.dollars);
+
+  std::vector<resource::ResourceConfig> expected_resources;
+  expected->plan->VisitJoins([&](const plan::PlanNode& join) {
+    expected_resources.push_back(
+        join.resources().value_or(resource::ResourceConfig()));
+  });
+  ASSERT_EQ(response->join_resources.size(), expected_resources.size());
+  for (size_t i = 0; i < expected_resources.size(); ++i) {
+    EXPECT_EQ(response->join_resources[i], expected_resources[i]);
+  }
+}
+
+TEST(PlanningServerTest, ServesResourceAndBudgetModes) {
+  TestServer ts;
+  PlanningClient client = ts.Connect();
+
+  PlanRequest fixed;
+  fixed.id = "fixed";
+  fixed.tables = {"orders", "lineitem"};
+  fixed.has_resources = true;
+  fixed.resources = resource::ResourceConfig(4.0, 8);
+  Result<PlanResponse> fixed_response = client.Call(fixed);
+  ASSERT_TRUE(fixed_response.ok());
+  ASSERT_TRUE(fixed_response->ok())
+      << fixed_response->status << ": " << fixed_response->error;
+  for (const resource::ResourceConfig& r : fixed_response->join_resources) {
+    EXPECT_EQ(r, fixed.resources);
+  }
+
+  const catalog::Catalog& catalog = TestCatalog();
+  core::RaqoPlanner direct(&catalog, Models(),
+                           resource::ClusterConditions::PaperDefault(),
+                           resource::PricingModel(), TestPlannerOptions());
+  std::vector<catalog::TableId> tables = {*catalog.FindTable("orders"),
+                                          *catalog.FindTable("lineitem")};
+  Result<core::JointPlan> expected =
+      direct.PlanForResources(tables, fixed.resources);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(fixed_response->plan, expected->plan->ToString(&catalog));
+  EXPECT_EQ(fixed_response->cost.seconds, expected->cost.seconds);
+
+  PlanRequest budget;
+  budget.id = "budget";
+  budget.tables = {"orders", "lineitem"};
+  budget.has_max_dollars = true;
+  budget.max_dollars = 1000.0;  // generous: must be satisfiable
+  Result<PlanResponse> budget_response = client.Call(budget);
+  ASSERT_TRUE(budget_response.ok());
+  ASSERT_TRUE(budget_response->ok())
+      << budget_response->status << ": " << budget_response->error;
+  EXPECT_LE(budget_response->cost.dollars, 1000.0);
+}
+
+TEST(PlanningServerTest, ConcurrentClientsAllGetTheSequentialAnswer) {
+  ServerOptions options;
+  options.num_workers = 4;
+  TestServer ts(options);
+
+  const catalog::Catalog& catalog = TestCatalog();
+  core::RaqoPlanner direct(&catalog, Models(),
+                           resource::ClusterConditions::PaperDefault(),
+                           resource::PricingModel(), TestPlannerOptions());
+  std::vector<catalog::TableId> tables = {*catalog.FindTable("orders"),
+                                          *catalog.FindTable("lineitem"),
+                                          *catalog.FindTable("customer")};
+  Result<core::JointPlan> expected = direct.Plan(tables);
+  ASSERT_TRUE(expected.ok());
+  const std::string expected_plan = expected->plan->ToString(&catalog);
+
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Result<PlanningClient> client =
+          PlanningClient::Connect("127.0.0.1", ts.server->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int call = 0; call < kCallsEach; ++call) {
+        PlanRequest request;
+        request.id = "c" + std::to_string(t) + "." + std::to_string(call);
+        request.sql = "select * from orders, lineitem, customer";
+        Result<PlanResponse> response = client->Call(request);
+        if (!response.ok() || !response->ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response->id != request.id || response->plan != expected_plan ||
+            response->cost.seconds != expected->cost.seconds) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const server::ServerStats stats = ts.server->stats();
+  EXPECT_GE(stats.connections_accepted, kClients);
+  EXPECT_GE(stats.requests_admitted, kClients * kCallsEach);
+}
+
+TEST(PlanningServerTest, QueueOverflowAnswersResourceExhausted) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  // #1 occupies the single worker, #2 the single queue slot, #3 must be
+  // rejected immediately instead of growing the queue.
+  PlanRequest slow;
+  slow.id = "slow";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 400;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  PlanRequest queued = slow;
+  queued.id = "queued";
+  queued.debug_sleep_ms = 0;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(queued)).ok());
+  ASSERT_TRUE(WaitUntil([&] { return ts.server->stats().queue_depth == 1; }));
+
+  PlanRequest overflow = queued;
+  overflow.id = "overflow";
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(overflow)).ok());
+
+  // Three responses; the rejection races ahead of the planned ones, so
+  // collect all and match by id (the pre-parse rejection carries none).
+  int ok_count = 0;
+  int exhausted_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    if (response->ok()) {
+      ++ok_count;
+      EXPECT_TRUE(response->id == "slow" || response->id == "queued");
+    } else {
+      ++exhausted_count;
+      EXPECT_EQ(response->status, "RESOURCE_EXHAUSTED");
+      EXPECT_NE(response->error.find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok_count, 2);
+  EXPECT_EQ(exhausted_count, 1);
+  EXPECT_EQ(ts.server->stats().rejected_queue_full, 1);
+}
+
+TEST(PlanningServerTest, ExpiredQueuedRequestIsCancelled) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  PlanRequest slow;
+  slow.id = "slow";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 300;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  // Queued behind 300 ms of work with a 1 ms deadline: by the time the
+  // worker picks it up the deadline is long gone, so it is cancelled
+  // without ever running the planner.
+  PlanRequest late = slow;
+  late.id = "late";
+  late.debug_sleep_ms = 0;
+  late.deadline_ms = 1;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(late)).ok());
+
+  for (int i = 0; i < 2; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    if (response->id == "slow") {
+      EXPECT_TRUE(response->ok());
+    } else {
+      EXPECT_EQ(response->id, "late");
+      EXPECT_EQ(response->status, "DEADLINE_EXCEEDED");
+      EXPECT_TRUE(response->plan.empty());
+    }
+  }
+  EXPECT_EQ(ts.server->stats().rejected_deadline, 1);
+}
+
+TEST(PlanningServerTest, MalformedRequestKeepsConnectionUsable) {
+  TestServer ts;
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  ASSERT_TRUE(server::WriteFrame(fd->get(), "this is not json").ok());
+  Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok());
+  Result<PlanResponse> error = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->status, "INVALID_ARGUMENT");
+
+  // A bad request poisons nothing: the next one plans normally.
+  PlanRequest request;
+  request.id = "after";
+  request.tables = {"orders", "lineitem"};
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(request)).ok());
+  payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok());
+  Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok()) << response->status << ": " << response->error;
+  EXPECT_EQ(response->id, "after");
+}
+
+TEST(PlanningServerTest, OversizedFrameIsRejectedAndConnectionClosed) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  TestServer ts(options);
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  // Header advertises 2 MiB; the server answers from the header alone,
+  // never buffering the (unsent) payload.
+  const unsigned char header[4] = {0x00, 0x20, 0x00, 0x00};
+  ASSERT_TRUE(net::SendAll(fd->get(), header, sizeof(header)).ok());
+  Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok());
+  Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, "INVALID_ARGUMENT");
+  EXPECT_NE(response->error.find("frame exceeds"), std::string::npos);
+
+  // ... and the connection is closed afterwards.
+  Result<std::string> eof = server::ReadFrame(fd->get(), 64u << 20);
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST(PlanningServerTest, ConnectionLimitTurnsAwayExtraClients) {
+  ServerOptions options;
+  options.max_connections = 1;
+  TestServer ts(options);
+
+  PlanningClient first = ts.Connect();
+  PlanRequest request;
+  request.id = "first";
+  request.tables = {"orders", "lineitem"};
+  Result<PlanResponse> response = first.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok());
+
+  Result<net::UniqueFd> second =
+      net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(second.ok());  // the TCP handshake still completes
+  Result<std::string> payload = server::ReadFrame(second->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  Result<PlanResponse> turned_away = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(turned_away.ok());
+  EXPECT_EQ(turned_away->status, "UNAVAILABLE");
+  EXPECT_EQ(ts.server->stats().connections_rejected, 1);
+}
+
+TEST(PlanningServerTest, SigtermDrainFinishesInFlightWork) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+  server::InstallShutdownSignalHandlers(ts.server.get());
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  PlanRequest slow;
+  slow.id = "in-flight";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 200;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  // SIGTERM mid-request: the handler only flips the drain flag, the
+  // in-flight plan still completes and flushes before the server stops.
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(WaitUntil([&] { return ts.server->draining(); }));
+
+  Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok()) << response->status << ": " << response->error;
+  EXPECT_EQ(response->id, "in-flight");
+
+  ts.server->Wait();
+  server::InstallShutdownSignalHandlers(nullptr);
+
+  // Once drained, the port no longer accepts connections.
+  EXPECT_FALSE(net::ConnectTcp("127.0.0.1", ts.server->port()).ok());
+  EXPECT_EQ(ts.server->stats().open_connections, 0);
+}
+
+TEST(PlanningServerTest, DrainRejectsNewRequestsOnLiveConnections) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  PlanRequest slow;
+  slow.id = "survivor";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 300;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  ts.server->Shutdown();
+  ASSERT_TRUE(WaitUntil([&] { return ts.server->draining(); }));
+
+  // The connection outlives the drain while its request is in flight,
+  // but no new work is admitted on it.
+  PlanRequest refused = slow;
+  refused.id = "refused";
+  refused.debug_sleep_ms = 0;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(refused)).ok());
+
+  bool saw_unavailable = false;
+  bool saw_survivor = false;
+  for (int i = 0; i < 2; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    if (response->status == "UNAVAILABLE") {
+      saw_unavailable = true;
+    } else if (response->id == "survivor") {
+      EXPECT_TRUE(response->ok());
+      saw_survivor = true;
+    }
+  }
+  EXPECT_TRUE(saw_unavailable);
+  EXPECT_TRUE(saw_survivor);
+  ts.server->Wait();
+}
+
+TEST(PlanningServerTest, DrainFlushesTelemetryToDisk) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "raqo_server_telemetry")
+          .string();
+  std::filesystem::create_directories(dir);
+
+  obs::DefaultTracer().set_enabled(true);
+  {
+    ServerOptions options;
+    options.telemetry_dir = dir;
+    TestServer ts(options);
+    PlanningClient client = ts.Connect();
+    PlanRequest request;
+    request.id = "telemetry";
+    request.tables = {"orders", "lineitem"};
+    Result<PlanResponse> response = client.Call(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok());
+    client.Close();
+    ts.server->Shutdown();
+    ts.server->Wait();
+  }
+  obs::DefaultTracer().set_enabled(false);
+
+  // Both exports exist and are valid JSON carrying the server series.
+  for (const char* name : {"/metrics.json", "/trace.json"}) {
+    std::ifstream in(dir + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<JsonValue> parsed = ParseJson(buffer.str());
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+  }
+  std::ifstream in(dir + std::string("/metrics.json"));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("server.request_us"), std::string::npos);
+  EXPECT_NE(buffer.str().find("server.accept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raqo
