@@ -312,9 +312,10 @@ std::string JsonEscape(std::string_view s) {
 std::string JsonNumber(double v) {
   if (!std::isfinite(v)) return "null";
   // %.17g round-trips doubles; trim the common integral case for
-  // readability.
-  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
-      std::fabs(v) < 1e15) {
+  // readability. The magnitude guard must precede the int64_t cast:
+  // casting a double at or beyond 2^63 is undefined behavior.
+  if (std::fabs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<int64_t>(v))) {
     return std::to_string(static_cast<int64_t>(v));
   }
   return StrPrintf("%.17g", v);

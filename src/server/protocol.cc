@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/json.h"
@@ -39,10 +40,19 @@ Result<resource::ResourceConfig> ParseResourceConfig(const JsonValue& v) {
                                   count->number_value());
 }
 
+// 2^63 as a double; doubles at or beyond this magnitude cannot be cast to
+// int64_t without undefined behavior ([conv.fpint]).
+constexpr double kInt64Bound = 9223372036854775808.0;
+
 int64_t IntMember(const JsonValue& object, const char* key,
                   int64_t fallback) {
   const JsonValue* v = object.FindNumber(key);
-  return v != nullptr ? static_cast<int64_t>(v->number_value()) : fallback;
+  if (v == nullptr) return fallback;
+  const double d = v->number_value();
+  if (!std::isfinite(d) || d < -kInt64Bound || d >= kInt64Bound) {
+    return fallback;
+  }
+  return static_cast<int64_t>(d);
 }
 
 double NumberMember(const JsonValue& object, const char* key,
@@ -76,7 +86,12 @@ Status ReadInt(const JsonValue& object, const char* key, int64_t* out) {
   if (!v->is_number()) {
     return Status::InvalidArgument(StrPrintf("\"%s\" must be a number", key));
   }
-  *out = static_cast<int64_t>(v->number_value());
+  const double d = v->number_value();
+  if (!std::isfinite(d) || d < 0.0 || d >= kInt64Bound) {
+    return Status::InvalidArgument(StrPrintf(
+        "\"%s\" must be a non-negative integer below 2^63", key));
+  }
+  *out = static_cast<int64_t>(d);
   return Status::OK();
 }
 

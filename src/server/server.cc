@@ -314,9 +314,12 @@ void PlanningServer::HandleReadable(Connection* conn) {
     return;
   }
 
+  const uint64_t id = conn->id;
   ExtractFrames(conn);
-  // ExtractFrames may have dropped the connection (oversized frame).
-  auto it = conns_.find(conn->id);
+  // ExtractFrames may have destroyed the connection (oversized frame,
+  // queue-full rejection whose flush failed); re-fetch by id rather than
+  // touching the possibly-dangling pointer.
+  auto it = conns_.find(id);
   if (it == conns_.end()) return;
   conn = it->second.get();
 
