@@ -4,10 +4,21 @@
 // back-to-back and wait for every answer. Reports throughput and
 // p50/p99 latency per level, plus the shared plan-cache hit rate, and
 // writes the same numbers machine-readably to BENCH_server.json.
+//
+// Modes:
+//   (default)      quota-free, single anonymous tenant — byte-identical
+//                  responses to the pre-tenant server.
+//   --tenants N    spread connections round-robin over N named tenants;
+//                  tenant t0 carries a 1-request in-flight quota, so its
+//                  surplus concurrency is rejected instead of queued.
+//   --smoke        short CI gate: 2 tenants, one ramp level, asserts
+//                  zero protocol errors and a non-zero count of
+//                  per-tenant quota rejections.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -24,8 +35,6 @@ namespace {
 
 using namespace raqo;
 
-constexpr int kRequestsPerClient = 24;
-
 double Percentile(std::vector<double> sorted_us, double p) {
   if (sorted_us.empty()) return 0.0;
   const size_t index = static_cast<size_t>(
@@ -37,6 +46,7 @@ struct LevelResult {
   int connections = 0;
   int64_t requests = 0;
   int64_t errors = 0;
+  int64_t quota_rejected = 0;
   double wall_ms = 0.0;
   double throughput_rps = 0.0;
   double p50_us = 0.0;
@@ -45,7 +55,21 @@ struct LevelResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int tenants = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--tenants N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke && tenants < 2) tenants = 2;
+
   catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
   const cost::JoinCostModels models =
       *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
@@ -67,6 +91,12 @@ int main() {
       4u, std::thread::hardware_concurrency());
   server_options.max_queue = 256;
   server_options.max_connections = 128;
+  if (tenants > 0) {
+    // Tenant t0 is the deliberately throttled one: with several
+    // closed-loop connections sharing it, concurrency above 1 trips the
+    // in-flight cap and is answered RESOURCE_EXHAUSTED at admission.
+    server_options.tenant_quotas["t0"].max_inflight = 1;
+  }
   server::PlanningServer server(&service, server_options);
   if (Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
@@ -82,31 +112,41 @@ int main() {
       {"orders", "lineitem", "customer", "nation"},
   };
 
+  const int requests_per_client = smoke ? 16 : 24;
   bench::Section(StrPrintf(
       "Planning server under closed-loop load (%d workers, queue %zu, "
-      "%d requests per connection)",
+      "%d requests per connection%s)",
       server_options.num_workers, server_options.max_queue,
-      kRequestsPerClient));
+      requests_per_client,
+      tenants > 0 ? StrPrintf(", %d tenants", tenants).c_str() : ""));
 
+  const std::vector<int> ramp =
+      smoke ? std::vector<int>{8} : std::vector<int>{1, 4, 16, 64};
   std::vector<LevelResult> levels;
-  for (int connections : {1, 4, 16, 64}) {
+  for (int connections : ramp) {
     std::vector<std::thread> clients;
     std::mutex latencies_mu;
     std::vector<double> latencies_us;
     std::atomic<int64_t> errors{0};
+    std::atomic<int64_t> quota_rejected{0};
 
     const auto level_start = std::chrono::steady_clock::now();
     for (int c = 0; c < connections; ++c) {
       clients.emplace_back([&, c] {
+        server::ClientOptions client_options;
+        if (tenants > 0) {
+          client_options.tenant = StrPrintf("t%d", c % tenants);
+        }
         Result<server::PlanningClient> client =
-            server::PlanningClient::Connect("127.0.0.1", server.port());
+            server::PlanningClient::Connect("127.0.0.1", server.port(),
+                                            client_options);
         if (!client.ok()) {
-          errors.fetch_add(kRequestsPerClient);
+          errors.fetch_add(requests_per_client);
           return;
         }
         std::vector<double> mine;
-        mine.reserve(kRequestsPerClient);
-        for (int i = 0; i < kRequestsPerClient; ++i) {
+        mine.reserve(static_cast<size_t>(requests_per_client));
+        for (int i = 0; i < requests_per_client; ++i) {
           server::PlanRequest request;
           request.id = StrPrintf("c%d.%d", c, i);
           request.tables = mix[static_cast<size_t>(c + i) % mix.size()];
@@ -116,8 +156,18 @@ int main() {
               std::chrono::duration<double, std::micro>(
                   std::chrono::steady_clock::now() - start)
                   .count();
-          if (!response.ok() || !response->ok()) {
+          if (!response.ok()) {
             errors.fetch_add(1);
+            continue;
+          }
+          if (!response->ok()) {
+            // A quota rejection is the server working as configured,
+            // not a protocol failure.
+            if (response->status == server::kWireResourceExhausted) {
+              quota_rejected.fetch_add(1);
+            } else {
+              errors.fetch_add(1);
+            }
             continue;
           }
           mine.push_back(us);
@@ -137,6 +187,7 @@ int main() {
     level.connections = connections;
     level.requests = static_cast<int64_t>(latencies_us.size());
     level.errors = errors.load();
+    level.quota_rejected = quota_rejected.load();
     level.wall_ms = wall_ms;
     level.throughput_rps =
         wall_ms > 0.0 ? 1000.0 * static_cast<double>(level.requests) / wall_ms
@@ -146,19 +197,41 @@ int main() {
     levels.push_back(level);
   }
 
+  const auto tenant_stats = server.tenant_stats();
   server.Shutdown();
   server.Wait();
 
-  bench::Table table({"connections", "requests", "errors", "wall (ms)",
-                      "throughput (req/s)", "p50 (us)", "p99 (us)"});
+  std::vector<std::string> headers = {"connections", "requests", "errors",
+                                      "wall (ms)", "throughput (req/s)",
+                                      "p50 (us)", "p99 (us)"};
+  if (tenants > 0) headers.insert(headers.begin() + 3, "quota rejected");
+  bench::Table table(headers);
   for (const LevelResult& level : levels) {
-    table.AddRow({bench::Int(level.connections), bench::Int(level.requests),
-                  bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
-                  bench::Num(level.throughput_rps, "%.0f"),
-                  bench::Num(level.p50_us, "%.0f"),
-                  bench::Num(level.p99_us, "%.0f")});
+    std::vector<std::string> row = {
+        bench::Int(level.connections), bench::Int(level.requests),
+        bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
+        bench::Num(level.throughput_rps, "%.0f"),
+        bench::Num(level.p50_us, "%.0f"), bench::Num(level.p99_us, "%.0f")};
+    if (tenants > 0) {
+      row.insert(row.begin() + 3, bench::Int(level.quota_rejected));
+    }
+    table.AddRow(row);
   }
   table.Print();
+
+  if (tenants > 0) {
+    bench::Table tenant_table({"tenant", "admitted", "ok", "rej inflight",
+                               "rej budget", "rej queue", "$ spent"});
+    for (const auto& [name, stats] : tenant_stats) {
+      tenant_table.AddRow(
+          {name.empty() ? "(anonymous)" : name, bench::Int(stats.admitted),
+           bench::Int(stats.responses_ok), bench::Int(stats.rejected_inflight),
+           bench::Int(stats.rejected_budget),
+           bench::Int(stats.rejected_queue_full),
+           bench::Num(stats.dollars_spent, "%.4f")});
+    }
+    tenant_table.Print();
+  }
 
   const core::CacheStats cache = service.shared_cache_stats();
   const double hit_rate =
@@ -171,22 +244,41 @@ int main() {
               (long long)cache.hits, (long long)cache.misses,
               100.0 * hit_rate);
 
-  // Machine-readable mirror of the table above.
+  // Machine-readable mirror of the tables above.
   std::string json = "{\"bench\": \"server_load\", \"levels\": [";
   for (size_t i = 0; i < levels.size(); ++i) {
     const LevelResult& level = levels[i];
     if (i > 0) json += ", ";
     json += StrPrintf(
         "{\"connections\": %d, \"requests\": %lld, \"errors\": %lld, "
-        "\"wall_ms\": %s, \"throughput_rps\": %s, \"p50_us\": %s, "
-        "\"p99_us\": %s}",
+        "\"quota_rejected\": %lld, \"wall_ms\": %s, \"throughput_rps\": %s, "
+        "\"p50_us\": %s, \"p99_us\": %s}",
         level.connections, (long long)level.requests, (long long)level.errors,
-        JsonNumber(level.wall_ms).c_str(),
+        (long long)level.quota_rejected, JsonNumber(level.wall_ms).c_str(),
         JsonNumber(level.throughput_rps).c_str(),
         JsonNumber(level.p50_us).c_str(), JsonNumber(level.p99_us).c_str());
   }
+  json += "]";
+  if (tenants > 0) {
+    json += ", \"tenants\": {";
+    bool first = true;
+    for (const auto& [name, stats] : tenant_stats) {
+      if (!first) json += ", ";
+      first = false;
+      json += StrPrintf(
+          "\"%s\": {\"admitted\": %lld, \"ok\": %lld, \"rejected_inflight\": "
+          "%lld, \"rejected_budget\": %lld, \"rejected_queue_full\": %lld, "
+          "\"dollars_spent\": %s}",
+          JsonEscape(name).c_str(), (long long)stats.admitted,
+          (long long)stats.responses_ok, (long long)stats.rejected_inflight,
+          (long long)stats.rejected_budget,
+          (long long)stats.rejected_queue_full,
+          JsonNumber(stats.dollars_spent).c_str());
+    }
+    json += "}";
+  }
   json += StrPrintf(
-      "], \"cache\": {\"hits\": %lld, \"misses\": %lld, \"hit_rate\": %s}}",
+      ", \"cache\": {\"hits\": %lld, \"misses\": %lld, \"hit_rate\": %s}}",
       (long long)cache.hits, (long long)cache.misses,
       JsonNumber(hit_rate).c_str());
   json += "\n";
@@ -198,6 +290,15 @@ int main() {
   std::printf("wrote BENCH_server.json\n");
 
   int64_t total_errors = 0;
-  for (const LevelResult& level : levels) total_errors += level.errors;
+  int64_t total_quota_rejected = 0;
+  for (const LevelResult& level : levels) {
+    total_errors += level.errors;
+    total_quota_rejected += level.quota_rejected;
+  }
+  if (smoke && total_quota_rejected == 0) {
+    std::fprintf(stderr,
+                 "smoke: expected quota rejections for tenant t0, saw none\n");
+    return 1;
+  }
   return total_errors == 0 ? 0 : 1;
 }

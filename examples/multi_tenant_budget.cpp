@@ -1,14 +1,19 @@
-// Use case "r => p" (Section IV): in a multi-tenant cluster each tenant
-// has a resource quota; RAQO picks the best query plan *for the given
-// budget*. This example sweeps the quota and shows the chosen plan — both
-// join implementations and join order — flipping as the budget grows,
-// which is exactly the behaviour a resource-blind optimizer cannot
-// provide.
+// Multi-tenant planning through the RAQO server (Section IV): each
+// tenant gets a resource envelope (the "r => p" use case — pick the
+// best plan *for the given resources*) and a cumulative dollar budget
+// that the server's admission control enforces. Small envelopes force
+// shuffle joins and different join orders than large ones — exactly
+// the behaviour a resource-blind optimizer cannot provide — and a
+// tenant that spends through its budget is cut off at admission with
+// RESOURCE_EXHAUSTED instead of quietly billing forever.
 
 #include <cstdio>
+#include <vector>
 
 #include "catalog/tpch.h"
-#include "core/raqo_planner.h"
+#include "common/strings.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "sim/profile_runner.h"
 
 int main() {
@@ -22,37 +27,102 @@ int main() {
     return 1;
   }
 
-  core::RaqoPlanner planner(&catalog, *models,
-                            resource::ClusterConditions::PaperDefault());
-  // TPC-H Q2: part x supplier x partsupp x nation (3 joins).
-  std::vector<catalog::TableId> query =
-      *catalog::TpchQueryTables(catalog, catalog::TpchQuery::kQ2);
-
-  std::printf("tenant quota sweep for TPC-H Q2\n");
-  std::printf("%-26s %-52s %12s\n", "quota (per-operator)", "chosen plan",
-              "est. time");
-  struct Quota {
-    double container_gb;
-    double containers;
+  // Three tiers: a cramped envelope with a small budget, a mid-size
+  // one, and an unthrottled one (0 = unlimited).
+  struct Tenant {
+    const char* name;
+    resource::ResourceConfig envelope;
+    double budget_dollars;
   };
-  for (const Quota& quota : {Quota{1, 4}, Quota{2, 10}, Quota{4, 10},
-                             Quota{4, 40}, Quota{8, 40}, Quota{10, 100}}) {
-    const resource::ResourceConfig budget(quota.container_gb,
-                                          quota.containers);
-    Result<core::JointPlan> plan = planner.PlanForResources(query, budget);
-    if (!plan.ok()) {
-      std::printf("%-26s %s\n", budget.ToString().c_str(),
-                  plan.status().ToString().c_str());
-      continue;
-    }
-    std::printf("%-26s %-52s %10.1f s\n", budget.ToString().c_str(),
-                plan->plan->ToString(&catalog).c_str(),
-                plan->cost.seconds);
+  const std::vector<Tenant> tenants = {
+      {"bronze", resource::ResourceConfig(1.0, 4), 0.10},
+      {"silver", resource::ResourceConfig(4.0, 10), 0.50},
+      {"gold", resource::ResourceConfig(10.0, 100), 0.0},
+  };
+
+  server::PlanningService service(&catalog, *models,
+                                  resource::ClusterConditions::PaperDefault(),
+                                  resource::PricingModel(),
+                                  server::PlanningServiceOptions());
+  server::ServerOptions server_options;
+  server_options.port = 0;  // loopback, ephemeral
+  for (const Tenant& tenant : tenants) {
+    server_options.tenant_quotas[tenant.name].max_dollars =
+        tenant.budget_dollars;
+  }
+  server::PlanningServer server(&service, server_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
   }
 
+  std::printf("multi-tenant planning of TPC-H Q2 over the wire\n\n");
+
+  // Every tenant plans the same query — part x supplier x partsupp x
+  // nation — but inside its own envelope, paying from its own budget,
+  // until the server refuses to admit more.
+  for (const Tenant& tenant : tenants) {
+    server::ClientOptions client_options;
+    client_options.tenant = tenant.name;
+    Result<server::PlanningClient> client = server::PlanningClient::Connect(
+        "127.0.0.1", server.port(), client_options);
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%s  (envelope %s, budget %s)\n", tenant.name,
+                tenant.envelope.ToString().c_str(),
+                tenant.budget_dollars > 0.0
+                    ? StrPrintf("$%.2f", tenant.budget_dollars).c_str()
+                    : "unlimited");
+
+    constexpr int kMaxCalls = 8;
+    for (int i = 0; i < kMaxCalls; ++i) {
+      server::PlanRequest request;
+      request.id = StrPrintf("%s-%d", tenant.name, i);
+      request.tables = {"part", "supplier", "partsupp", "nation"};
+      request.has_resources = true;
+      request.resources = tenant.envelope;
+      Result<server::PlanResponse> response = client->Call(request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+        return 1;
+      }
+      if (!response->ok()) {
+        std::printf("  call %d: %s — %s\n", i, response->status.c_str(),
+                    response->error.c_str());
+        break;
+      }
+      if (i == 0) {
+        std::printf("  plan: %s\n", response->plan.c_str());
+      }
+      std::printf("  call %d: %.1f s estimated, $%.4f charged\n", i,
+                  response->cost.seconds, response->cost.dollars);
+    }
+    std::printf("\n");
+  }
+
+  const auto stats = server.tenant_stats();
+  std::printf("server-side accounting\n");
+  std::printf("  %-8s %9s %12s %12s\n", "tenant", "admitted", "rejected",
+              "$ spent");
+  for (const Tenant& tenant : tenants) {
+    const auto it = stats.find(tenant.name);
+    if (it == stats.end()) continue;
+    std::printf("  %-8s %9lld %12lld %11.4f\n", tenant.name,
+                (long long)it->second.admitted,
+                (long long)it->second.rejected_budget,
+                it->second.dollars_spent);
+  }
+
+  server.Shutdown();
+  server.Wait();
+
   std::printf(
-      "\nnote how small quotas force shuffle joins (nothing fits in "
-      "memory) while large containers unlock broadcast joins, and the "
-      "join order adapts along the way.\n");
+      "\nnote how the cramped envelope forces shuffle joins and a "
+      "different join order than the large ones, and how the budgeted "
+      "tenants are refused at admission once their spending crosses the "
+      "line — the unthrottled tenant keeps planning.\n");
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -65,6 +66,23 @@ Status SetTcpNoDelay(int fd) {
   return Status::OK();
 }
 
+Status SetSocketTimeouts(int fd, int64_t recv_timeout_ms,
+                         int64_t send_timeout_ms) {
+  const auto arm = [fd](int option, int64_t ms, const char* what) {
+    if (ms < 0) return Status::OK();
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    if (setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) < 0) {
+      return Errno(what);
+    }
+    return Status::OK();
+  };
+  RAQO_RETURN_IF_ERROR(
+      arm(SO_RCVTIMEO, recv_timeout_ms, "setsockopt(SO_RCVTIMEO)"));
+  return arm(SO_SNDTIMEO, send_timeout_ms, "setsockopt(SO_SNDTIMEO)");
+}
+
 Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
                            int backlog) {
   RAQO_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
@@ -111,6 +129,10 @@ Status SendAll(int fd, const void* data, size_t len) {
     const ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired on a blocking socket.
+        return Status::DeadlineExceeded("send timed out");
+      }
       return Errno("send");
     }
     p += n;
@@ -126,6 +148,11 @@ Status RecvAll(int fd, void* data, size_t len) {
     const ssize_t n = recv(fd, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired on a blocking socket.
+        return Status::DeadlineExceeded(StrPrintf(
+            "recv timed out (%zu of %zu bytes)", got, len));
+      }
       return Errno("recv");
     }
     if (n == 0) {

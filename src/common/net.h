@@ -40,6 +40,12 @@ Status SetNonBlocking(int fd);
 /// Disables Nagle batching on a TCP socket (request/response traffic).
 Status SetTcpNoDelay(int fd);
 
+/// Arms SO_RCVTIMEO / SO_SNDTIMEO on a blocking socket (0 = no timeout,
+/// negative = leave unchanged). After a timeout fires, the blocked
+/// RecvAll/SendAll returns DeadlineExceeded instead of hanging forever.
+Status SetSocketTimeouts(int fd, int64_t recv_timeout_ms,
+                         int64_t send_timeout_ms);
+
 /// Creates a TCP listen socket bound to host:port (port 0 picks an
 /// ephemeral port; read it back with LocalPort). SO_REUSEADDR is set so
 /// restarts do not trip over TIME_WAIT.

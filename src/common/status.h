@@ -23,6 +23,9 @@ enum class StatusCode {
   /// The simulated execution ran out of memory (e.g. broadcast hash join
   /// build side exceeding the container budget).
   kResourceExhausted,
+  /// A deadline expired before the operation completed (e.g. a blocking
+  /// client call whose socket timeout fired before the response frame).
+  kDeadlineExceeded,
   /// An invariant inside the library was violated; indicates a bug.
   kInternal,
   /// The requested feature is recognized but not supported (e.g. Selinger
@@ -64,6 +67,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -85,6 +91,9 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }

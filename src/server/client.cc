@@ -5,22 +5,37 @@
 namespace raqo::server {
 
 Result<PlanningClient> PlanningClient::Connect(const std::string& host,
-                                               uint16_t port) {
+                                               uint16_t port,
+                                               ClientOptions options) {
   RAQO_ASSIGN_OR_RETURN(net::UniqueFd fd, net::ConnectTcp(host, port));
-  return PlanningClient(std::move(fd));
+  RAQO_RETURN_IF_ERROR(net::SetSocketTimeouts(fd.get(),
+                                              options.recv_timeout_ms,
+                                              options.send_timeout_ms));
+  return PlanningClient(std::move(fd), std::move(options));
 }
 
 Result<PlanResponse> PlanningClient::Call(const PlanRequest& request) {
   if (!fd_.valid()) {
     return Status::FailedPrecondition("client is not connected");
   }
-  Status sent = WriteFrame(fd_.get(), SerializePlanRequest(request));
+  std::string payload_out;
+  if (request.tenant.empty() && !options_.tenant.empty()) {
+    PlanRequest stamped = request;
+    stamped.tenant = options_.tenant;
+    payload_out = SerializePlanRequest(stamped);
+  } else {
+    payload_out = SerializePlanRequest(request);
+  }
+  Status sent = WriteFrame(fd_.get(), payload_out);
   if (!sent.ok()) {
     fd_.reset();
     return sent;
   }
-  Result<std::string> payload = ReadFrame(fd_.get(), 64u << 20);
+  Result<std::string> payload = ReadFrame(fd_.get(), options_.max_frame_bytes);
   if (!payload.ok()) {
+    // The connection is closed even on a timeout: a late response frame
+    // arriving after the caller gave up must not be mistaken for the
+    // answer to the *next* Call().
     fd_.reset();
     return payload.status();
   }

@@ -10,6 +10,24 @@
 
 namespace raqo::server {
 
+/// Knobs of one client connection. The defaults match the server's
+/// defaults and never time out, preserving the plain Connect(host, port)
+/// behavior.
+struct ClientOptions {
+  /// Largest response frame accepted before the call fails (a malicious
+  /// or corrupted length header must not drive an allocation).
+  size_t max_frame_bytes = 64u << 20;
+  /// Wall-clock cap on waiting for the response frame (SO_RCVTIMEO); a
+  /// hung server surfaces as a DeadlineExceeded status instead of
+  /// blocking the caller forever. 0 = wait indefinitely.
+  int64_t recv_timeout_ms = 0;
+  /// Same cap for writing the request frame (SO_SNDTIMEO). 0 = none.
+  int64_t send_timeout_ms = 0;
+  /// When non-empty, stamped as the `tenant` of every request sent
+  /// through Call() that does not already name one.
+  std::string tenant;
+};
+
 /// A blocking planning-server client over one TCP connection: Call()
 /// writes a request frame and waits for the matching response frame
 /// (strict request/response — no pipelining, so responses need no id
@@ -18,15 +36,17 @@ class PlanningClient {
  public:
   /// Connects to a running planning server.
   static Result<PlanningClient> Connect(const std::string& host,
-                                        uint16_t port);
+                                        uint16_t port,
+                                        ClientOptions options = {});
 
   PlanningClient(PlanningClient&&) = default;
   PlanningClient& operator=(PlanningClient&&) = default;
 
   /// One round trip. A non-OK result means the conversation itself
-  /// failed (connection dropped, malformed frame); a planner- or
-  /// admission-level failure comes back as an OK result whose response
-  /// carries the wire status ("RESOURCE_EXHAUSTED", ...).
+  /// failed (connection dropped, malformed frame, or a DeadlineExceeded
+  /// socket timeout); a planner- or admission-level failure comes back
+  /// as an OK result whose response carries the wire status
+  /// ("RESOURCE_EXHAUSTED", ...).
   Result<PlanResponse> Call(const PlanRequest& request);
 
   /// Closes the connection (destruction does too).
@@ -34,9 +54,11 @@ class PlanningClient {
   bool connected() const { return fd_.valid(); }
 
  private:
-  explicit PlanningClient(net::UniqueFd fd) : fd_(std::move(fd)) {}
+  PlanningClient(net::UniqueFd fd, ClientOptions options)
+      : fd_(std::move(fd)), options_(std::move(options)) {}
 
   net::UniqueFd fd_;
+  ClientOptions options_;
 };
 
 }  // namespace raqo::server

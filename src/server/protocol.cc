@@ -95,7 +95,84 @@ Status ReadInt(const JsonValue& object, const char* key, int64_t* out) {
   return Status::OK();
 }
 
+// Advances *pos (pointing at an opening quote) past the end of the JSON
+// string token, honoring backslash escapes. False on unterminated input.
+bool SkipJsonString(std::string_view text, size_t* pos) {
+  for (size_t i = *pos + 1; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;  // the escaped character can never close the string
+      continue;
+    }
+    if (text[i] == '"') {
+      *pos = i + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Decodes one raw string token (quotes included). The common escape-free
+// case is a plain copy; tokens with escapes go through the real parser,
+// which handles \uXXXX and surrogate pairs.
+std::string DecodeStringToken(std::string_view token) {
+  std::string_view raw = token.substr(1, token.size() - 2);
+  if (raw.find('\\') == std::string_view::npos) return std::string(raw);
+  Result<JsonValue> decoded = ParseJson(token);
+  return decoded.ok() && decoded->is_string() ? decoded->string_value()
+                                              : std::string();
+}
+
 }  // namespace
+
+std::string PeekTopLevelString(std::string_view json, std::string_view key) {
+  size_t i = 0;
+  const size_t n = json.size();
+  const auto skip_ws = [&] {
+    while (i < n && (json[i] == ' ' || json[i] == '\t' || json[i] == '\n' ||
+                     json[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= n || json[i] != '{') return std::string();
+  ++i;
+  int depth = 1;
+  while (i < n && depth > 0) {
+    const char c = json[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+      continue;
+    }
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    // A string token. At depth 1 it is either an object key or a string
+    // value; only a following ':' makes it a key.
+    const size_t start = i;
+    if (!SkipJsonString(json, &i)) return std::string();
+    const size_t end = i;
+    if (depth != 1) continue;
+    skip_ws();
+    if (i >= n || json[i] != ':') continue;
+    ++i;  // consume ':'
+    skip_ws();
+    if (DecodeStringToken(json.substr(start, end - start)) != key) {
+      continue;  // the value is skipped by the main loop
+    }
+    if (i >= n || json[i] != '"') return std::string();  // not a string
+    const size_t value_start = i;
+    if (!SkipJsonString(json, &i)) return std::string();
+    return DecodeStringToken(json.substr(value_start, i - value_start));
+  }
+  return std::string();
+}
 
 std::string WireStatusName(StatusCode code) {
   switch (code) {
@@ -111,6 +188,8 @@ std::string WireStatusName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kResourceExhausted:
       return kWireResourceExhausted;
+    case StatusCode::kDeadlineExceeded:
+      return kWireDeadlineExceeded;
     case StatusCode::kInternal:
       return kWireInternal;
     case StatusCode::kUnsupported:
@@ -137,6 +216,9 @@ std::string SerializePlanRequest(const PlanRequest& request) {
     out += rendered;
   };
   if (!request.id.empty()) field("\"id\": " + Quoted(request.id));
+  if (!request.tenant.empty()) {
+    field("\"tenant\": " + Quoted(request.tenant));
+  }
   if (!request.sql.empty()) field("\"sql\": " + Quoted(request.sql));
   if (!request.tables.empty()) {
     std::string tables = "\"tables\": [";
@@ -191,6 +273,7 @@ Result<PlanRequest> ParsePlanRequest(std::string_view json) {
   }
   PlanRequest request;
   RAQO_RETURN_IF_ERROR(ReadString(root, "id", &request.id));
+  RAQO_RETURN_IF_ERROR(ReadString(root, "tenant", &request.tenant));
   RAQO_RETURN_IF_ERROR(ReadString(root, "sql", &request.sql));
   if (const JsonValue* tables = root.Find("tables"); tables != nullptr) {
     if (!tables->is_array()) {

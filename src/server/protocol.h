@@ -43,6 +43,13 @@ struct PlanRequest {
   /// Caller-chosen identifier, echoed verbatim in the response.
   std::string id;
 
+  /// Tenant this request is billed to. Admission control keys its
+  /// in-flight and dollar quotas (and the fair per-tenant dequeue) on
+  /// this string; empty means the shared anonymous tenant. The server
+  /// reads it with a cheap pre-parse scan (PeekTopLevelString), so it
+  /// must be a top-level member of the request object.
+  std::string tenant;
+
   /// "select * from orders, lineitem where ..." (see query/sql_parser.h).
   std::string sql;
   /// Alternative join-graph spec: catalog table names, FROM-clause order.
@@ -110,6 +117,15 @@ PlanResponse ErrorResponse(std::string wire_status, std::string message,
 
 std::string SerializePlanRequest(const PlanRequest& request);
 Result<PlanRequest> ParsePlanRequest(std::string_view json);
+
+/// Best-effort extraction of one top-level string member from a JSON
+/// object without building a document: a linear scan that honors string
+/// escapes and brace/bracket nesting, so a key occurring inside another
+/// string ("sql": "... \"id\" ...") or in a nested object is never
+/// matched. Returns the decoded value, or "" when the key is absent,
+/// not a string, or the text is malformed. The admission path uses this
+/// to learn `id` and `tenant` before (or instead of) a full parse.
+std::string PeekTopLevelString(std::string_view json, std::string_view key);
 
 std::string SerializePlanResponse(const PlanResponse& response);
 Result<PlanResponse> ParsePlanResponse(std::string_view json);

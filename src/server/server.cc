@@ -35,6 +35,21 @@ double ElapsedUs(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+// Metric-name prefix for one tenant's server.tenant.* series. Tenant
+// strings arrive from untrusted sockets, so anything outside a safe
+// identifier alphabet is folded to '_' and the key is length-capped.
+std::string TenantMetricPrefix(const std::string& tenant) {
+  std::string key;
+  key.reserve(tenant.size());
+  for (char c : tenant) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    key.push_back(safe ? c : '_');
+  }
+  if (key.size() > 64) key.resize(64);
+  return "server.tenant." + key + ".";
+}
+
 }  // namespace
 
 PlanningServer::PlanningServer(const PlanningService* service,
@@ -130,10 +145,23 @@ ServerStats PlanningServer::stats() const {
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    out.queue_depth = static_cast<int64_t>(queue_.size());
+    out.queue_depth = static_cast<int64_t>(total_queued_);
   }
   out.requests_executing = executing_.load(std::memory_order_relaxed);
   out.open_connections = open_conns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::map<std::string, TenantStats> PlanningServer::tenant_stats() const {
+  std::map<std::string, TenantStats> out;
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (const auto& [name, state] : tenants_) {
+    TenantStats stats = state.stats;
+    stats.inflight = state.inflight;
+    stats.queued = static_cast<int64_t>(state.queue.size());
+    stats.dollars_spent = state.dollars_spent;
+    out.emplace(name, stats);
+  }
   return out;
 }
 
@@ -253,7 +281,9 @@ void PlanningServer::AcceptNewConnections() {
     if (draining()) continue;  // closing the fd is the whole answer
     if (conns_.size() >= options_.max_connections) {
       // Best effort: tell the client why before closing. The socket is
-      // fresh, so a single non-blocking send almost always fits.
+      // fresh, so a single non-blocking send almost always fits. This
+      // rejection predates any request, so (unlike the admission-path
+      // rejections) there is no request id to echo.
       const std::string frame = EncodeFrame(SerializePlanResponse(
           ErrorResponse(kWireUnavailable,
                         StrPrintf("connection limit (%zu) reached",
@@ -360,48 +390,155 @@ void PlanningServer::ExtractFrames(Connection* conn) {
   if (consumed > 0) conn->read_buf.erase(0, consumed);
 }
 
+PlanningServer::TenantState* PlanningServer::FindOrCreateTenant(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return &it->second;
+  if (tenants_.size() >= options_.max_tenants) return nullptr;
+  TenantState& state = tenants_[tenant];
+  state.name = tenant;
+  auto quota = options_.tenant_quotas.find(tenant);
+  state.quota = quota != options_.tenant_quotas.end()
+                    ? quota->second
+                    : options_.default_tenant_quota;
+  if (!tenant.empty()) {
+    // Registered once per tenant; the registry keeps the objects alive,
+    // so these pointers stay valid for the server's lifetime. Anonymous
+    // traffic reports only through the global server.* series.
+    const std::string prefix = TenantMetricPrefix(tenant);
+    obs::MetricsRegistry& metrics = obs::DefaultMetrics();
+    state.admitted_counter = metrics.GetCounter(prefix + "admitted");
+    state.rejected_counter = metrics.GetCounter(prefix + "rejected");
+    state.queue_depth_gauge = metrics.GetGauge(prefix + "queue_depth");
+    state.inflight_gauge = metrics.GetGauge(prefix + "inflight");
+    state.dollars_gauge = metrics.GetGauge(prefix + "dollars_spent");
+  }
+  return &state;
+}
+
+void PlanningServer::RejectRequest(Connection* conn, const char* wire_status,
+                                   std::string message, std::string id,
+                                   int64_t ServerStats::*stat_field,
+                                   const char* counter_name) {
+  Bump(stat_field);
+  if (counter_name != nullptr && obs::MetricsOn()) {
+    obs::DefaultMetrics().GetCounter(counter_name)->Add();
+  }
+  // May close the connection; conn must not be touched after.
+  QueueResponse(conn, ErrorResponse(wire_status, std::move(message),
+                                    std::move(id)));
+}
+
 void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
+  // The id is peeked (not parsed) so every admission-path rejection can
+  // tell a pipelining client which request was refused.
+  std::string id = PeekTopLevelString(payload, "id");
   if (draining()) {
-    Bump(&ServerStats::rejected_draining);
-    QueueResponse(conn, ErrorResponse(kWireUnavailable, "server is draining"));
+    RejectRequest(conn, kWireUnavailable, "server is draining",
+                  std::move(id), &ServerStats::rejected_draining, nullptr);
     return;
   }
-  size_t depth = 0;
-  bool admitted = false;
+  std::string tenant = PeekTopLevelString(payload, "tenant");
+
+  const char* reject_status = nullptr;
+  std::string reject_message;
+  int64_t ServerStats::*reject_stat = nullptr;
+  const char* reject_counter = nullptr;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() < options_.max_queue) {
+    TenantState* state = FindOrCreateTenant(tenant);
+    if (state == nullptr) {
+      reject_status = kWireResourceExhausted;
+      reject_message = StrPrintf("tenant table full (%zu tenants tracked)",
+                                 options_.max_tenants);
+      reject_stat = &ServerStats::rejected_tenant_table_full;
+      reject_counter = "server.rejected.tenant_table_full";
+    } else if (state->quota.max_inflight > 0 &&
+               state->inflight >= state->quota.max_inflight) {
+      state->stats.rejected_inflight++;
+      reject_status = kWireResourceExhausted;
+      reject_message = StrPrintf(
+          "tenant '%s' is at its in-flight cap (%lld requests)",
+          tenant.c_str(), static_cast<long long>(state->quota.max_inflight));
+      reject_stat = &ServerStats::rejected_tenant_inflight;
+      reject_counter = "server.rejected.tenant_inflight";
+    } else if (state->quota.max_dollars > 0.0 &&
+               state->dollars_spent >= state->quota.max_dollars) {
+      state->stats.rejected_budget++;
+      reject_status = kWireResourceExhausted;
+      reject_message = StrPrintf(
+          "tenant '%s' exhausted its $%.4f budget ($%.4f spent)",
+          tenant.c_str(), state->quota.max_dollars, state->dollars_spent);
+      reject_stat = &ServerStats::rejected_tenant_budget;
+      reject_counter = "server.rejected.tenant_budget";
+    } else if (state->queue.size() >= options_.max_queue) {
+      state->stats.rejected_queue_full++;
+      reject_status = kWireResourceExhausted;
+      reject_message = StrPrintf(
+          "admission queue full (%zu pending for tenant '%s')",
+          options_.max_queue, tenant.c_str());
+      reject_stat = &ServerStats::rejected_queue_full;
+      reject_counter = "server.rejected.queue_full";
+    } else {
       PendingRequest pending;
       pending.conn_id = conn->id;
+      pending.id = std::move(id);
+      pending.tenant = tenant;
       pending.payload = std::move(payload);
       pending.admitted_at = std::chrono::steady_clock::now();
-      queue_.push_back(std::move(pending));
-      depth = queue_.size();
-      admitted = true;
+      state->queue.push_back(std::move(pending));
+      ++total_queued_;
+      if (!state->in_ready) {
+        ready_tenants_.push_back(state);
+        state->in_ready = true;
+      }
+      state->inflight++;
+      state->stats.admitted++;
+      // Gauges are written inside the critical section so a stale depth
+      // can never overwrite a newer value set by WorkerLoop.
+      if (obs::MetricsOn()) {
+        static obs::Gauge* queue_depth =
+            obs::DefaultMetrics().GetGauge("server.queue_depth");
+        queue_depth->Set(static_cast<double>(total_queued_));
+        if (state->admitted_counter != nullptr) {
+          state->admitted_counter->Add();
+          state->queue_depth_gauge->Set(
+              static_cast<double>(state->queue.size()));
+          state->inflight_gauge->Set(static_cast<double>(state->inflight));
+        }
+      }
+    }
+    if (reject_counter != nullptr && state != nullptr &&
+        state->rejected_counter != nullptr && obs::MetricsOn()) {
+      state->rejected_counter->Add();
     }
   }
-  if (!admitted) {
-    Bump(&ServerStats::rejected_queue_full);
-    if (obs::MetricsOn()) {
-      static obs::Counter* rejected =
-          obs::DefaultMetrics().GetCounter("server.rejected.queue_full");
-      rejected->Add();
-    }
-    QueueResponse(
-        conn, ErrorResponse(kWireResourceExhausted,
-                            StrPrintf("admission queue full (%zu pending)",
-                                      options_.max_queue)));
+  if (reject_status != nullptr) {
+    RejectRequest(conn, reject_status, std::move(reject_message),
+                  std::move(id), reject_stat, reject_counter);
     return;
   }
   conn->outstanding++;
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   Bump(&ServerStats::requests_admitted);
-  if (obs::MetricsOn()) {
-    static obs::Gauge* queue_depth =
-        obs::DefaultMetrics().GetGauge("server.queue_depth");
-    queue_depth->Set(static_cast<double>(depth));
-  }
   queue_cv_.notify_one();
+}
+
+void PlanningServer::SettleTenant(const std::string& tenant, bool ok,
+                                  double dollars) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  state.inflight--;
+  if (ok) {
+    state.stats.responses_ok++;
+    state.dollars_spent += dollars;
+  }
+  if (obs::MetricsOn() && state.inflight_gauge != nullptr) {
+    state.inflight_gauge->Set(static_cast<double>(state.inflight));
+    state.dollars_gauge->Set(state.dollars_spent);
+  }
 }
 
 void PlanningServer::QueueResponse(Connection* conn,
@@ -409,15 +546,26 @@ void PlanningServer::QueueResponse(Connection* conn,
   SendRawResponse(conn, SerializePlanResponse(response));
 }
 
+void PlanningServer::BumpResponsesDropped() {
+  Bump(&ServerStats::responses_dropped);
+  if (obs::MetricsOn()) {
+    static obs::Counter* dropped =
+        obs::DefaultMetrics().GetCounter("server.responses.dropped");
+    dropped->Add();
+  }
+}
+
 void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
   const size_t buffered = conn->write_buf.size() - conn->write_off;
   if (buffered + kFrameHeaderBytes + payload.size() >
       options_.max_write_buffer_bytes) {
     // The client is not reading its responses; buffering more would let
-    // one slow reader hold arbitrary memory.
+    // one slow reader hold arbitrary memory. The response is dropped,
+    // not sent — count it as such.
     std::cerr << "raqo_server: dropping connection " << conn->id
               << ": write buffer over " << options_.max_write_buffer_bytes
               << " bytes\n";
+    BumpResponsesDropped();
     CloseConnection(conn->id);
     return;
   }
@@ -427,6 +575,9 @@ void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
     conn->write_off = 0;
   }
   conn->write_buf += EncodeFrame(payload);
+  // Counted only once the frame is actually buffered for delivery;
+  // drops (write-buffer cap, vanished connection) land in
+  // responses_dropped instead.
   Bump(&ServerStats::responses_sent);
   HandleWritable(conn);  // may close; conn must not be touched after
 }
@@ -479,7 +630,10 @@ void PlanningServer::DeliverCompletions() {
     // connection is already gone (the response is then dropped).
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end()) continue;
+    if (it == conns_.end()) {
+      BumpResponsesDropped();
+      continue;
+    }
     Connection* conn = it->second.get();
     conn->outstanding--;
     SendRawResponse(conn, std::move(completion.payload));
@@ -539,15 +693,30 @@ void PlanningServer::WorkerLoop() {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
         return workers_stop_.load(std::memory_order_acquire) ||
-               !queue_.empty();
+               !ready_tenants_.empty();
       });
       if (workers_stop_.load(std::memory_order_acquire)) return;
-      pending = std::move(queue_.front());
-      queue_.pop_front();
+      // Fair dequeue: take one request from the tenant at the front of
+      // the ready ring, then rotate it to the back so a tenant with a
+      // deep backlog cannot starve the others.
+      TenantState* state = ready_tenants_.front();
+      ready_tenants_.pop_front();
+      pending = std::move(state->queue.front());
+      state->queue.pop_front();
+      --total_queued_;
+      if (!state->queue.empty()) {
+        ready_tenants_.push_back(state);
+      } else {
+        state->in_ready = false;
+      }
       if (obs::MetricsOn()) {
         static obs::Gauge* queue_depth =
             obs::DefaultMetrics().GetGauge("server.queue_depth");
-        queue_depth->Set(static_cast<double>(queue_.size()));
+        queue_depth->Set(static_cast<double>(total_queued_));
+        if (state->queue_depth_gauge != nullptr) {
+          state->queue_depth_gauge->Set(
+              static_cast<double>(state->queue.size()));
+        }
       }
     }
 
@@ -573,7 +742,7 @@ void PlanningServer::WorkerLoop() {
     if (!request.ok()) {
       Bump(&ServerStats::protocol_errors);
       response = ErrorResponse(kWireInvalidArgument,
-                               request.status().message());
+                               request.status().message(), pending.id);
     } else {
       const int64_t deadline_ms = request->deadline_ms > 0
                                       ? request->deadline_ms
@@ -616,6 +785,10 @@ void PlanningServer::WorkerLoop() {
       if (response.ok()) ok_responses->Add();
     }
     executing_.fetch_sub(1, std::memory_order_acq_rel);
+    // Charged against the *peeked* tenant (the one admission accounted
+    // for), so in-flight and dollar bookkeeping stay self-consistent
+    // even if the full parse disagrees with the cheap scan.
+    SettleTenant(pending.tenant, response.ok(), response.cost.dollars);
     PostCompletion(pending.conn_id, SerializePlanResponse(response));
   }
 }

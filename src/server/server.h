@@ -6,18 +6,39 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/net.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "server/service.h"
 
+namespace raqo::obs {
+class Counter;
+class Gauge;
+}  // namespace raqo::obs
+
 namespace raqo::server {
+
+/// Admission quota of one tenant. Zero means unlimited, so a
+/// default-constructed quota preserves the quota-free behavior.
+struct TenantQuota {
+  /// Max admitted-but-unanswered requests (queued + executing) the
+  /// tenant may hold at once; one more is rejected RESOURCE_EXHAUSTED.
+  int64_t max_inflight = 0;
+  /// Cumulative dollar budget. Every successful response's
+  /// `cost.dollars` is charged against it; once spending reaches the
+  /// budget, further requests are rejected RESOURCE_EXHAUSTED. The
+  /// budget gates admission, so requests already in flight may finish
+  /// and overshoot it by their own cost.
+  double max_dollars = 0.0;
+};
 
 /// Configuration of the network server.
 struct ServerOptions {
@@ -27,9 +48,21 @@ struct ServerOptions {
   /// Planner worker threads (one PR-1 ThreadPool).
   int num_workers = 4;
   /// Admission control: requests admitted but not yet picked up by a
-  /// worker. One more request is rejected with RESOURCE_EXHAUSTED
-  /// instead of growing memory without bound.
+  /// worker, bounded per tenant (traffic without a `tenant` field shares
+  /// one anonymous tenant, so the single-tenant behavior is unchanged).
+  /// One more request is rejected with RESOURCE_EXHAUSTED instead of
+  /// growing memory without bound.
   size_t max_queue = 64;
+  /// Quota applied to tenants without an explicit entry in
+  /// `tenant_quotas`. The default (all zero) is unlimited.
+  TenantQuota default_tenant_quota;
+  /// Per-tenant quota overrides, keyed by the wire `tenant` string ("" =
+  /// the anonymous tenant).
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Distinct tenants tracked at once; requests naming a new tenant
+  /// beyond this are rejected RESOURCE_EXHAUSTED (admission state and
+  /// per-tenant metrics stay bounded against tenant-name floods).
+  size_t max_tenants = 1024;
   /// Beyond this, new connections get an UNAVAILABLE frame and a close.
   size_t max_connections = 256;
   /// Largest acceptable request frame; the connection is closed after an
@@ -58,14 +91,35 @@ struct ServerStats {
   int64_t connections_accepted = 0;
   int64_t connections_rejected = 0;
   int64_t requests_admitted = 0;
+  /// Responses actually buffered for delivery on a live connection.
   int64_t responses_sent = 0;
+  /// Completed responses that never reached the client: the connection
+  /// closed first, or the write-buffer cap dropped it.
+  int64_t responses_dropped = 0;
   int64_t rejected_queue_full = 0;
   int64_t rejected_deadline = 0;
   int64_t rejected_draining = 0;
+  /// Rejections from per-tenant quotas (in-flight cap / dollar budget /
+  /// tenant-table overflow).
+  int64_t rejected_tenant_inflight = 0;
+  int64_t rejected_tenant_budget = 0;
+  int64_t rejected_tenant_table_full = 0;
   int64_t protocol_errors = 0;
   int64_t queue_depth = 0;
   int64_t requests_executing = 0;
   int64_t open_connections = 0;
+};
+
+/// Point-in-time admission state of one tenant (see tenant_stats()).
+struct TenantStats {
+  int64_t admitted = 0;
+  int64_t responses_ok = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_inflight = 0;
+  int64_t rejected_budget = 0;
+  int64_t inflight = 0;
+  int64_t queued = 0;
+  double dollars_spent = 0.0;
 };
 
 /// The RAQO planning server: one epoll I/O thread accepting
@@ -73,8 +127,12 @@ struct ServerStats {
 /// ThreadPool of planner workers executing them against the shared
 /// PlanningService. Production behaviors, not demo ones:
 ///
-///  - admission control: a bounded queue; overflow answers
+///  - admission control: bounded per-tenant queues; overflow answers
 ///    RESOURCE_EXHAUSTED immediately instead of buffering,
+///  - multi-tenant quotas: per-tenant in-flight caps and cumulative
+///    dollar budgets (charged from each successful response's cost),
+///    with per-tenant sub-queues drained round-robin so one flooding
+///    tenant cannot starve the queue-wait of the others,
 ///  - per-request deadlines: a request still queued past its deadline is
 ///    cancelled with DEADLINE_EXCEEDED, never planned,
 ///  - connection limits and per-connection write buffering for slow
@@ -114,6 +172,10 @@ class PlanningServer {
 
   ServerStats stats() const;
 
+  /// Admission state of every tenant seen so far, sorted by name (the
+  /// anonymous tenant appears as "").
+  std::map<std::string, TenantStats> tenant_stats() const;
+
  private:
   /// Per-connection state owned by the I/O thread.
   struct Connection {
@@ -131,11 +193,34 @@ class PlanningServer {
   /// One admitted request waiting for (or held by) a worker. The
   /// deadline is evaluated by the worker that picks it up — the wire
   /// deadline_ms bounds the admission-to-pickup wait, so the request
-  /// itself need not be parsed on the I/O thread.
+  /// itself need not be parsed on the I/O thread (id and tenant come
+  /// from the cheap pre-parse peek).
   struct PendingRequest {
     uint64_t conn_id = 0;
+    std::string id;      ///< peeked wire id (echoed in rejections)
+    std::string tenant;  ///< peeked tenant key the request is billed to
     std::string payload;
     std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  /// Admission state of one tenant, guarded by queue_mu_. Values live in
+  /// an unordered_map (node-based, reference-stable), so the ready ring
+  /// and workers may hold pointers across rehashes.
+  struct TenantState {
+    std::string name;
+    TenantQuota quota;
+    std::deque<PendingRequest> queue;  ///< this tenant's admission queue
+    bool in_ready = false;             ///< queued in the round-robin ring
+    int64_t inflight = 0;              ///< admitted, not yet answered
+    double dollars_spent = 0.0;
+    TenantStats stats;
+    /// Per-tenant metrics (null for the anonymous tenant, which reports
+    /// only through the global server.* series).
+    obs::Counter* admitted_counter = nullptr;
+    obs::Counter* rejected_counter = nullptr;
+    obs::Gauge* queue_depth_gauge = nullptr;
+    obs::Gauge* inflight_gauge = nullptr;
+    obs::Gauge* dollars_gauge = nullptr;
   };
 
   /// A response travelling from a worker back to the I/O thread.
@@ -147,12 +232,23 @@ class PlanningServer {
   void IoLoop();
   void WorkerLoop();
 
+  /// Looks up (or creates) the tenant's admission state. Caller holds
+  /// queue_mu_. Returns nullptr when the tenant table is full.
+  TenantState* FindOrCreateTenant(const std::string& tenant);
+  /// Charges a finished request back to its tenant: in-flight drops, a
+  /// successful response's dollars accrue against the budget.
+  void SettleTenant(const std::string& tenant, bool ok, double dollars);
+
   // I/O-thread helpers.
   void AcceptNewConnections();
   void HandleReadable(Connection* conn);
   void HandleWritable(Connection* conn);
   void ExtractFrames(Connection* conn);
   void AdmitOrReject(Connection* conn, std::string payload);
+  void RejectRequest(Connection* conn, const char* wire_status,
+                     std::string message, std::string id,
+                     int64_t ServerStats::*stat_field,
+                     const char* counter_name);
   void QueueResponse(Connection* conn, const PlanResponse& response);
   void SendRawResponse(Connection* conn, std::string payload);
   void DeliverCompletions();
@@ -161,6 +257,7 @@ class PlanningServer {
   void FlushTelemetry();
   void PostCompletion(uint64_t conn_id, std::string payload);
   void Bump(int64_t ServerStats::*field, int64_t delta = 1);
+  void BumpResponsesDropped();
 
   const PlanningService* service_;
   ServerOptions options_;
@@ -182,9 +279,17 @@ class PlanningServer {
   std::atomic<int64_t> executing_{0};
   std::atomic<int64_t> open_conns_{0};
 
+  /// Guards the tenant table, the per-tenant sub-queues, the round-robin
+  /// ready ring, and every tenant's quota accounting.
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<PendingRequest> queue_;
+  std::unordered_map<std::string, TenantState> tenants_;
+  /// Tenants with a non-empty sub-queue, in round-robin order: workers
+  /// pop the front tenant, take one request, and rotate it to the back
+  /// while its queue stays non-empty — so K active tenants each get
+  /// every K-th dequeue regardless of how deep any one backlog is.
+  std::deque<TenantState*> ready_tenants_;
+  size_t total_queued_ = 0;
 
   std::mutex completions_mu_;
   std::deque<Completion> completions_;

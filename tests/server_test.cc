@@ -209,6 +209,57 @@ TEST(ProtocolTest, TryDecodeFrameHandlesPartialAndOversized) {
             server::FrameDecode::kTooLarge);
 }
 
+TEST(ProtocolTest, TenantRoundTripsAndStaysOffTheWireWhenEmpty) {
+  PlanRequest request;
+  request.id = "q1";
+  request.tenant = "acme \"prod\"";
+  request.tables = {"orders", "lineitem"};
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tenant, request.tenant);
+
+  // No tenant -> no field: the serialized bytes of quota-free traffic
+  // are unchanged from before tenants existed.
+  request.tenant.clear();
+  EXPECT_EQ(server::SerializePlanRequest(request).find("tenant"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, PeekTopLevelStringFindsOnlyTopLevelKeys) {
+  using server::PeekTopLevelString;
+  EXPECT_EQ(PeekTopLevelString(R"({"id": "q7", "tenant": "acme"})", "id"),
+            "q7");
+  EXPECT_EQ(PeekTopLevelString(R"({"id": "q7", "tenant": "acme"})",
+                               "tenant"),
+            "acme");
+  // Whitespace and field order don't matter.
+  EXPECT_EQ(PeekTopLevelString("  {  \"tenant\"  :  \"t\"  }", "tenant"),
+            "t");
+  // A key mentioned inside another string value is not a key.
+  EXPECT_EQ(PeekTopLevelString(
+                R"({"sql": "select \"id\" from t", "id": "real"})", "id"),
+            "real");
+  EXPECT_EQ(PeekTopLevelString(R"({"sql": "where tenant = 'x'"})", "tenant"),
+            "");
+  // Nested objects and arrays are opaque at the top level.
+  EXPECT_EQ(PeekTopLevelString(
+                R"({"nested": {"id": "inner"}, "id": "outer"})", "id"),
+            "outer");
+  EXPECT_EQ(PeekTopLevelString(R"({"a": [{"id": "x"}], "id": "y"})", "id"),
+            "y");
+  // Escapes in the value decode exactly as a full parse would.
+  EXPECT_EQ(PeekTopLevelString(R"({"id": "a\"b\\cA"})", "id"),
+            "a\"b\\cA");
+  // Absent, non-string, or malformed -> empty.
+  EXPECT_EQ(PeekTopLevelString(R"({"id": "q"})", "tenant"), "");
+  EXPECT_EQ(PeekTopLevelString(R"({"id": 7})", "id"), "");
+  EXPECT_EQ(PeekTopLevelString(R"({"id": null})", "id"), "");
+  EXPECT_EQ(PeekTopLevelString("not json", "id"), "");
+  EXPECT_EQ(PeekTopLevelString(R"([{"id": "q"}])", "id"), "");
+  EXPECT_EQ(PeekTopLevelString(R"({"id": "unterminated)", "id"), "");
+}
+
 // ---------------------------------------------------------------------
 // PlanningService (request handling without sockets)
 
@@ -449,7 +500,8 @@ TEST(PlanningServerTest, QueueOverflowAnswersResourceExhausted) {
       server::WriteFrame(fd->get(), SerializePlanRequest(overflow)).ok());
 
   // Three responses; the rejection races ahead of the planned ones, so
-  // collect all and match by id (the pre-parse rejection carries none).
+  // collect all and match by id — the rejection echoes the id of the
+  // exact request that was refused (peeked before any parse).
   int ok_count = 0;
   int exhausted_count = 0;
   for (int i = 0; i < 3; ++i) {
@@ -463,6 +515,7 @@ TEST(PlanningServerTest, QueueOverflowAnswersResourceExhausted) {
     } else {
       ++exhausted_count;
       EXPECT_EQ(response->status, "RESOURCE_EXHAUSTED");
+      EXPECT_EQ(response->id, "overflow");
       EXPECT_NE(response->error.find("queue full"), std::string::npos);
     }
   }
@@ -712,6 +765,500 @@ TEST(PlanningServerTest, DrainFlushesTelemetryToDisk) {
   buffer << in.rdbuf();
   EXPECT_NE(buffer.str().find("server.request_us"), std::string::npos);
   EXPECT_NE(buffer.str().find("server.accept"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Framing edge cases
+
+TEST(PlanningServerTest, ManyFramesInOneTcpSegmentAllGetAnswered) {
+  ServerOptions options;
+  options.num_workers = 2;
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  // One send(2) carrying 10 complete frames: the read loop must extract
+  // every frame from the single segment, not just the first.
+  constexpr int kFrames = 10;
+  std::string batch;
+  for (int i = 0; i < kFrames; ++i) {
+    PlanRequest request;
+    request.id = "batch-" + std::to_string(i);
+    request.tables = {"orders", "lineitem"};
+    batch += server::EncodeFrame(server::SerializePlanRequest(request));
+  }
+  ASSERT_TRUE(net::SendAll(fd->get(), batch.data(), batch.size()).ok());
+
+  std::vector<bool> seen(kFrames, false);
+  for (int i = 0; i < kFrames; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok()) << response->status << ": "
+                                << response->error;
+    ASSERT_EQ(response->id.rfind("batch-", 0), 0u);
+    const int index = std::stoi(response->id.substr(6));
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, kFrames);
+    EXPECT_FALSE(seen[index]) << "duplicate response " << response->id;
+    seen[index] = true;
+  }
+}
+
+TEST(PlanningServerTest, FrameArrivingByteAtATimeIsReassembled) {
+  TestServer ts;
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  net::SetTcpNoDelay(fd->get());
+
+  PlanRequest request;
+  request.id = "dribble";
+  request.tables = {"orders", "lineitem"};
+  const std::string frame =
+      server::EncodeFrame(server::SerializePlanRequest(request));
+  // Each byte is its own send; the server sees a long run of partial
+  // frames (kNeedMore) before the last byte completes it.
+  for (char byte : frame) {
+    ASSERT_TRUE(net::SendAll(fd->get(), &byte, 1).ok());
+  }
+
+  Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok()) << response->status << ": " << response->error;
+  EXPECT_EQ(response->id, "dribble");
+}
+
+TEST(PlanningServerTest, PipelinedRequestsComeBackInOrderWithTheirIds) {
+  ServerOptions options;
+  options.num_workers = 1;  // one worker => strictly serial execution
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  constexpr int kPipelined = 6;
+  for (int i = 0; i < kPipelined; ++i) {
+    PlanRequest request;
+    request.id = "pipe-" + std::to_string(i);
+    request.tables = {"orders", "lineitem"};
+    ASSERT_TRUE(
+        server::WriteFrame(fd->get(), SerializePlanRequest(request)).ok());
+  }
+  // Same connection + one worker: responses arrive in request order,
+  // each correlated by its echoed id.
+  for (int i = 0; i < kPipelined; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok());
+    EXPECT_EQ(response->id, "pipe-" + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant quotas and fairness
+
+TEST(PlanningServerTest, TenantInflightCapRejectsWithIdAndSelfHeals) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_test_hooks = true;
+  options.tenant_quotas["capped"].max_inflight = 1;
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+
+  PlanRequest slow;
+  slow.id = "holder";
+  slow.tenant = "capped";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 300;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  // A second request while one is in flight breaches the cap.
+  PlanRequest extra = slow;
+  extra.id = "over-cap";
+  extra.debug_sleep_ms = 0;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(extra)).ok());
+
+  Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  Result<PlanResponse> rejected = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(rejected->id, "over-cap");
+  EXPECT_NE(rejected->error.find("in-flight cap"), std::string::npos);
+
+  payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok());
+  Result<PlanResponse> held = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(held.ok());
+  EXPECT_TRUE(held->ok());
+  EXPECT_EQ(held->id, "holder");
+
+  // The cap frees up once the holder settles.
+  PlanRequest after = extra;
+  after.id = "after";
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(after)).ok());
+  payload = server::ReadFrame(fd->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok());
+  Result<PlanResponse> ok = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok()) << ok->status << ": " << ok->error;
+  EXPECT_EQ(ok->id, "after");
+
+  const auto tenants = ts.server->tenant_stats();
+  ASSERT_EQ(tenants.count("capped"), 1u);
+  EXPECT_EQ(tenants.at("capped").admitted, 2);
+  EXPECT_EQ(tenants.at("capped").rejected_inflight, 1);
+  EXPECT_EQ(tenants.at("capped").responses_ok, 2);
+  EXPECT_EQ(tenants.at("capped").inflight, 0);
+  EXPECT_EQ(ts.server->stats().rejected_tenant_inflight, 1);
+}
+
+TEST(PlanningServerTest, TenantBudgetExhaustionRejectsFurtherRequests) {
+  ServerOptions options;
+  options.tenant_quotas["paid"].max_dollars = 1e-9;  // one plan blows it
+  TestServer ts(options);
+  PlanningClient client = ts.Connect();
+
+  PlanRequest request;
+  request.id = "first";
+  request.tenant = "paid";
+  request.tables = {"orders", "lineitem"};
+  Result<PlanResponse> first = client.Call(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok()) << first->status << ": " << first->error;
+  ASSERT_GT(first->cost.dollars, 1e-9);
+
+  // The first success was charged against the budget, so the tenant is
+  // now broke; an identical request is refused at admission.
+  request.id = "second";
+  Result<PlanResponse> second = client.Call(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->status, "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(second->id, "second");
+  EXPECT_NE(second->error.find("budget"), std::string::npos);
+
+  // An unrelated tenant is unaffected.
+  request.id = "other";
+  request.tenant = "free";
+  Result<PlanResponse> other = client.Call(request);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->ok());
+
+  const auto tenants = ts.server->tenant_stats();
+  ASSERT_EQ(tenants.count("paid"), 1u);
+  EXPECT_EQ(tenants.at("paid").rejected_budget, 1);
+  EXPECT_EQ(tenants.at("paid").dollars_spent, first->cost.dollars);
+  EXPECT_EQ(ts.server->stats().rejected_tenant_budget, 1);
+}
+
+TEST(PlanningServerTest, TenantTableFullRejectsNewTenantNames) {
+  ServerOptions options;
+  options.max_tenants = 1;  // tenants are tracked lazily, on first use
+  TestServer ts(options);
+  PlanningClient client = ts.Connect();
+
+  PlanRequest request;
+  request.id = "known";
+  request.tenant = "first-tenant";
+  request.tables = {"orders", "lineitem"};
+  Result<PlanResponse> first = client.Call(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->ok());
+
+  request.id = "flooder";
+  request.tenant = "second-tenant";
+  Result<PlanResponse> second = client.Call(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(second->id, "flooder");
+  EXPECT_NE(second->error.find("tenant table full"), std::string::npos);
+
+  // Known tenants keep working even with the table full.
+  request.id = "still-known";
+  request.tenant = "first-tenant";
+  Result<PlanResponse> again = client.Call(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ok());
+  EXPECT_EQ(ts.server->stats().rejected_tenant_table_full, 1);
+}
+
+TEST(PlanningServerTest, RoundRobinDequeueInterleavesTenantBacklogs) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 16;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+
+  Result<net::UniqueFd> flood = net::ConnectTcp("127.0.0.1",
+                                                ts.server->port());
+  ASSERT_TRUE(flood.ok());
+  Result<net::UniqueFd> light = net::ConnectTcp("127.0.0.1",
+                                                ts.server->port());
+  ASSERT_TRUE(light.ok());
+
+  // Six 30 ms requests pile up behind the single worker...
+  constexpr int kFlood = 6;
+  constexpr int kSleepMs = 30;
+  for (int i = 0; i < kFlood; ++i) {
+    PlanRequest request;
+    request.id = "flood-" + std::to_string(i);
+    request.tenant = "flood";
+    request.tables = {"orders", "lineitem"};
+    request.debug_sleep_ms = kSleepMs;
+    ASSERT_TRUE(
+        server::WriteFrame(flood->get(), SerializePlanRequest(request))
+            .ok());
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().queue_depth >= kFlood - 1; }));
+
+  // ... then a light tenant's single request arrives. Round-robin puts
+  // its sub-queue next in the ring, so it runs after at most one more
+  // flood request — not behind the whole backlog (FIFO would charge it
+  // the full ~150 ms of queued flood work).
+  PlanRequest quick;
+  quick.id = "light";
+  quick.tenant = "light";
+  quick.tables = {"orders", "lineitem"};
+  ASSERT_TRUE(
+      server::WriteFrame(light->get(), SerializePlanRequest(quick)).ok());
+
+  Result<std::string> payload = server::ReadFrame(light->get(), 64u << 20);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok()) << response->status << ": " << response->error;
+  EXPECT_EQ(response->id, "light");
+  // At most the in-flight flood request plus one dequeued ahead of it,
+  // with slack for scheduling: far below the 5 * 30 ms FIFO wait.
+  EXPECT_LT(response->queue_wait_us, 3.0 * kSleepMs * 1000.0);
+
+  for (int i = 0; i < kFlood; ++i) {
+    Result<std::string> drained = server::ReadFrame(flood->get(), 64u << 20);
+    ASSERT_TRUE(drained.ok());
+  }
+}
+
+TEST(PlanningServerTest, FloodingTenantDoesNotDegradeLightTenant) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_queue = 4;
+  options.enable_test_hooks = true;
+  // The flood tenant may hold one worker at most; the other worker
+  // stays available, so the light tenant's queue wait is bounded.
+  options.tenant_quotas["flood"].max_inflight = 1;
+  TestServer ts(options);
+
+  const auto light_call = [&](PlanningClient& client, int i) -> double {
+    PlanRequest request;
+    request.id = "light-" + std::to_string(i);
+    request.tenant = "light";
+    request.tables = {"orders", "lineitem"};
+    request.debug_sleep_ms = 1;
+    Result<PlanResponse> response = client.Call(request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) return 0.0;
+    EXPECT_TRUE(response->ok()) << response->status << ": "
+                                << response->error;
+    return response->queue_wait_us;
+  };
+
+  // Uncontended baseline.
+  PlanningClient light = ts.Connect();
+  constexpr int kLightCalls = 15;
+  double baseline_us = 0.0;
+  for (int i = 0; i < kLightCalls; ++i) {
+    baseline_us += light_call(light, i);
+  }
+  baseline_us /= kLightCalls;
+
+  // Flood: bursts of pipelined 10 ms requests, 10x the light tenant's
+  // one-at-a-time load. The in-flight cap turns the excess into
+  // immediate rejections instead of queued work.
+  std::atomic<bool> stop{false};
+  std::atomic<int> flood_ok{0};
+  std::atomic<int> flood_rejected{0};
+  std::thread flooder([&] {
+    Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1",
+                                               ts.server->port());
+    ASSERT_TRUE(fd.ok());
+    int sequence = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      constexpr int kBurst = 10;
+      for (int i = 0; i < kBurst; ++i) {
+        PlanRequest request;
+        request.id = "flood-" + std::to_string(sequence++);
+        request.tenant = "flood";
+        request.tables = {"orders", "lineitem"};
+        request.debug_sleep_ms = 10;
+        ASSERT_TRUE(
+            server::WriteFrame(fd->get(), SerializePlanRequest(request))
+                .ok());
+      }
+      for (int i = 0; i < kBurst; ++i) {
+        Result<std::string> payload = server::ReadFrame(fd->get(),
+                                                        64u << 20);
+        ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+        Result<PlanResponse> response =
+            server::ParsePlanResponse(*payload);
+        ASSERT_TRUE(response.ok());
+        (response->ok() ? flood_ok : flood_rejected).fetch_add(1);
+      }
+    }
+  });
+
+  // Light tenant under flood.
+  ASSERT_TRUE(WaitUntil([&] { return flood_rejected.load() > 0; }));
+  double contended_us = 0.0;
+  for (int i = 0; i < kLightCalls; ++i) {
+    contended_us += light_call(light, kLightCalls + i);
+  }
+  contended_us /= kLightCalls;
+
+  stop.store(true, std::memory_order_release);
+  flooder.join();
+
+  // The acceptance bar: never queue-full-rejected, and the mean queue
+  // wait stays within 2x of uncontended (a small absolute floor absorbs
+  // scheduler noise on sub-millisecond baselines).
+  const auto tenants = ts.server->tenant_stats();
+  ASSERT_EQ(tenants.count("light"), 1u);
+  EXPECT_EQ(tenants.at("light").rejected_queue_full, 0);
+  EXPECT_EQ(tenants.at("light").rejected_inflight, 0);
+  EXPECT_EQ(tenants.at("light").responses_ok, 2 * kLightCalls);
+  EXPECT_LE(contended_us, std::max(2.0 * baseline_us, 2000.0))
+      << "baseline " << baseline_us << " us, contended " << contended_us
+      << " us";
+
+  // The flood really was a flood: its excess was rejected by quota, not
+  // absorbed into shared queues.
+  EXPECT_GT(flood_ok.load(), 0);
+  EXPECT_GT(flood_rejected.load(), 0);
+  ASSERT_EQ(tenants.count("flood"), 1u);
+  EXPECT_GT(tenants.at("flood").rejected_inflight, 0);
+}
+
+TEST(PlanningServerTest, DrainFlushesPerTenantMetrics) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "raqo_tenant_telemetry")
+          .string();
+  std::filesystem::create_directories(dir);
+  {
+    ServerOptions options;
+    options.telemetry_dir = dir;
+    options.tenant_quotas["acme"].max_dollars = 1e-9;
+    TestServer ts(options);
+    PlanningClient client = ts.Connect();
+    PlanRequest request;
+    request.id = "t1";
+    request.tenant = "acme";
+    request.tables = {"orders", "lineitem"};
+    Result<PlanResponse> ok = client.Call(request);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(ok->ok());
+    request.id = "t2";
+    Result<PlanResponse> broke = client.Call(request);
+    ASSERT_TRUE(broke.ok());
+    EXPECT_EQ(broke->status, "RESOURCE_EXHAUSTED");
+    client.Close();
+    ts.server->Shutdown();
+    ts.server->Wait();
+  }
+
+  std::ifstream in(dir + std::string("/metrics.json"));
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> parsed = ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const char* name :
+       {"server.tenant.acme.admitted", "server.tenant.acme.rejected",
+        "server.tenant.acme.dollars_spent",
+        "server.rejected.tenant_budget"}) {
+    EXPECT_NE(buffer.str().find(name), std::string::npos) << name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Client options and response-drop accounting
+
+TEST(PlanningServerTest, ClientRecvTimeoutSurfacesDeadlineExceeded) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+
+  server::ClientOptions client_options;
+  client_options.recv_timeout_ms = 100;
+  Result<PlanningClient> client = PlanningClient::Connect(
+      "127.0.0.1", ts.server->port(), client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  PlanRequest request;
+  request.id = "stuck";
+  request.tables = {"orders", "lineitem"};
+  request.debug_sleep_ms = 2000;  // far past the client's patience
+  Result<PlanResponse> response = client->Call(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  // The timed-out connection is closed so a late frame can never be
+  // read as the answer to a later call.
+  EXPECT_FALSE(client->connected());
+}
+
+TEST(PlanningServerTest, ClientStampsItsTenantOnEveryRequest) {
+  TestServer ts;
+  server::ClientOptions client_options;
+  client_options.tenant = "stamped";
+  Result<PlanningClient> client = PlanningClient::Connect(
+      "127.0.0.1", ts.server->port(), client_options);
+  ASSERT_TRUE(client.ok());
+
+  PlanRequest request;
+  request.id = "q";
+  request.tables = {"orders", "lineitem"};
+  Result<PlanResponse> response = client->Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok());
+  EXPECT_EQ(ts.server->tenant_stats().count("stamped"), 1u);
+}
+
+TEST(PlanningServerTest, UndeliverableResponsesCountAsDroppedNotSent) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_write_buffer_bytes = 1;  // no response can ever be buffered
+  TestServer ts(options);
+
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  for (const char* id : {"drop-1", "drop-2"}) {
+    PlanRequest request;
+    request.id = id;
+    request.tables = {"orders", "lineitem"};
+    ASSERT_TRUE(
+        server::WriteFrame(fd->get(), SerializePlanRequest(request)).ok());
+  }
+
+  // The first completion exceeds the 1-byte cap: dropped, connection
+  // closed. The second completes against a vanished connection: also
+  // dropped. Neither may inflate responses_sent.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().responses_dropped == 2; }));
+  const server::ServerStats stats = ts.server->stats();
+  EXPECT_EQ(stats.responses_sent, 0);
+  EXPECT_EQ(stats.responses_dropped, 2);
+  EXPECT_EQ(stats.requests_admitted, 2);
 }
 
 }  // namespace
