@@ -11,7 +11,13 @@
 //   --tenants N    spread connections round-robin over N named tenants;
 //                  tenant t0 carries a 1-request in-flight quota, so its
 //                  surplus concurrency is rejected instead of queued.
-//   --smoke        short CI gate: 2 tenants, one ramp level, asserts
+//   --reactors N   run the server with N reactor threads (0 = the
+//                  server default, min(4, hardware threads)).
+//   --sweep        connection ladder 1 -> 256, run twice: once with one
+//                  reactor as the baseline and once with --reactors,
+//                  recording both ladders and the peak-throughput
+//                  speedup into BENCH_server.json.
+//   --smoke        short CI gate: 2 tenants, shortened ramp, asserts
 //                  zero protocol errors and a non-zero count of
 //                  per-tenant quota rejections.
 
@@ -19,6 +25,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -53,44 +60,73 @@ struct LevelResult {
   double p99_us = 0.0;
 };
 
-}  // namespace
+struct LadderResult {
+  int num_reactors = 0;
+  bool reuseport = false;
+  std::vector<LevelResult> levels;
+  std::map<std::string, server::TenantStats> tenant_stats;
+};
 
-int main(int argc, char** argv) {
-  bool smoke = false;
-  int tenants = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
-      tenants = std::atoi(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--tenants N]\n", argv[0]);
-      return 2;
-    }
+double PeakRps(const std::vector<LevelResult>& levels) {
+  double peak = 0.0;
+  for (const LevelResult& level : levels) {
+    peak = std::max(peak, level.throughput_rps);
   }
-  if (smoke && tenants < 2) tenants = 2;
+  return peak;
+}
 
-  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
-  const cost::JoinCostModels models =
-      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+std::string LevelsJson(const std::vector<LevelResult>& levels) {
+  std::string json = "[";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& level = levels[i];
+    if (i > 0) json += ", ";
+    json += StrPrintf(
+        "{\"connections\": %d, \"requests\": %lld, \"errors\": %lld, "
+        "\"quota_rejected\": %lld, \"wall_ms\": %s, \"throughput_rps\": %s, "
+        "\"p50_us\": %s, \"p99_us\": %s}",
+        level.connections, (long long)level.requests, (long long)level.errors,
+        (long long)level.quota_rejected, JsonNumber(level.wall_ms).c_str(),
+        JsonNumber(level.throughput_rps).c_str(),
+        JsonNumber(level.p50_us).c_str(), JsonNumber(level.p99_us).c_str());
+  }
+  return json + "]";
+}
 
-  core::RaqoPlannerOptions planner_options;
-  planner_options.evaluator.use_cache = true;
-  planner_options.evaluator.cache_mode = core::CacheLookupMode::kExact;
-  planner_options.clear_cache_between_queries = false;
+void PrintLevels(const std::vector<LevelResult>& levels, int tenants) {
+  std::vector<std::string> headers = {"connections", "requests", "errors",
+                                      "wall (ms)", "throughput (req/s)",
+                                      "p50 (us)", "p99 (us)"};
+  if (tenants > 0) headers.insert(headers.begin() + 3, "quota rejected");
+  bench::Table table(headers);
+  for (const LevelResult& level : levels) {
+    std::vector<std::string> row = {
+        bench::Int(level.connections), bench::Int(level.requests),
+        bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
+        bench::Num(level.throughput_rps, "%.0f"),
+        bench::Num(level.p50_us, "%.0f"), bench::Num(level.p99_us, "%.0f")};
+    if (tenants > 0) {
+      row.insert(row.begin() + 3, bench::Int(level.quota_rejected));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
 
-  server::PlanningServiceOptions service_options;
-  service_options.planner = planner_options;
-  server::PlanningService service(&catalog, models,
-                                  resource::ClusterConditions::PaperDefault(),
-                                  resource::PricingModel(), service_options);
-
+// One full ladder against a freshly started server: every ramp level
+// opens `connections` closed-loop clients that each fire
+// `requests_per_client` requests back-to-back.
+LadderResult RunLadder(const server::PlanningService& service, int tenants,
+                       int num_reactors, const std::vector<int>& ramp,
+                       int requests_per_client,
+                       const std::vector<std::vector<std::string>>& mix) {
   server::ServerOptions server_options;
   server_options.port = 0;
+  server_options.num_reactors = num_reactors;
   server_options.num_workers = std::max(
       4u, std::thread::hardware_concurrency());
   server_options.max_queue = 256;
-  server_options.max_connections = 128;
+  server_options.max_connections =
+      static_cast<size_t>(*std::max_element(ramp.begin(), ramp.end())) + 64;
   if (tenants > 0) {
     // Tenant t0 is the deliberately throttled one: with several
     // closed-loop connections sharing it, concurrency above 1 trips the
@@ -100,29 +136,12 @@ int main(int argc, char** argv) {
   server::PlanningServer server(&service, server_options);
   if (Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
-    return 1;
+    std::exit(1);
   }
 
-  // The request mix: repeated join shapes, so the shared exact-match
-  // cache warms up the way a real planning service's would.
-  const std::vector<std::vector<std::string>> mix = {
-      {"orders", "lineitem"},
-      {"orders", "lineitem", "customer"},
-      {"part", "partsupp", "supplier"},
-      {"orders", "lineitem", "customer", "nation"},
-  };
-
-  const int requests_per_client = smoke ? 16 : 24;
-  bench::Section(StrPrintf(
-      "Planning server under closed-loop load (%d workers, queue %zu, "
-      "%d requests per connection%s)",
-      server_options.num_workers, server_options.max_queue,
-      requests_per_client,
-      tenants > 0 ? StrPrintf(", %d tenants", tenants).c_str() : ""));
-
-  const std::vector<int> ramp =
-      smoke ? std::vector<int>{8} : std::vector<int>{1, 4, 16, 64};
-  std::vector<LevelResult> levels;
+  LadderResult result;
+  result.num_reactors = server.num_reactors();
+  result.reuseport = server.reuseport_sharding();
   for (int connections : ramp) {
     std::vector<std::thread> clients;
     std::mutex latencies_mu;
@@ -194,35 +213,99 @@ int main(int argc, char** argv) {
                       : 0.0;
     level.p50_us = Percentile(latencies_us, 0.50);
     level.p99_us = Percentile(latencies_us, 0.99);
-    levels.push_back(level);
+    result.levels.push_back(level);
   }
 
-  const auto tenant_stats = server.tenant_stats();
+  result.tenant_stats = server.tenant_stats();
   server.Shutdown();
   server.Wait();
+  return result;
+}
 
-  std::vector<std::string> headers = {"connections", "requests", "errors",
-                                      "wall (ms)", "throughput (req/s)",
-                                      "p50 (us)", "p99 (us)"};
-  if (tenants > 0) headers.insert(headers.begin() + 3, "quota rejected");
-  bench::Table table(headers);
-  for (const LevelResult& level : levels) {
-    std::vector<std::string> row = {
-        bench::Int(level.connections), bench::Int(level.requests),
-        bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
-        bench::Num(level.throughput_rps, "%.0f"),
-        bench::Num(level.p50_us, "%.0f"), bench::Num(level.p99_us, "%.0f")};
-    if (tenants > 0) {
-      row.insert(row.begin() + 3, bench::Int(level.quota_rejected));
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool sweep = false;
+  int tenants = 0;
+  int reactors = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reactors") == 0 && i + 1 < argc) {
+      reactors = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--sweep] [--tenants N] "
+                   "[--reactors N]\n",
+                   argv[0]);
+      return 2;
     }
-    table.AddRow(row);
   }
-  table.Print();
+  if (smoke && tenants < 2) tenants = 2;
+
+  catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
+  const cost::JoinCostModels models =
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive());
+
+  core::RaqoPlannerOptions planner_options;
+  planner_options.evaluator.use_cache = true;
+  planner_options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+  planner_options.clear_cache_between_queries = false;
+
+  server::PlanningServiceOptions service_options;
+  service_options.planner = planner_options;
+  server::PlanningService service(&catalog, models,
+                                  resource::ClusterConditions::PaperDefault(),
+                                  resource::PricingModel(), service_options);
+
+  // The request mix: repeated join shapes, so the shared exact-match
+  // cache warms up the way a real planning service's would.
+  const std::vector<std::vector<std::string>> mix = {
+      {"orders", "lineitem"},
+      {"orders", "lineitem", "customer"},
+      {"part", "partsupp", "supplier"},
+      {"orders", "lineitem", "customer", "nation"},
+  };
+
+  const int requests_per_client = smoke ? 16 : 24;
+  std::vector<int> ramp;
+  if (sweep) {
+    ramp = smoke ? std::vector<int>{8, 32}
+                 : std::vector<int>{1, 4, 16, 32, 64, 128, 256};
+  } else {
+    ramp = smoke ? std::vector<int>{8} : std::vector<int>{1, 4, 16, 64};
+  }
+
+  // The sweep compares the sharded I/O plane against a single-reactor
+  // baseline on the same ladder (baseline first, so the shared plan
+  // cache is equally warm — actually warmer — for the run it handicaps).
+  LadderResult baseline;
+  if (sweep) {
+    bench::Section("Single-reactor baseline ladder");
+    baseline = RunLadder(service, tenants, 1, ramp, requests_per_client, mix);
+    PrintLevels(baseline.levels, tenants);
+  }
+
+  bench::Section(StrPrintf(
+      "Planning server under closed-loop load (%d requests per "
+      "connection%s)",
+      requests_per_client,
+      tenants > 0 ? StrPrintf(", %d tenants", tenants).c_str() : ""));
+  LadderResult main_run =
+      RunLadder(service, tenants, reactors, ramp, requests_per_client, mix);
+  std::printf("reactors: %d (%s)\n", main_run.num_reactors,
+              main_run.reuseport ? "SO_REUSEPORT sharding" : "fd handoff");
+  PrintLevels(main_run.levels, tenants);
 
   if (tenants > 0) {
     bench::Table tenant_table({"tenant", "admitted", "ok", "rej inflight",
                                "rej budget", "rej queue", "$ spent"});
-    for (const auto& [name, stats] : tenant_stats) {
+    for (const auto& [name, stats] : main_run.tenant_stats) {
       tenant_table.AddRow(
           {name.empty() ? "(anonymous)" : name, bench::Int(stats.admitted),
            bench::Int(stats.responses_ok), bench::Int(stats.rejected_inflight),
@@ -231,6 +314,15 @@ int main(int argc, char** argv) {
            bench::Num(stats.dollars_spent, "%.4f")});
     }
     tenant_table.Print();
+  }
+
+  if (sweep) {
+    const double peak = PeakRps(main_run.levels);
+    const double baseline_peak = PeakRps(baseline.levels);
+    std::printf("\nsweep: peak %.0f req/s with %d reactors vs %.0f req/s "
+                "single-reactor (%.2fx)\n",
+                peak, main_run.num_reactors, baseline_peak,
+                baseline_peak > 0.0 ? peak / baseline_peak : 0.0);
   }
 
   const core::CacheStats cache = service.shared_cache_stats();
@@ -245,24 +337,27 @@ int main(int argc, char** argv) {
               100.0 * hit_rate);
 
   // Machine-readable mirror of the tables above.
-  std::string json = "{\"bench\": \"server_load\", \"levels\": [";
-  for (size_t i = 0; i < levels.size(); ++i) {
-    const LevelResult& level = levels[i];
-    if (i > 0) json += ", ";
+  std::string json = StrPrintf(
+      "{\"bench\": \"server_load\", \"num_reactors\": %d, "
+      "\"reuseport\": %s, \"levels\": ",
+      main_run.num_reactors, main_run.reuseport ? "true" : "false");
+  json += LevelsJson(main_run.levels);
+  if (sweep) {
+    const double peak = PeakRps(main_run.levels);
+    const double baseline_peak = PeakRps(baseline.levels);
     json += StrPrintf(
-        "{\"connections\": %d, \"requests\": %lld, \"errors\": %lld, "
-        "\"quota_rejected\": %lld, \"wall_ms\": %s, \"throughput_rps\": %s, "
-        "\"p50_us\": %s, \"p99_us\": %s}",
-        level.connections, (long long)level.requests, (long long)level.errors,
-        (long long)level.quota_rejected, JsonNumber(level.wall_ms).c_str(),
-        JsonNumber(level.throughput_rps).c_str(),
-        JsonNumber(level.p50_us).c_str(), JsonNumber(level.p99_us).c_str());
+        ", \"sweep\": {\"baseline_num_reactors\": %d, "
+        "\"baseline_levels\": %s, \"peak_rps\": %s, "
+        "\"baseline_peak_rps\": %s, \"speedup\": %s}",
+        baseline.num_reactors, LevelsJson(baseline.levels).c_str(),
+        JsonNumber(peak).c_str(), JsonNumber(baseline_peak).c_str(),
+        JsonNumber(baseline_peak > 0.0 ? peak / baseline_peak : 0.0)
+            .c_str());
   }
-  json += "]";
   if (tenants > 0) {
     json += ", \"tenants\": {";
     bool first = true;
-    for (const auto& [name, stats] : tenant_stats) {
+    for (const auto& [name, stats] : main_run.tenant_stats) {
       if (!first) json += ", ";
       first = false;
       json += StrPrintf(
@@ -291,9 +386,12 @@ int main(int argc, char** argv) {
 
   int64_t total_errors = 0;
   int64_t total_quota_rejected = 0;
-  for (const LevelResult& level : levels) {
+  for (const LevelResult& level : main_run.levels) {
     total_errors += level.errors;
     total_quota_rejected += level.quota_rejected;
+  }
+  for (const LevelResult& level : baseline.levels) {
+    total_errors += level.errors;
   }
   if (smoke && total_quota_rejected == 0) {
     std::fprintf(stderr,

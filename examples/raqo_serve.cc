@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--workers")) {
     server_options.num_workers = std::atoi(v);
   }
+  if (const char* v = FlagValue(argc, argv, "--reactors")) {
+    server_options.num_reactors = std::atoi(v);
+  }
   if (const char* v = FlagValue(argc, argv, "--max-queue")) {
     server_options.max_queue = static_cast<size_t>(std::atoll(v));
   }
@@ -77,8 +80,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   server::InstallShutdownSignalHandlers(&server);
-  std::printf("raqo_serve: TPC-H sf%.0f catalog, %d workers, queue %zu\n",
-              scale, server_options.num_workers, server_options.max_queue);
+  std::printf(
+      "raqo_serve: TPC-H sf%.0f catalog, %d workers, %d reactors (%s), "
+      "queue %zu\n",
+      scale, server_options.num_workers, server.num_reactors(),
+      server.reuseport_sharding() ? "SO_REUSEPORT" : "fd handoff",
+      server_options.max_queue);
   std::printf("raqo_serve: listening on %s:%u (SIGTERM drains)\n",
               server_options.host.c_str(), server.port());
   std::fflush(stdout);

@@ -8,12 +8,59 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
 #include "common/strings.h"
 
 namespace raqo::net {
+
+namespace {
+
+/// The installed fault injector; nullptr in production. One relaxed-ish
+/// atomic load per socket call is the whole cost of the hook.
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+
+}  // namespace
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_fault_injector.store(injector, std::memory_order_release);
+}
+
+ssize_t Send(int fd, const void* data, size_t len, int flags) {
+  if (FaultInjector* injector =
+          g_fault_injector.load(std::memory_order_acquire);
+      injector != nullptr) {
+    const FaultAction action = injector->OnSend(fd, len);
+    if (action.kind == FaultAction::Kind::kError) {
+      errno = action.error;
+      return -1;
+    }
+    if (action.kind == FaultAction::Kind::kShortLen) {
+      // Clamp to >= 1 so callers looping on "bytes left" always advance.
+      len = std::max<size_t>(1, std::min(len, action.len));
+    }
+  }
+  return ::send(fd, data, len, flags);
+}
+
+ssize_t Recv(int fd, void* data, size_t len, int flags) {
+  if (FaultInjector* injector =
+          g_fault_injector.load(std::memory_order_acquire);
+      injector != nullptr) {
+    const FaultAction action = injector->OnRecv(fd, len);
+    if (action.kind == FaultAction::Kind::kError) {
+      errno = action.error;
+      return -1;
+    }
+    if (action.kind == FaultAction::Kind::kShortLen) {
+      len = std::max<size_t>(1, std::min(len, action.len));
+    }
+  }
+  return ::recv(fd, data, len, flags);
+}
 
 namespace {
 
@@ -84,7 +131,7 @@ Status SetSocketTimeouts(int fd, int64_t recv_timeout_ms,
 }
 
 Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
-                           int backlog) {
+                           int backlog, bool reuse_port) {
   RAQO_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
   UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket");
@@ -92,6 +139,11 @@ Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
   if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
       0) {
     return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuse_port &&
+      setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    return Errno("setsockopt(SO_REUSEPORT)");
   }
   if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
            sizeof(addr)) < 0) {
@@ -126,7 +178,7 @@ Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
 Status SendAll(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
+    const ssize_t n = Send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -145,7 +197,7 @@ Status RecvAll(int fd, void* data, size_t len) {
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < len) {
-    const ssize_t n = recv(fd, p + got, len - got, 0);
+    const ssize_t n = Recv(fd, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {

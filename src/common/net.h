@@ -1,6 +1,8 @@
 #ifndef RAQO_COMMON_NET_H_
 #define RAQO_COMMON_NET_H_
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -9,6 +11,72 @@
 #include "common/status.h"
 
 namespace raqo::net {
+
+/// ----------------------------------------------------------------------
+/// Test-only fault injection.
+///
+/// Every socket read and write in raqo — the server reactors' non-blocking
+/// I/O and the blocking SendAll/RecvAll helpers — goes through net::Send /
+/// net::Recv, which consult a process-wide FaultInjector before touching
+/// the kernel. The hook is compiled in always and costs one relaxed atomic
+/// load when no injector is installed, so production builds pay nothing.
+/// Tests install an injector to deterministically force the failure modes
+/// that otherwise only fire under load: short writes, EAGAIN, EINTR, and
+/// mid-frame connection resets.
+/// ----------------------------------------------------------------------
+
+/// What the injector wants done with one send(2)/recv(2) call.
+struct FaultAction {
+  enum class Kind {
+    kPassThrough,  ///< perform the real syscall, untouched
+    kShortLen,     ///< perform the real syscall with at most `len` bytes
+    kError,        ///< skip the syscall; fail with errno = `error`
+  };
+  Kind kind = Kind::kPassThrough;
+  size_t len = 0;
+  int error = 0;
+
+  static FaultAction PassThrough() { return {}; }
+  /// Caps the syscall at `len` bytes (clamped to >= 1 so forward progress
+  /// is preserved) — the short-write / short-read fault.
+  static FaultAction Short(size_t len) {
+    return {Kind::kShortLen, len, 0};
+  }
+  /// Fails the call with the given errno (EAGAIN, EINTR, ECONNRESET, ...)
+  /// without performing any I/O.
+  static FaultAction Fail(int error) { return {Kind::kError, 0, error}; }
+};
+
+/// Scripted by tests; called from whatever thread performs the I/O, so
+/// implementations must be thread-safe.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultAction OnSend(int fd, size_t len) = 0;
+  virtual FaultAction OnRecv(int fd, size_t len) = 0;
+};
+
+/// Installs (nullptr clears) the process-wide injector. The caller must
+/// clear it before destroying the injector and before tearing down any
+/// server still doing I/O it scripted. Test-only.
+void SetFaultInjector(FaultInjector* injector);
+
+/// RAII installer: clears the injector on scope exit.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector) {
+    SetFaultInjector(injector);
+  }
+  ~ScopedFaultInjector() { SetFaultInjector(nullptr); }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+};
+
+/// send(2) / recv(2) with the installed fault injector applied (and
+/// passed straight through when none is). All raqo socket I/O uses these
+/// instead of the raw syscalls.
+ssize_t Send(int fd, const void* data, size_t len, int flags);
+ssize_t Recv(int fd, void* data, size_t len, int flags);
 
 /// Move-only RAII owner of a file descriptor (socket, epoll, eventfd);
 /// closes on destruction. -1 means "none".
@@ -48,9 +116,12 @@ Status SetSocketTimeouts(int fd, int64_t recv_timeout_ms,
 
 /// Creates a TCP listen socket bound to host:port (port 0 picks an
 /// ephemeral port; read it back with LocalPort). SO_REUSEADDR is set so
-/// restarts do not trip over TIME_WAIT.
+/// restarts do not trip over TIME_WAIT. With `reuse_port`, SO_REUSEPORT
+/// is set before bind so several listeners (one per reactor thread) can
+/// share the port and let the kernel spread accepted connections across
+/// them; the call fails if the kernel refuses the option.
 Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
-                           int backlog);
+                           int backlog, bool reuse_port = false);
 
 /// The locally bound port of a socket (after bind).
 Result<uint16_t> LocalPort(int fd);

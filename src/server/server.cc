@@ -23,7 +23,8 @@ namespace raqo::server {
 
 namespace {
 
-// epoll user-data slots for the two non-connection descriptors.
+// epoll user-data slots for the two non-connection descriptors. Real
+// connection ids start at (1 << 40) + 1, so they can never collide.
 constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
 
@@ -50,12 +51,18 @@ std::string TenantMetricPrefix(const std::string& tenant) {
   return "server.tenant." + key + ".";
 }
 
+int DefaultReactors() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min(4, std::max(1, static_cast<int>(hw)));
+}
+
 }  // namespace
 
 PlanningServer::PlanningServer(const PlanningService* service,
                                ServerOptions options)
     : service_(service), options_(std::move(options)) {
   RAQO_CHECK(service != nullptr);
+  if (options_.num_reactors <= 0) options_.num_reactors = DefaultReactors();
   options_.num_workers = std::max(1, options_.num_workers);
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
 }
@@ -70,52 +77,115 @@ Status PlanningServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
 
-  RAQO_ASSIGN_OR_RETURN(net::UniqueFd listen,
-                        net::ListenTcp(options_.host, options_.port, 128));
-  RAQO_RETURN_IF_ERROR(net::SetNonBlocking(listen.get()));
-  RAQO_ASSIGN_OR_RETURN(port_, net::LocalPort(listen.get()));
-
-  int epfd = epoll_create1(EPOLL_CLOEXEC);
-  if (epfd < 0) {
-    return Status::Internal(StrPrintf("epoll_create1: %s", strerror(errno)));
+  // Listener plan. With several reactors, try one SO_REUSEPORT listener
+  // per reactor so the kernel spreads incoming connections across them.
+  // If the kernel refuses (or any shard fails to bind), fall back to a
+  // single plain listener on reactor 0, which then hands accepted fds
+  // round-robin to its peers. One reactor always uses the plain listener
+  // — identical to the single-epoll design this replaces.
+  std::vector<net::UniqueFd> listeners;
+  reuseport_ = false;
+  if (options_.num_reactors > 1) {
+    Result<net::UniqueFd> first =
+        net::ListenTcp(options_.host, options_.port, 128,
+                       /*reuse_port=*/true);
+    if (first.ok()) {
+      Result<uint16_t> port = net::LocalPort(first->get());
+      if (port.ok()) {
+        std::vector<net::UniqueFd> shards;
+        shards.push_back(std::move(*first));
+        bool all_ok = true;
+        for (int i = 1; i < options_.num_reactors; ++i) {
+          Result<net::UniqueFd> shard = net::ListenTcp(
+              options_.host, *port, 128, /*reuse_port=*/true);
+          if (!shard.ok()) {
+            all_ok = false;
+            break;
+          }
+          shards.push_back(std::move(*shard));
+        }
+        if (all_ok) {
+          listeners = std::move(shards);
+          port_ = *port;
+          reuseport_ = true;
+        }
+      }
+    }
   }
-  epoll_fd_.reset(epfd);
-
-  int evfd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (evfd < 0) {
-    return Status::Internal(StrPrintf("eventfd: %s", strerror(errno)));
-  }
-  wake_fd_.reset(evfd);
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen.get(), &ev) != 0) {
-    return Status::Internal(StrPrintf("epoll_ctl(listen): %s",
-                                      strerror(errno)));
-  }
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeTag;
-  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
-    return Status::Internal(StrPrintf("epoll_ctl(eventfd): %s",
-                                      strerror(errno)));
+  if (!reuseport_) {
+    RAQO_ASSIGN_OR_RETURN(
+        net::UniqueFd listen,
+        net::ListenTcp(options_.host, options_.port, 128));
+    RAQO_ASSIGN_OR_RETURN(port_, net::LocalPort(listen.get()));
+    listeners.push_back(std::move(listen));
   }
 
-  listen_fd_ = std::move(listen);
+  reactors_.reserve(options_.num_reactors);
+  for (int i = 0; i < options_.num_reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    const int epfd = epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) {
+      return Status::Internal(
+          StrPrintf("epoll_create1: %s", strerror(errno)));
+    }
+    r->epoll_fd.reset(epfd);
+    const int evfd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (evfd < 0) {
+      return Status::Internal(StrPrintf("eventfd: %s", strerror(errno)));
+    }
+    r->wake_fd.reset(evfd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (epoll_ctl(r->epoll_fd.get(), EPOLL_CTL_ADD, r->wake_fd.get(),
+                  &ev) != 0) {
+      return Status::Internal(
+          StrPrintf("epoll_ctl(eventfd): %s", strerror(errno)));
+    }
+    if (static_cast<size_t>(i) < listeners.size()) {
+      r->listen_fd = std::move(listeners[i]);
+      RAQO_RETURN_IF_ERROR(net::SetNonBlocking(r->listen_fd.get()));
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenTag;
+      if (epoll_ctl(r->epoll_fd.get(), EPOLL_CTL_ADD, r->listen_fd.get(),
+                    &ev) != 0) {
+        return Status::Internal(
+            StrPrintf("epoll_ctl(listen): %s", strerror(errno)));
+      }
+    }
+    reactors_.push_back(std::move(r));
+  }
 
   workers_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_->Submit([this] { WorkerLoop(); });
   }
-  io_thread_ = std::thread([this] { IoLoop(); });
+  for (auto& r : reactors_) {
+    Reactor* reactor = r.get();
+    r->thread = std::thread([this, reactor] { ReactorLoop(*reactor); });
+  }
+  threads_started_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 void PlanningServer::Shutdown() {
-  // Async-signal-safe: one atomic store and one write(2). The I/O thread
-  // notices the flag on its next wake-up and runs the drain.
+  // Async-signal-safe: one atomic store and one write(2) per reactor.
+  // Each reactor notices the flag on its next wake-up and runs its share
+  // of the drain.
   draining_.store(true, std::memory_order_release);
-  const int fd = wake_fd_.get();
+  for (const auto& r : reactors_) {
+    const int fd = r->wake_fd.get();
+    if (fd >= 0) {
+      const uint64_t one = 1;
+      ssize_t ignored = write(fd, &one, sizeof(one));
+      (void)ignored;
+    }
+  }
+}
+
+void PlanningServer::WakeReactor(Reactor& r) {
+  const int fd = r.wake_fd.get();
   if (fd >= 0) {
     const uint64_t one = 1;
     ssize_t ignored = write(fd, &one, sizeof(one));
@@ -124,16 +194,24 @@ void PlanningServer::Shutdown() {
 }
 
 void PlanningServer::Wait() {
-  if (io_thread_.joinable()) io_thread_.join();
-  // Normally IoLoop already stopped the pool; this covers Start() paths
-  // that created workers but failed before spawning the I/O thread.
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  // The reactors drained (every admitted request was answered before
+  // they exited, unless the drain timed out); now the worker queue is
+  // quiet, so stop the pool. This also covers Start() paths that created
+  // workers but failed before spawning threads.
   if (workers_ != nullptr) {
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       workers_stop_.store(true, std::memory_order_release);
     }
     queue_cv_.notify_all();
-    workers_.reset();
+    workers_.reset();  // joins the pool
+  }
+  if (threads_started_.load(std::memory_order_acquire) &&
+      !torn_down_.exchange(true)) {
+    FlushTelemetry();
   }
 }
 
@@ -165,16 +243,30 @@ std::map<std::string, TenantStats> PlanningServer::tenant_stats() const {
   return out;
 }
 
+std::vector<ReactorStats> PlanningServer::reactor_stats() const {
+  std::vector<ReactorStats> out;
+  out.reserve(reactors_.size());
+  for (const auto& r : reactors_) {
+    ReactorStats stats;
+    stats.index = r->index;
+    stats.connections_accepted =
+        r->accepted.load(std::memory_order_relaxed);
+    stats.open_connections = r->open.load(std::memory_order_relaxed);
+    out.push_back(stats);
+  }
+  return out;
+}
+
 void PlanningServer::Bump(int64_t ServerStats::*field, int64_t delta) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.*field += delta;
 }
 
 // ---------------------------------------------------------------------------
-// I/O thread
+// Reactor threads
 // ---------------------------------------------------------------------------
 
-void PlanningServer::IoLoop() {
+void PlanningServer::ReactorLoop(Reactor& r) {
   bool drain_started = false;
   std::chrono::steady_clock::time_point drain_deadline;
   std::vector<epoll_event> events(64);
@@ -184,37 +276,39 @@ void PlanningServer::IoLoop() {
       drain_started = true;
       drain_deadline = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(options_.drain_timeout_ms);
-      // Stop accepting: deregister and close the listen socket so new
-      // connections are refused by the kernel from here on.
-      if (listen_fd_.valid()) {
-        epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
-        listen_fd_.reset();
+      // Stop accepting: deregister and close this reactor's listener so
+      // new connections are refused by the kernel from here on.
+      if (r.listen_fd.valid()) {
+        epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, r.listen_fd.get(),
+                  nullptr);
+        r.listen_fd.reset();
       }
     }
 
     if (drain_started) {
+      // fds handed over before the drain began are closed, not adopted.
+      AdoptHandoffConnections(r);
       // Retire connections that are fully answered and flushed.
       std::vector<uint64_t> idle;
-      for (const auto& [id, conn] : conns_) {
-        if (conn->outstanding == 0 && conn->write_off >= conn->write_buf.size()) {
+      for (const auto& [id, conn] : r.conns) {
+        if (conn->outstanding == 0 &&
+            conn->write_off >= conn->write_buf.size()) {
           idle.push_back(id);
         }
       }
-      for (uint64_t id : idle) CloseConnection(id);
-      const bool all_answered =
-          outstanding_.load(std::memory_order_acquire) == 0;
-      if (all_answered && conns_.empty()) break;
+      for (uint64_t id : idle) CloseConnection(r, id);
+      if (r.outstanding == 0 && r.conns.empty()) break;
       if (std::chrono::steady_clock::now() >= drain_deadline) {
         // Hard cap: drop whatever is left so Shutdown always terminates.
         std::vector<uint64_t> rest;
-        rest.reserve(conns_.size());
-        for (const auto& [id, conn] : conns_) rest.push_back(id);
-        for (uint64_t id : rest) CloseConnection(id);
+        rest.reserve(r.conns.size());
+        for (const auto& [id, conn] : r.conns) rest.push_back(id);
+        for (uint64_t id : rest) CloseConnection(r, id);
         break;
       }
     }
 
-    int n = epoll_wait(epoll_fd_.get(), events.data(),
+    int n = epoll_wait(r.epoll_fd.get(), events.data(),
                        static_cast<int>(events.size()), kEpollWaitMs);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -224,52 +318,62 @@ void PlanningServer::IoLoop() {
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[i].data.u64;
       if (tag == kListenTag) {
-        AcceptNewConnections();
+        AcceptNewConnections(r);
         continue;
       }
       if (tag == kWakeTag) {
         uint64_t drained = 0;
-        ssize_t ignored = read(wake_fd_.get(), &drained, sizeof(drained));
+        ssize_t ignored = read(r.wake_fd.get(), &drained, sizeof(drained));
         (void)ignored;
-        continue;  // completions are delivered below, every iteration
+        continue;  // inboxes are drained below, every iteration
       }
       // A connection may have been closed by an earlier event in this
       // same batch; look it up fresh.
-      auto it = conns_.find(tag);
-      if (it == conns_.end()) continue;
+      auto it = r.conns.find(tag);
+      if (it == r.conns.end()) continue;
       if (events[i].events & (EPOLLERR | EPOLLHUP)) {
-        CloseConnection(tag);
+        CloseConnection(r, tag);
         continue;
       }
       if (events[i].events & EPOLLIN) {
-        HandleReadable(it->second.get());
-        it = conns_.find(tag);
-        if (it == conns_.end()) continue;
+        HandleReadable(r, it->second.get());
+        it = r.conns.find(tag);
+        if (it == r.conns.end()) continue;
       }
       if (events[i].events & EPOLLOUT) {
-        HandleWritable(it->second.get());
+        HandleWritable(r, it->second.get());
       }
     }
-    DeliverCompletions();
+    AdoptHandoffConnections(r);
+    DeliverCompletions(r);
+    // One flush per tick: responses buffered by the delivery (or by
+    // admission rejections) above go out coalesced, one send per
+    // connection instead of one per frame.
+    FlushPendingWrites(r);
   }
 
-  // Drained: stop the workers (their queue is empty — outstanding_ hit
-  // zero — unless the drain timed out, in which case leftovers are
-  // abandoned along with their connections).
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    workers_stop_.store(true, std::memory_order_release);
+  // This reactor is done; release whatever it still owns. (Leftovers
+  // exist only when the drain timed out.)
+  const int64_t leftover = static_cast<int64_t>(r.conns.size());
+  if (leftover > 0) {
+    open_conns_.fetch_sub(leftover, std::memory_order_relaxed);
+    r.open.fetch_sub(leftover, std::memory_order_relaxed);
   }
-  queue_cv_.notify_all();
-  workers_.reset();  // joins the pool
-  conns_.clear();
-  open_conns_.store(0, std::memory_order_relaxed);
-  FlushTelemetry();
+  r.conns.clear();
+  std::vector<int> orphans;
+  {
+    std::lock_guard<std::mutex> lock(r.handoff_mu);
+    orphans.swap(r.handoff_fds);
+  }
+  for (int fd : orphans) {
+    ::close(fd);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
-void PlanningServer::AcceptNewConnections() {
+void PlanningServer::AcceptNewConnections(Reactor& r) {
   for (;;) {
-    int fd = accept4(listen_fd_.get(), nullptr, nullptr,
+    int fd = accept4(r.listen_fd.get(), nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -279,7 +383,13 @@ void PlanningServer::AcceptNewConnections() {
     }
     net::UniqueFd accepted(fd);
     if (draining()) continue;  // closing the fd is the whole answer
-    if (conns_.size() >= options_.max_connections) {
+    // The connection limit spans all reactors, enforced on one atomic:
+    // claim a slot first, release it if that oversubscribed. A burst
+    // landing on several reactors at once can overshoot transiently by
+    // at most num_reactors - 1.
+    if (open_conns_.fetch_add(1, std::memory_order_acq_rel) >=
+        static_cast<int64_t>(options_.max_connections)) {
+      open_conns_.fetch_sub(1, std::memory_order_acq_rel);
       // Best effort: tell the client why before closing. The socket is
       // fresh, so a single non-blocking send almost always fits. This
       // rejection predates any request, so (unlike the admission-path
@@ -288,8 +398,8 @@ void PlanningServer::AcceptNewConnections() {
           ErrorResponse(kWireUnavailable,
                         StrPrintf("connection limit (%zu) reached",
                                   options_.max_connections))));
-      ssize_t ignored =
-          send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+      ssize_t ignored = net::Send(fd, frame.data(), frame.size(),
+                                  MSG_NOSIGNAL | MSG_DONTWAIT);
       (void)ignored;
       Bump(&ServerStats::connections_rejected);
       if (obs::MetricsOn()) {
@@ -300,35 +410,76 @@ void PlanningServer::AcceptNewConnections() {
       continue;
     }
     net::SetTcpNoDelay(fd);  // request/response traffic; best effort
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_conn_id_++;
-    conn->fd = std::move(accepted);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = conn->id;
-    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) != 0) {
-      std::cerr << "raqo_server: epoll_ctl(conn): " << strerror(errno)
-                << "\n";
+    if (reuseport_ || reactors_.size() == 1) {
+      RegisterConnection(r, std::move(accepted));
       continue;
     }
-    conns_.emplace(conn->id, std::move(conn));
-    open_conns_.fetch_add(1, std::memory_order_relaxed);
-    Bump(&ServerStats::connections_accepted);
-    if (obs::MetricsOn()) {
-      static obs::Counter* accepts =
-          obs::DefaultMetrics().GetCounter("server.accept");
-      static obs::Gauge* open =
-          obs::DefaultMetrics().GetGauge("server.connections");
-      accepts->Add();
-      open->Set(static_cast<double>(conns_.size()));
+    // Fallback sharding: this reactor is the lone acceptor; deal the
+    // accepted fd round-robin across all reactors (itself included).
+    Reactor& target = *reactors_[next_handoff_++ % reactors_.size()];
+    if (&target == &r) {
+      RegisterConnection(r, std::move(accepted));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target.handoff_mu);
+        target.handoff_fds.push_back(accepted.release());
+      }
+      WakeReactor(target);
     }
   }
 }
 
-void PlanningServer::HandleReadable(Connection* conn) {
+void PlanningServer::AdoptHandoffConnections(Reactor& r) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(r.handoff_mu);
+    if (r.handoff_fds.empty()) return;
+    fds.swap(r.handoff_fds);
+  }
+  for (int fd : fds) {
+    net::UniqueFd owned(fd);
+    if (draining()) {
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // closing the fd is the whole answer
+    }
+    RegisterConnection(r, std::move(owned));
+  }
+}
+
+void PlanningServer::RegisterConnection(Reactor& r, net::UniqueFd fd) {
+  auto conn = std::make_unique<Connection>();
+  // Ids encode the owning reactor so they stay unique across reactors
+  // without shared state; +1 keeps them clear of the epoll tags.
+  conn->id = (static_cast<uint64_t>(r.index + 1) << 40) | ++r.next_conn_seq;
+  conn->reactor = r.index;
+  conn->fd = std::move(fd);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = conn->id;
+  if (epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) != 0) {
+    std::cerr << "raqo_server: epoll_ctl(conn): " << strerror(errno) << "\n";
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  r.conns.emplace(conn->id, std::move(conn));
+  r.open.fetch_add(1, std::memory_order_relaxed);
+  r.accepted.fetch_add(1, std::memory_order_relaxed);
+  Bump(&ServerStats::connections_accepted);
+  if (obs::MetricsOn()) {
+    static obs::Counter* accepts =
+        obs::DefaultMetrics().GetCounter("server.accept");
+    static obs::Gauge* open =
+        obs::DefaultMetrics().GetGauge("server.connections");
+    accepts->Add();
+    open->Set(
+        static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
+  }
+}
+
+void PlanningServer::HandleReadable(Reactor& r, Connection* conn) {
   char buf[64 * 1024];
   for (;;) {
-    ssize_t n = recv(conn->fd.get(), buf, sizeof(buf), 0);
+    ssize_t n = net::Recv(conn->fd.get(), buf, sizeof(buf), 0);
     if (n > 0) {
       conn->read_buf.append(buf, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof(buf)) break;
@@ -340,26 +491,26 @@ void PlanningServer::HandleReadable(Connection* conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    CloseConnection(conn->id);
+    CloseConnection(r, conn->id);
     return;
   }
 
   const uint64_t id = conn->id;
-  ExtractFrames(conn);
+  ExtractFrames(r, conn);
   // ExtractFrames may have destroyed the connection (oversized frame,
-  // queue-full rejection whose flush failed); re-fetch by id rather than
-  // touching the possibly-dangling pointer.
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
+  // write-buffer overflow); re-fetch by id rather than touching the
+  // possibly-dangling pointer.
+  auto it = r.conns.find(id);
+  if (it == r.conns.end()) return;
   conn = it->second.get();
 
   if (conn->peer_closed && conn->outstanding == 0 &&
-      conn->write_off >= conn->write_buf.size()) {
-    CloseConnection(conn->id);
+      conn->write_off >= conn->write_buf.size() && !conn->flush_pending) {
+    CloseConnection(r, conn->id);
   }
 }
 
-void PlanningServer::ExtractFrames(Connection* conn) {
+void PlanningServer::ExtractFrames(Reactor& r, Connection* conn) {
   size_t consumed = 0;
   const uint64_t conn_id = conn->id;
   for (;;) {
@@ -375,7 +526,7 @@ void PlanningServer::ExtractFrames(Connection* conn) {
       conn->close_after_flush = true;
       conn->read_buf.clear();
       // May close the connection; conn must not be touched after.
-      QueueResponse(conn,
+      QueueResponse(r, conn,
                     ErrorResponse(kWireInvalidArgument,
                                   StrPrintf("frame exceeds %zu-byte limit",
                                             options_.max_frame_bytes)));
@@ -383,9 +534,9 @@ void PlanningServer::ExtractFrames(Connection* conn) {
     }
     // AdmitOrReject may append rejections to write_buf but never touches
     // read_buf, so the consumed/rest bookkeeping stays valid.
-    AdmitOrReject(conn, std::string(payload));
+    AdmitOrReject(r, conn, std::string(payload));
     consumed += frame_size;
-    if (conns_.find(conn_id) == conns_.end()) return;  // write error closed it
+    if (r.conns.find(conn_id) == r.conns.end()) return;  // closed
   }
   if (consumed > 0) conn->read_buf.erase(0, consumed);
 }
@@ -416,7 +567,8 @@ PlanningServer::TenantState* PlanningServer::FindOrCreateTenant(
   return &state;
 }
 
-void PlanningServer::RejectRequest(Connection* conn, const char* wire_status,
+void PlanningServer::RejectRequest(Reactor& r, Connection* conn,
+                                   const char* wire_status,
                                    std::string message, std::string id,
                                    int64_t ServerStats::*stat_field,
                                    const char* counter_name) {
@@ -425,16 +577,17 @@ void PlanningServer::RejectRequest(Connection* conn, const char* wire_status,
     obs::DefaultMetrics().GetCounter(counter_name)->Add();
   }
   // May close the connection; conn must not be touched after.
-  QueueResponse(conn, ErrorResponse(wire_status, std::move(message),
-                                    std::move(id)));
+  QueueResponse(r, conn, ErrorResponse(wire_status, std::move(message),
+                                       std::move(id)));
 }
 
-void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
+void PlanningServer::AdmitOrReject(Reactor& r, Connection* conn,
+                                   std::string payload) {
   // The id is peeked (not parsed) so every admission-path rejection can
   // tell a pipelining client which request was refused.
   std::string id = PeekTopLevelString(payload, "id");
   if (draining()) {
-    RejectRequest(conn, kWireUnavailable, "server is draining",
+    RejectRequest(r, conn, kWireUnavailable, "server is draining",
                   std::move(id), &ServerStats::rejected_draining, nullptr);
     return;
   }
@@ -445,6 +598,8 @@ void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
   int64_t ServerStats::*reject_stat = nullptr;
   const char* reject_counter = nullptr;
   {
+    // The one lock shared across reactors: the admission decision.
+    // Everything else on this path is reactor-local.
     std::lock_guard<std::mutex> lock(queue_mu_);
     TenantState* state = FindOrCreateTenant(tenant);
     if (state == nullptr) {
@@ -482,6 +637,7 @@ void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
     } else {
       PendingRequest pending;
       pending.conn_id = conn->id;
+      pending.reactor = r.index;
       pending.id = std::move(id);
       pending.tenant = tenant;
       pending.payload = std::move(payload);
@@ -514,12 +670,12 @@ void PlanningServer::AdmitOrReject(Connection* conn, std::string payload) {
     }
   }
   if (reject_status != nullptr) {
-    RejectRequest(conn, reject_status, std::move(reject_message),
+    RejectRequest(r, conn, reject_status, std::move(reject_message),
                   std::move(id), reject_stat, reject_counter);
     return;
   }
   conn->outstanding++;
-  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  r.outstanding++;
   Bump(&ServerStats::requests_admitted);
   queue_cv_.notify_one();
 }
@@ -541,9 +697,9 @@ void PlanningServer::SettleTenant(const std::string& tenant, bool ok,
   }
 }
 
-void PlanningServer::QueueResponse(Connection* conn,
+void PlanningServer::QueueResponse(Reactor& r, Connection* conn,
                                    const PlanResponse& response) {
-  SendRawResponse(conn, SerializePlanResponse(response));
+  SendRawResponse(r, conn, SerializePlanResponse(response));
 }
 
 void PlanningServer::BumpResponsesDropped() {
@@ -555,7 +711,8 @@ void PlanningServer::BumpResponsesDropped() {
   }
 }
 
-void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
+void PlanningServer::SendRawResponse(Reactor& r, Connection* conn,
+                                     std::string payload) {
   const size_t buffered = conn->write_buf.size() - conn->write_off;
   if (buffered + kFrameHeaderBytes + payload.size() >
       options_.max_write_buffer_bytes) {
@@ -566,7 +723,7 @@ void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
               << ": write buffer over " << options_.max_write_buffer_bytes
               << " bytes\n";
     BumpResponsesDropped();
-    CloseConnection(conn->id);
+    CloseConnection(r, conn->id);
     return;
   }
   // Reclaim the consumed prefix before growing.
@@ -579,77 +736,98 @@ void PlanningServer::SendRawResponse(Connection* conn, std::string payload) {
   // drops (write-buffer cap, vanished connection) land in
   // responses_dropped instead.
   Bump(&ServerStats::responses_sent);
-  HandleWritable(conn);  // may close; conn must not be touched after
+  // Batched: the frame goes out in this tick's flush, coalesced with any
+  // other responses buffered for the same connection.
+  if (!conn->flush_pending) {
+    conn->flush_pending = true;
+    r.flush_queue.push_back(conn->id);
+  }
 }
 
-void PlanningServer::HandleWritable(Connection* conn) {
+void PlanningServer::FlushPendingWrites(Reactor& r) {
+  if (r.flush_queue.empty()) return;
+  std::vector<uint64_t> pending;
+  pending.swap(r.flush_queue);
+  for (uint64_t id : pending) {
+    auto it = r.conns.find(id);
+    if (it == r.conns.end()) continue;  // closed since it was queued
+    Connection* conn = it->second.get();
+    conn->flush_pending = false;
+    HandleWritable(r, conn);  // may close; conn must not be touched after
+  }
+}
+
+void PlanningServer::HandleWritable(Reactor& r, Connection* conn) {
   while (conn->write_off < conn->write_buf.size()) {
-    ssize_t n = send(conn->fd.get(), conn->write_buf.data() + conn->write_off,
-                     conn->write_buf.size() - conn->write_off, MSG_NOSIGNAL);
+    ssize_t n =
+        net::Send(conn->fd.get(), conn->write_buf.data() + conn->write_off,
+                  conn->write_buf.size() - conn->write_off, MSG_NOSIGNAL);
     if (n > 0) {
       conn->write_off += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      UpdateWriteInterest(conn);
+      UpdateWriteInterest(r, conn);
       return;
     }
     if (n < 0 && errno == EINTR) continue;
-    CloseConnection(conn->id);
+    CloseConnection(r, conn->id);
     return;
   }
   conn->write_buf.clear();
   conn->write_off = 0;
   if (conn->close_after_flush ||
       (conn->peer_closed && conn->outstanding == 0)) {
-    CloseConnection(conn->id);
+    CloseConnection(r, conn->id);
     return;
   }
-  UpdateWriteInterest(conn);
+  UpdateWriteInterest(r, conn);
 }
 
-void PlanningServer::UpdateWriteInterest(Connection* conn) {
+void PlanningServer::UpdateWriteInterest(Reactor& r, Connection* conn) {
   const bool want_out = conn->write_off < conn->write_buf.size();
   if (want_out == conn->registered_out) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
   ev.data.u64 = conn->id;
-  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0) {
+  if (epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0) {
     conn->registered_out = want_out;
   }
 }
 
-void PlanningServer::DeliverCompletions() {
+void PlanningServer::DeliverCompletions(Reactor& r) {
   std::deque<Completion> done;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    done.swap(completions_);
+    std::lock_guard<std::mutex> lock(r.completions_mu);
+    done.swap(r.completions);
   }
   for (Completion& completion : done) {
     // The admitted request is answered exactly here, even when its
     // connection is already gone (the response is then dropped).
-    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-    auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end()) {
+    r.outstanding--;
+    auto it = r.conns.find(completion.conn_id);
+    if (it == r.conns.end()) {
       BumpResponsesDropped();
       continue;
     }
     Connection* conn = it->second.get();
     conn->outstanding--;
-    SendRawResponse(conn, std::move(completion.payload));
+    SendRawResponse(r, conn, std::move(completion.payload));
   }
 }
 
-void PlanningServer::CloseConnection(uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
-  conns_.erase(it);  // UniqueFd closes the socket
+void PlanningServer::CloseConnection(Reactor& r, uint64_t conn_id) {
+  auto it = r.conns.find(conn_id);
+  if (it == r.conns.end()) return;
+  epoll_ctl(r.epoll_fd.get(), EPOLL_CTL_DEL, it->second->fd.get(), nullptr);
+  r.conns.erase(it);  // UniqueFd closes the socket
+  r.open.fetch_sub(1, std::memory_order_relaxed);
   open_conns_.fetch_sub(1, std::memory_order_relaxed);
   if (obs::MetricsOn()) {
     static obs::Gauge* open =
         obs::DefaultMetrics().GetGauge("server.connections");
-    open->Set(static_cast<double>(conns_.size()));
+    open->Set(
+        static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
   }
 }
 
@@ -676,14 +854,14 @@ void PlanningServer::FlushTelemetry() {
 // Worker threads (run on the PR-1 ThreadPool)
 // ---------------------------------------------------------------------------
 
-void PlanningServer::PostCompletion(uint64_t conn_id, std::string payload) {
+void PlanningServer::PostCompletion(int reactor, uint64_t conn_id,
+                                    std::string payload) {
+  Reactor& r = *reactors_[static_cast<size_t>(reactor)];
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    completions_.push_back(Completion{conn_id, std::move(payload)});
+    std::lock_guard<std::mutex> lock(r.completions_mu);
+    r.completions.push_back(Completion{conn_id, std::move(payload)});
   }
-  const uint64_t one = 1;
-  ssize_t ignored = write(wake_fd_.get(), &one, sizeof(one));
-  (void)ignored;
+  WakeReactor(r);
 }
 
 void PlanningServer::WorkerLoop() {
@@ -789,7 +967,8 @@ void PlanningServer::WorkerLoop() {
     // for), so in-flight and dollar bookkeeping stay self-consistent
     // even if the full parse disagrees with the cheap scan.
     SettleTenant(pending.tenant, response.ok(), response.cost.dollars);
-    PostCompletion(pending.conn_id, SerializePlanResponse(response));
+    PostCompletion(pending.reactor, pending.conn_id,
+                   SerializePlanResponse(response));
   }
 }
 

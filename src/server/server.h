@@ -45,6 +45,16 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the chosen one with port().
   uint16_t port = 0;
+  /// Reactor (I/O event loop) threads. Each reactor runs its own epoll
+  /// instance and owns the connections pinned to it — read buffers,
+  /// frame reassembly, and write buffers are all single-threaded per
+  /// connection, so the hot read/decode/admit path takes no lock beyond
+  /// the shared admission mutex. With more than one reactor each binds
+  /// its own SO_REUSEPORT listener and the kernel spreads incoming
+  /// connections across them; when SO_REUSEPORT is unavailable, reactor
+  /// 0 accepts alone and hands accepted fds round-robin to its peers
+  /// over their wakeup eventfds. 0 = min(4, hardware threads).
+  int num_reactors = 0;
   /// Planner worker threads (one PR-1 ThreadPool).
   int num_workers = 4;
   /// Admission control: requests admitted but not yet picked up by a
@@ -64,6 +74,9 @@ struct ServerOptions {
   /// per-tenant metrics stay bounded against tenant-name floods).
   size_t max_tenants = 1024;
   /// Beyond this, new connections get an UNAVAILABLE frame and a close.
+  /// Enforced across all reactors with an atomic counter, so a burst
+  /// arriving on several reactors at once can transiently overshoot by
+  /// at most num_reactors - 1 before settling.
   size_t max_connections = 256;
   /// Largest acceptable request frame; the connection is closed after an
   /// INVALID_ARGUMENT response when a header advertises more.
@@ -122,17 +135,34 @@ struct TenantStats {
   double dollars_spent = 0.0;
 };
 
-/// The RAQO planning server: one epoll I/O thread accepting
-/// length-prefixed JSON request frames (server/protocol.h) and a PR-1
-/// ThreadPool of planner workers executing them against the shared
+/// Point-in-time view of one reactor's share of the I/O plane (see
+/// reactor_stats()).
+struct ReactorStats {
+  int index = 0;
+  int64_t connections_accepted = 0;
+  int64_t open_connections = 0;
+};
+
+/// The RAQO planning server: N reactor threads, each running its own
+/// epoll loop over the connections pinned to it, feeding a PR-1
+/// ThreadPool of planner workers that execute length-prefixed JSON
+/// request frames (server/protocol.h) against the shared
 /// PlanningService. Production behaviors, not demo ones:
 ///
+///  - sharded I/O plane: each reactor owns its own listening socket
+///    (SO_REUSEPORT; single-acceptor fd handoff as the fallback), epoll
+///    instance, and wakeup eventfd. A connection's read buffer, frame
+///    reassembly, and write buffer live on exactly one reactor for the
+///    connection's whole life, so the hot read/decode/enqueue path is
+///    single-threaded and lock-free; worker completions are routed back
+///    to the owning reactor and writes are batched per event-loop tick,
 ///  - admission control: bounded per-tenant queues; overflow answers
 ///    RESOURCE_EXHAUSTED immediately instead of buffering,
 ///  - multi-tenant quotas: per-tenant in-flight caps and cumulative
 ///    dollar budgets (charged from each successful response's cost),
 ///    with per-tenant sub-queues drained round-robin so one flooding
-///    tenant cannot starve the queue-wait of the others,
+///    tenant cannot starve the queue-wait of the others (cross-reactor:
+///    admission state lives behind one mutex shared by all reactors),
 ///  - per-request deadlines: a request still queued past its deadline is
 ///    cancelled with DEADLINE_EXCEEDED, never planned,
 ///  - connection limits and per-connection write buffering for slow
@@ -141,10 +171,12 @@ struct TenantStats {
 ///    frames UNAVAILABLE, finish every admitted request, flush all
 ///    responses, then export telemetry and stop.
 ///
-/// Thread model: Start() spawns the I/O thread and `num_workers` planner
-/// workers; Shutdown() is async-signal-safe (an atomic flag plus one
-/// eventfd write) so a SIGTERM handler may call it directly; Wait()
-/// joins the drained server.
+/// Thread model: Start() spawns num_reactors I/O threads and
+/// `num_workers` planner workers; Shutdown() is async-signal-safe (an
+/// atomic flag plus one eventfd write per reactor) so a SIGTERM handler
+/// may call it directly; Wait() joins the drained server. With
+/// num_reactors = 1 the server behaves exactly like the single-epoll
+/// design it replaces (one acceptor, no SO_REUSEPORT, one I/O thread).
 class PlanningServer {
  public:
   /// `service` must outlive the server.
@@ -154,11 +186,20 @@ class PlanningServer {
   PlanningServer(const PlanningServer&) = delete;
   PlanningServer& operator=(const PlanningServer&) = delete;
 
-  /// Binds, listens, and spawns the I/O and worker threads.
+  /// Binds, listens, and spawns the reactor and worker threads.
   Status Start();
 
   /// The bound port (after Start; useful with options.port = 0).
   uint16_t port() const { return port_; }
+
+  /// Resolved reactor count (after construction; 0 in options means
+  /// min(4, hardware threads)).
+  int num_reactors() const { return options_.num_reactors; }
+
+  /// True when every reactor accepts on its own SO_REUSEPORT listener;
+  /// false with one reactor (plain single listener) or when the kernel
+  /// refused SO_REUSEPORT and reactor 0 hands accepted fds to its peers.
+  bool reuseport_sharding() const { return reuseport_; }
 
   /// Begins the graceful drain. Async-signal-safe and idempotent.
   void Shutdown();
@@ -176,10 +217,16 @@ class PlanningServer {
   /// anonymous tenant appears as "").
   std::map<std::string, TenantStats> tenant_stats() const;
 
+  /// Per-reactor accept/open counts, in reactor order. Useful to observe
+  /// how SO_REUSEPORT (or the handoff fallback) spread connections.
+  std::vector<ReactorStats> reactor_stats() const;
+
  private:
-  /// Per-connection state owned by the I/O thread.
+  /// Per-connection state, owned by exactly one reactor for the whole
+  /// connection lifetime.
   struct Connection {
     uint64_t id = 0;
+    int reactor = 0;         ///< owning reactor index
     net::UniqueFd fd;
     std::string read_buf;
     std::string write_buf;   ///< unsent response bytes (slow clients)
@@ -188,48 +235,62 @@ class PlanningServer {
     bool peer_closed = false;
     bool close_after_flush = false;
     bool registered_out = false;  ///< EPOLLOUT currently armed
+    bool flush_pending = false;   ///< queued in the reactor's tick flush
   };
 
   /// One admitted request waiting for (or held by) a worker. The
   /// deadline is evaluated by the worker that picks it up — the wire
   /// deadline_ms bounds the admission-to-pickup wait, so the request
-  /// itself need not be parsed on the I/O thread (id and tenant come
+  /// itself need not be parsed on the reactor thread (id and tenant come
   /// from the cheap pre-parse peek).
   struct PendingRequest {
     uint64_t conn_id = 0;
+    int reactor = 0;     ///< reactor the completion must route back to
     std::string id;      ///< peeked wire id (echoed in rejections)
     std::string tenant;  ///< peeked tenant key the request is billed to
     std::string payload;
     std::chrono::steady_clock::time_point admitted_at;
   };
 
-  /// Admission state of one tenant, guarded by queue_mu_. Values live in
-  /// an unordered_map (node-based, reference-stable), so the ready ring
-  /// and workers may hold pointers across rehashes.
-  struct TenantState {
-    std::string name;
-    TenantQuota quota;
-    std::deque<PendingRequest> queue;  ///< this tenant's admission queue
-    bool in_ready = false;             ///< queued in the round-robin ring
-    int64_t inflight = 0;              ///< admitted, not yet answered
-    double dollars_spent = 0.0;
-    TenantStats stats;
-    /// Per-tenant metrics (null for the anonymous tenant, which reports
-    /// only through the global server.* series).
-    obs::Counter* admitted_counter = nullptr;
-    obs::Counter* rejected_counter = nullptr;
-    obs::Gauge* queue_depth_gauge = nullptr;
-    obs::Gauge* inflight_gauge = nullptr;
-    obs::Gauge* dollars_gauge = nullptr;
-  };
-
-  /// A response travelling from a worker back to the I/O thread.
+  /// A response travelling from a worker back to its owning reactor.
   struct Completion {
     uint64_t conn_id = 0;
     std::string payload;
   };
 
-  void IoLoop();
+  /// One I/O shard: epoll loop, wakeup eventfd, optionally a listener,
+  /// and the connections pinned to it. Everything except the two
+  /// mutex-guarded inboxes (completions from workers, handed-off fds
+  /// from the acceptor) is touched only by this reactor's thread.
+  struct Reactor {
+    int index = 0;
+    net::UniqueFd listen_fd;  ///< invalid on non-acceptors in handoff mode
+    net::UniqueFd epoll_fd;
+    net::UniqueFd wake_fd;    ///< eventfd: completions, handoffs, Shutdown
+    std::thread thread;
+
+    // Reactor-thread-only state.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    uint64_t next_conn_seq = 0;
+    std::vector<uint64_t> flush_queue;  ///< conns with writes this tick
+    int64_t outstanding = 0;  ///< admitted on this reactor, unanswered
+
+    // Cross-thread counters (read by reactor_stats()).
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int64_t> open{0};
+
+    // Inbox: responses posted by workers.
+    std::mutex completions_mu;
+    std::deque<Completion> completions;
+
+    // Inbox: accepted fds handed over by reactor 0 (fallback mode only).
+    std::mutex handoff_mu;
+    std::vector<int> handoff_fds;
+  };
+
+  struct TenantState;
+
+  void ReactorLoop(Reactor& r);
   void WorkerLoop();
 
   /// Looks up (or creates) the tenant's admission state. Caller holds
@@ -239,23 +300,29 @@ class PlanningServer {
   /// successful response's dollars accrue against the budget.
   void SettleTenant(const std::string& tenant, bool ok, double dollars);
 
-  // I/O-thread helpers.
-  void AcceptNewConnections();
-  void HandleReadable(Connection* conn);
-  void HandleWritable(Connection* conn);
-  void ExtractFrames(Connection* conn);
-  void AdmitOrReject(Connection* conn, std::string payload);
-  void RejectRequest(Connection* conn, const char* wire_status,
+  // Reactor-thread helpers (all touch only reactor-owned state plus the
+  // shared admission/stats mutexes).
+  void AcceptNewConnections(Reactor& r);
+  void AdoptHandoffConnections(Reactor& r);
+  void RegisterConnection(Reactor& r, net::UniqueFd fd);
+  void HandleReadable(Reactor& r, Connection* conn);
+  void HandleWritable(Reactor& r, Connection* conn);
+  void ExtractFrames(Reactor& r, Connection* conn);
+  void AdmitOrReject(Reactor& r, Connection* conn, std::string payload);
+  void RejectRequest(Reactor& r, Connection* conn, const char* wire_status,
                      std::string message, std::string id,
                      int64_t ServerStats::*stat_field,
                      const char* counter_name);
-  void QueueResponse(Connection* conn, const PlanResponse& response);
-  void SendRawResponse(Connection* conn, std::string payload);
-  void DeliverCompletions();
-  void UpdateWriteInterest(Connection* conn);
-  void CloseConnection(uint64_t conn_id);
+  void QueueResponse(Reactor& r, Connection* conn,
+                     const PlanResponse& response);
+  void SendRawResponse(Reactor& r, Connection* conn, std::string payload);
+  void DeliverCompletions(Reactor& r);
+  void FlushPendingWrites(Reactor& r);
+  void UpdateWriteInterest(Reactor& r, Connection* conn);
+  void CloseConnection(Reactor& r, uint64_t conn_id);
   void FlushTelemetry();
-  void PostCompletion(uint64_t conn_id, std::string payload);
+  void PostCompletion(int reactor, uint64_t conn_id, std::string payload);
+  static void WakeReactor(Reactor& r);
   void Bump(int64_t ServerStats::*field, int64_t delta = 1);
   void BumpResponsesDropped();
 
@@ -263,24 +330,27 @@ class PlanningServer {
   ServerOptions options_;
   uint16_t port_ = 0;
 
-  net::UniqueFd listen_fd_;
-  net::UniqueFd epoll_fd_;
-  net::UniqueFd wake_fd_;  ///< eventfd: worker completions + Shutdown()
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  bool reuseport_ = false;
+  /// Round-robin cursor of the fd-handoff fallback; touched only by the
+  /// accepting reactor's thread (reactor 0).
+  size_t next_handoff_ = 0;
 
-  std::thread io_thread_;
   std::unique_ptr<ThreadPool> workers_;
 
   std::atomic<bool> started_{false};
+  std::atomic<bool> threads_started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> workers_stop_{false};
-  /// Admitted requests not yet answered on their connection (queued,
-  /// executing, or response in flight back to the I/O thread).
-  std::atomic<int64_t> outstanding_{0};
+  std::atomic<bool> torn_down_{false};
   std::atomic<int64_t> executing_{0};
   std::atomic<int64_t> open_conns_{0};
 
   /// Guards the tenant table, the per-tenant sub-queues, the round-robin
-  /// ready ring, and every tenant's quota accounting.
+  /// ready ring, and every tenant's quota accounting — the one lock
+  /// boundary shared by all reactors and workers. The per-connection hot
+  /// path (read, frame reassembly, write batching) never takes it except
+  /// for the admission decision itself.
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::unordered_map<std::string, TenantState> tenants_;
@@ -291,19 +361,34 @@ class PlanningServer {
   std::deque<TenantState*> ready_tenants_;
   size_t total_queued_ = 0;
 
-  std::mutex completions_mu_;
-  std::deque<Completion> completions_;
-
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 2;  ///< 0 = listen socket, 1 = eventfd
-
   mutable std::mutex stats_mu_;
   ServerStats stats_;
 };
 
+/// Admission state of one tenant, guarded by queue_mu_. Values live in
+/// an unordered_map (node-based, reference-stable), so the ready ring
+/// and workers may hold pointers across rehashes.
+struct PlanningServer::TenantState {
+  std::string name;
+  TenantQuota quota;
+  std::deque<PendingRequest> queue;  ///< this tenant's admission queue
+  bool in_ready = false;             ///< queued in the round-robin ring
+  int64_t inflight = 0;              ///< admitted, not yet answered
+  double dollars_spent = 0.0;
+  TenantStats stats;
+  /// Per-tenant metrics (null for the anonymous tenant, which reports
+  /// only through the global server.* series).
+  obs::Counter* admitted_counter = nullptr;
+  obs::Counter* rejected_counter = nullptr;
+  obs::Gauge* queue_depth_gauge = nullptr;
+  obs::Gauge* inflight_gauge = nullptr;
+  obs::Gauge* dollars_gauge = nullptr;
+};
+
 /// Installs SIGTERM + SIGINT handlers that trigger `server->Shutdown()`
-/// (the handler only flips an atomic and writes an eventfd). Pass
-/// nullptr to uninstall. One server per process can be wired this way.
+/// (the handler only flips an atomic and writes the reactors' eventfds).
+/// Pass nullptr to uninstall. One server per process can be wired this
+/// way.
 void InstallShutdownSignalHandlers(PlanningServer* server);
 
 }  // namespace raqo::server

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -330,6 +332,45 @@ struct TestServer {
   std::unique_ptr<PlanningServer> server;
 };
 
+/// Fixture for behaviors that must hold at every reactor count: the
+/// drain, fairness, deadline, and pipelining guarantees are properties
+/// of the admission plane, which the reactor sharding must not disturb.
+class ReactorServerTest : public ::testing::TestWithParam<int> {
+ protected:
+  ServerOptions OptionsWithReactors() const {
+    ServerOptions options;
+    options.num_reactors = GetParam();
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Reactors, ReactorServerTest,
+                         ::testing::Values(1, 2, 4),
+                         ::testing::PrintToStringParamName());
+
+/// Fault injector scripted by a lambda. The callbacks run on whatever
+/// thread performs the I/O (reactor threads AND the test's own client
+/// calls, which share the process-wide hook), so scripts filter by fd —
+/// usually "pass through my client fd, fault everything else", which in
+/// a one-connection test isolates exactly the server side of the socket.
+class ScriptedFaultInjector : public net::FaultInjector {
+ public:
+  using Script = std::function<net::FaultAction(int fd, size_t len)>;
+  ScriptedFaultInjector(Script on_send, Script on_recv)
+      : on_send_(std::move(on_send)), on_recv_(std::move(on_recv)) {}
+
+  net::FaultAction OnSend(int fd, size_t len) override {
+    return on_send_ ? on_send_(fd, len) : net::FaultAction::PassThrough();
+  }
+  net::FaultAction OnRecv(int fd, size_t len) override {
+    return on_recv_ ? on_recv_(fd, len) : net::FaultAction::PassThrough();
+  }
+
+ private:
+  Script on_send_;
+  Script on_recv_;
+};
+
 TEST(PlanningServerTest, RoundTripMatchesDirectPlannerCall) {
   TestServer ts;
   PlanningClient client = ts.Connect();
@@ -524,8 +565,8 @@ TEST(PlanningServerTest, QueueOverflowAnswersResourceExhausted) {
   EXPECT_EQ(ts.server->stats().rejected_queue_full, 1);
 }
 
-TEST(PlanningServerTest, ExpiredQueuedRequestIsCancelled) {
-  ServerOptions options;
+TEST_P(ReactorServerTest, ExpiredQueuedRequestIsCancelled) {
+  ServerOptions options = OptionsWithReactors();
   options.num_workers = 1;
   options.enable_test_hooks = true;
   TestServer ts(options);
@@ -642,8 +683,8 @@ TEST(PlanningServerTest, ConnectionLimitTurnsAwayExtraClients) {
   EXPECT_EQ(ts.server->stats().connections_rejected, 1);
 }
 
-TEST(PlanningServerTest, SigtermDrainFinishesInFlightWork) {
-  ServerOptions options;
+TEST_P(ReactorServerTest, SigtermDrainFinishesInFlightWork) {
+  ServerOptions options = OptionsWithReactors();
   options.num_workers = 2;
   options.enable_test_hooks = true;
   TestServer ts(options);
@@ -680,8 +721,8 @@ TEST(PlanningServerTest, SigtermDrainFinishesInFlightWork) {
   EXPECT_EQ(ts.server->stats().open_connections, 0);
 }
 
-TEST(PlanningServerTest, DrainRejectsNewRequestsOnLiveConnections) {
-  ServerOptions options;
+TEST_P(ReactorServerTest, DrainRejectsNewRequestsOnLiveConnections) {
+  ServerOptions options = OptionsWithReactors();
   options.num_workers = 1;
   options.enable_test_hooks = true;
   TestServer ts(options);
@@ -831,8 +872,8 @@ TEST(PlanningServerTest, FrameArrivingByteAtATimeIsReassembled) {
   EXPECT_EQ(response->id, "dribble");
 }
 
-TEST(PlanningServerTest, PipelinedRequestsComeBackInOrderWithTheirIds) {
-  ServerOptions options;
+TEST_P(ReactorServerTest, PipelinedRequestsComeBackInOrderWithTheirIds) {
+  ServerOptions options = OptionsWithReactors();
   options.num_workers = 1;  // one worker => strictly serial execution
   TestServer ts(options);
   Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
@@ -1049,8 +1090,8 @@ TEST(PlanningServerTest, RoundRobinDequeueInterleavesTenantBacklogs) {
   }
 }
 
-TEST(PlanningServerTest, FloodingTenantDoesNotDegradeLightTenant) {
-  ServerOptions options;
+TEST_P(ReactorServerTest, FloodingTenantDoesNotDegradeLightTenant) {
+  ServerOptions options = OptionsWithReactors();
   options.num_workers = 2;
   options.max_queue = 4;
   options.enable_test_hooks = true;
@@ -1259,6 +1300,361 @@ TEST(PlanningServerTest, UndeliverableResponsesCountAsDroppedNotSent) {
   EXPECT_EQ(stats.responses_sent, 0);
   EXPECT_EQ(stats.responses_dropped, 2);
   EXPECT_EQ(stats.requests_admitted, 2);
+}
+
+// ---------------------------------------------------------------------
+// Multi-reactor sharding
+
+TEST_P(ReactorServerTest, LoopbackStaysBitIdenticalToDirectPlannerCalls) {
+  ServerOptions options = OptionsWithReactors();
+  options.num_workers = 2;
+  TestServer ts(options);
+  EXPECT_EQ(ts.server->num_reactors(), GetParam());
+
+  // The ground truth, one function call instead of one socket away.
+  const catalog::Catalog& catalog = TestCatalog();
+  core::RaqoPlanner direct(&catalog, Models(),
+                           resource::ClusterConditions::PaperDefault(),
+                           resource::PricingModel(), TestPlannerOptions());
+  std::vector<catalog::TableId> tables;
+  for (const char* name : {"orders", "lineitem", "customer"}) {
+    tables.push_back(*catalog.FindTable(name));
+  }
+  Result<core::JointPlan> expected = direct.Plan(tables);
+  ASSERT_TRUE(expected.ok());
+  const std::string expected_plan = expected->plan->ToString(&catalog);
+
+  // Several connections, so with more than one reactor the kernel (or
+  // the fd-handoff dealer) spreads them across shards — whichever
+  // reactor serves the request, the wire response must match the direct
+  // call bit for bit (%.17g doubles round-trip IEEE exactly, and the
+  // planner itself is deterministic; see docs/CONCURRENCY.md).
+  constexpr int kConnections = 6;
+  for (int c = 0; c < kConnections; ++c) {
+    PlanningClient client = ts.Connect();
+    PlanRequest request;
+    request.id = "det-" + std::to_string(c);
+    request.sql = "select * from orders, lineitem, customer";
+    Result<PlanResponse> response = client.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->ok())
+        << response->status << ": " << response->error;
+    EXPECT_EQ(response->id, request.id);
+    EXPECT_EQ(response->plan, expected_plan);
+    EXPECT_EQ(response->cost.seconds, expected->cost.seconds);
+    EXPECT_EQ(response->cost.dollars, expected->cost.dollars);
+  }
+
+  // Per-reactor accounting adds up to the global view.
+  const std::vector<server::ReactorStats> reactors =
+      ts.server->reactor_stats();
+  ASSERT_EQ(reactors.size(), static_cast<size_t>(GetParam()));
+  int64_t accepted = 0;
+  for (const server::ReactorStats& r : reactors) {
+    accepted += r.connections_accepted;
+  }
+  EXPECT_EQ(accepted, ts.server->stats().connections_accepted);
+}
+
+TEST(PlanningServerTest, SingleReactorNeverUsesReuseportSharding) {
+  ServerOptions options;
+  options.num_reactors = 1;
+  TestServer ts(options);
+  // One reactor is the pre-sharding server: one plain listener, no
+  // SO_REUSEPORT, one I/O thread.
+  EXPECT_EQ(ts.server->num_reactors(), 1);
+  EXPECT_FALSE(ts.server->reuseport_sharding());
+  ASSERT_EQ(ts.server->reactor_stats().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (net::Send / net::Recv hooks)
+
+TEST(FaultInjectionTest, ShortAndInterruptedWritesStillDeliverWholeFrames) {
+  ServerOptions options;
+  options.num_workers = 1;
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  const int client_fd = fd->get();
+
+  // Server-side sends rotate EAGAIN -> EINTR -> 7-byte short write, so a
+  // several-hundred-byte response frame needs dozens of syscalls, an
+  // EPOLLOUT re-arm on every EAGAIN, and a retry on every EINTR — the
+  // partial-write machinery that normally only fires under load.
+  std::atomic<int> faulted_sends{0};
+  ScriptedFaultInjector injector(
+      [&](int target, size_t) {
+        if (target == client_fd) return net::FaultAction::PassThrough();
+        switch (faulted_sends.fetch_add(1) % 3) {
+          case 0:
+            return net::FaultAction::Fail(EAGAIN);
+          case 1:
+            return net::FaultAction::Fail(EINTR);
+          default:
+            return net::FaultAction::Short(7);
+        }
+      },
+      nullptr);
+  net::ScopedFaultInjector scoped(&injector);
+
+  constexpr int kPipelined = 3;
+  for (int i = 0; i < kPipelined; ++i) {
+    PlanRequest request;
+    request.id = "frag-" + std::to_string(i);
+    request.tables = {"orders", "lineitem"};
+    ASSERT_TRUE(
+        server::WriteFrame(fd->get(), SerializePlanRequest(request)).ok());
+  }
+  for (int i = 0; i < kPipelined; ++i) {
+    Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok())
+        << response->status << ": " << response->error;
+    EXPECT_EQ(response->id, "frag-" + std::to_string(i));
+  }
+  // The frames really were shredded: far more sends than frames.
+  EXPECT_GT(faulted_sends.load(), 3 * kPipelined);
+  EXPECT_EQ(ts.server->stats().responses_dropped, 0);
+}
+
+TEST(FaultInjectionTest, MidFrameResetDropsInFlightResponseAndCleansUp) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.enable_test_hooks = true;
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  const int client_fd = fd->get();
+
+  // Occupy the worker, then reset the connection out from under it.
+  PlanRequest slow;
+  slow.id = "doomed";
+  slow.tables = {"orders", "lineitem"};
+  slow.debug_sleep_ms = 300;
+  ASSERT_TRUE(
+      server::WriteFrame(fd->get(), SerializePlanRequest(slow)).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().requests_executing == 1; }));
+
+  std::atomic<bool> armed{true};
+  ScriptedFaultInjector injector(
+      nullptr, [&](int target, size_t) {
+        if (target == client_fd ||
+            !armed.load(std::memory_order_acquire)) {
+          return net::FaultAction::PassThrough();
+        }
+        return net::FaultAction::Fail(ECONNRESET);
+      });
+  net::ScopedFaultInjector scoped(&injector);
+
+  // A mid-frame byte triggers the server's recv, which now reports the
+  // peer reset: the connection must be torn down immediately, and the
+  // in-flight completion must land in responses_dropped — never lost,
+  // never delivered to a stale fd.
+  const char half_a_header = '\0';
+  ASSERT_TRUE(net::SendAll(fd->get(), &half_a_header, 1).ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().open_connections == 0; }));
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().responses_dropped == 1; }));
+  armed.store(false, std::memory_order_release);
+
+  const server::ServerStats stats = ts.server->stats();
+  EXPECT_EQ(stats.responses_sent, 0);
+  EXPECT_EQ(stats.requests_admitted, 1);
+  // Admission state settled: the tenant is not stuck "in flight".
+  const auto tenants = ts.server->tenant_stats();
+  ASSERT_EQ(tenants.count(""), 1u);
+  EXPECT_EQ(tenants.at("").inflight, 0);
+}
+
+TEST(FaultInjectionTest, PersistentBackpressureTripsWriteBufferCap) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_write_buffer_bytes = 1024;
+  TestServer ts(options);
+  Result<net::UniqueFd> fd = net::ConnectTcp("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(fd.ok());
+  const int client_fd = fd->get();
+
+  // Every server-side send returns EAGAIN, as if the client never read a
+  // byte: responses accumulate in the write buffer until the cap trips
+  // and the connection is dropped — bounded memory, not an OOM.
+  ScriptedFaultInjector injector(
+      [&](int target, size_t) {
+        return target == client_fd ? net::FaultAction::PassThrough()
+                                   : net::FaultAction::Fail(EAGAIN);
+      },
+      nullptr);
+  net::ScopedFaultInjector scoped(&injector);
+
+  for (int i = 0; i < 4; ++i) {
+    PlanRequest request;
+    request.id = "pressure-" + std::to_string(i);
+    request.tables = {"orders", "lineitem"};
+    ASSERT_TRUE(
+        server::WriteFrame(fd->get(), SerializePlanRequest(request)).ok());
+  }
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().responses_dropped >= 1; }));
+  ASSERT_TRUE(WaitUntil(
+      [&] { return ts.server->stats().open_connections == 0; }));
+}
+
+// ---------------------------------------------------------------------
+// Protocol fuzzing (seeded, so every failure reproduces)
+
+TEST(ProtocolFuzzTest, PeekTopLevelStringSurvivesRandomBytes) {
+  std::mt19937 rng(20260808);
+  // Biased toward JSON structure so the scanner's interesting branches
+  // (quotes, escapes, nesting) are hit constantly, not once in a blue
+  // moon of uniform noise.
+  const std::string alphabet = "{}[]\":\\,idtenan 0127.eE+-\n\tq\xff\x00";
+  std::string buf;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const size_t len = rng() % 48;
+    buf.clear();
+    for (size_t i = 0; i < len; ++i) {
+      buf.push_back(rng() % 4 == 0
+                        ? static_cast<char>(rng() % 256)
+                        : alphabet[rng() % alphabet.size()]);
+    }
+    // Must never crash, scan out of bounds (ASan), or return something
+    // longer than its input.
+    EXPECT_LE(server::PeekTopLevelString(buf, "id").size(), buf.size());
+    EXPECT_LE(server::PeekTopLevelString(buf, "tenant").size(), buf.size());
+  }
+
+  // Mutations of a real request payload: structurally almost-valid JSON.
+  const std::string seed = SerializePlanRequest([] {
+    PlanRequest request;
+    request.id = "fuzz";
+    request.tenant = "acme";
+    request.tables = {"orders", "lineitem"};
+    return request;
+  }());
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string mutated = seed;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 256);
+    }
+    EXPECT_LE(server::PeekTopLevelString(mutated, "id").size(),
+              mutated.size());
+    EXPECT_LE(server::PeekTopLevelString(mutated, "tenant").size(),
+              mutated.size());
+  }
+}
+
+TEST(ProtocolFuzzTest, MutatedTruncatedAndSplicedFramesNeverWedgeTheServer) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_frame_bytes = 1 << 16;
+  TestServer ts(options);
+
+  PlanRequest seed_request;
+  seed_request.id = "seed";
+  seed_request.tables = {"orders", "lineitem"};
+  const std::string frame =
+      server::EncodeFrame(SerializePlanRequest(seed_request));
+
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 60; ++iter) {
+    Result<net::UniqueFd> fd =
+        net::ConnectTcp("127.0.0.1", ts.server->port());
+    ASSERT_TRUE(fd.ok()) << "iteration " << iter << ": "
+                         << fd.status().ToString();
+    std::string bytes = frame;
+    switch (iter % 3) {
+      case 0: {  // byte flips, header included: garbage length prefixes
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int i = 0; i < flips; ++i) {
+          bytes[rng() % bytes.size()] = static_cast<char>(rng() % 256);
+        }
+        break;
+      }
+      case 1:  // truncation: the server is left holding a partial frame
+        bytes.resize(rng() % bytes.size());
+        break;
+      default:  // splice: a frame restarts mid-frame
+        bytes = bytes.substr(0, 1 + rng() % (bytes.size() - 1)) + frame;
+        break;
+    }
+    // Fire and abandon: the abrupt close on a half-parsed stream is part
+    // of the attack. Send errors (server already closed a poisoned
+    // connection) are expected, not failures.
+    (void)net::SendAll(fd->get(), bytes.data(), bytes.size());
+
+    if (iter % 10 == 9) {
+      // The server must still answer clean traffic correctly mid-storm.
+      PlanningClient client = ts.Connect();
+      PlanRequest request;
+      request.id = "clean-" + std::to_string(iter);
+      request.tables = {"orders", "lineitem"};
+      Result<PlanResponse> response = client.Call(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_TRUE(response->ok())
+          << response->status << ": " << response->error;
+      EXPECT_EQ(response->id, request.id);
+    }
+  }
+  // Still alive, and the drain still completes cleanly after the storm.
+  ts.server->Shutdown();
+  ts.server->Wait();
+  EXPECT_EQ(ts.server->stats().open_connections, 0);
+}
+
+TEST(ProtocolFuzzTest, CorruptPayloadNeverMisFramesTheNextRequest) {
+  ServerOptions options;
+  options.num_workers = 1;  // serial execution => ordered responses
+  TestServer ts(options);
+
+  PlanRequest seed_request;
+  seed_request.id = "mutant";
+  seed_request.tables = {"orders", "lineitem"};
+  const std::string seed = SerializePlanRequest(seed_request);
+
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 40; ++iter) {
+    Result<net::UniqueFd> fd =
+        net::ConnectTcp("127.0.0.1", ts.server->port());
+    ASSERT_TRUE(fd.ok());
+
+    // A correctly framed but byte-corrupted payload, then a valid
+    // request on the same connection. However the server disposes of
+    // the mutant (plans it, rejects it, fails the parse), it must
+    // consume exactly one frame: the tail request always comes back
+    // intact, with its own id.
+    std::string mutated = seed;
+    const int flips = 1 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 256);
+    }
+    PlanRequest tail;
+    tail.id = "tail-" + std::to_string(iter);
+    tail.tables = {"orders", "lineitem"};
+    const std::string both = server::EncodeFrame(mutated) +
+                             server::EncodeFrame(SerializePlanRequest(tail));
+    ASSERT_TRUE(net::SendAll(fd->get(), both.data(), both.size()).ok());
+
+    bool saw_tail = false;
+    for (int i = 0; i < 2; ++i) {
+      Result<std::string> payload = server::ReadFrame(fd->get(), 64u << 20);
+      ASSERT_TRUE(payload.ok())
+          << "iteration " << iter << ": " << payload.status().ToString();
+      Result<PlanResponse> response = server::ParsePlanResponse(*payload);
+      ASSERT_TRUE(response.ok());
+      if (response->id == tail.id) {
+        EXPECT_TRUE(response->ok())
+            << response->status << ": " << response->error;
+        saw_tail = true;
+      }
+    }
+    EXPECT_TRUE(saw_tail) << "iteration " << iter;
+  }
 }
 
 }  // namespace
