@@ -20,12 +20,24 @@
 //   --smoke        short CI gate: 2 tenants, shortened ramp, asserts
 //                  zero protocol errors and a non-zero count of
 //                  per-tenant quota rejections.
+//   --restart-recovery
+//                  durability scenario instead of the ladder: warm a
+//                  server whose cache journals to disk, kill it, restart
+//                  on the same data directory and measure how long until
+//                  the pre-restart hit rate is back (recovery replay
+//                  time — the rate itself is available on the first
+//                  request), then warm a cold replica from the restarted
+//                  node over the wire via cache_dump/cache_load. With
+//                  --smoke, asserts the recovered and replica hit rates
+//                  match the pre-restart one and zero protocol errors.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -34,6 +46,7 @@
 #include "bench/bench_util.h"
 #include "catalog/tpch.h"
 #include "common/json.h"
+#include "common/stopwatch.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "sim/profile_runner.h"
@@ -222,11 +235,236 @@ LadderResult RunLadder(const server::PlanningService& service, int tenants,
   return result;
 }
 
+// ---------------------------------------------------------------------
+// --restart-recovery: durability and replica warm-up scenario
+
+struct PassResult {
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double wall_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+/// One closed-loop measurement pass: `connections` clients each fire
+/// `requests_per_client` requests. The shared cache's hit/miss counters
+/// are reset first, so the reported hit rate is this pass's alone.
+PassResult RunPass(const server::PlanningServer& server,
+                   server::PlanningService& service, int connections,
+                   int requests_per_client,
+                   const std::vector<std::vector<std::string>>& mix) {
+  service.shared_cache()->ResetStats();
+  std::atomic<int64_t> ok_requests{0};
+  std::atomic<int64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      Result<server::PlanningClient> client =
+          server::PlanningClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        errors.fetch_add(requests_per_client);
+        return;
+      }
+      for (int i = 0; i < requests_per_client; ++i) {
+        server::PlanRequest request;
+        request.id = StrPrintf("r%d.%d", c, i);
+        request.tables = mix[static_cast<size_t>(c + i) % mix.size()];
+        Result<server::PlanResponse> response = client->Call(request);
+        if (!response.ok() || !response->ok()) {
+          errors.fetch_add(1);
+        } else {
+          ok_requests.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  PassResult pass;
+  pass.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  pass.requests = ok_requests.load();
+  pass.errors = errors.load();
+  pass.hit_rate = service.shared_cache_stats().hit_rate();
+  return pass;
+}
+
+int RunRestartRecovery(bool smoke, const catalog::Catalog& catalog,
+                       const cost::JoinCostModels& models,
+                       const server::PlanningServiceOptions& service_options,
+                       const std::vector<std::vector<std::string>>& mix) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "raqo_bench_persist")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const int connections = smoke ? 4 : 8;
+  const int requests_per_client = smoke ? 12 : 32;
+  auto make_service = [&] {
+    return std::make_unique<server::PlanningService>(
+        &catalog, models, resource::ClusterConditions::PaperDefault(),
+        resource::PricingModel(), service_options);
+  };
+  server::ServerOptions durable_options;
+  durable_options.port = 0;
+  durable_options.persist_dir = dir;
+
+  // Phase 1: warm a durable node, then measure its steady-state rate.
+  bench::Section("Restart recovery: warm phase (journaling to disk)");
+  PassResult warm;
+  int64_t entries_before = 0;
+  int64_t journal_bytes = 0;
+  {
+    auto service = make_service();
+    server::PlanningServer server(service.get(), durable_options);
+    if (Status started = server.Start(); !started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    RunPass(server, *service, connections, requests_per_client, mix);
+    warm = RunPass(server, *service, connections, requests_per_client, mix);
+    entries_before = service->shared_cache()->entry_count();
+    journal_bytes = server.persistence()->journal_bytes();
+    // "Kill" the node: drain and discard the process-local cache.
+    server.Shutdown();
+    server.Wait();
+  }
+  std::printf("steady state: %.1f%% hit rate over %lld requests, "
+              "%lld cache entries, %lld journal bytes\n",
+              100.0 * warm.hit_rate, (long long)warm.requests,
+              (long long)entries_before, (long long)journal_bytes);
+
+  // Phase 2: restart on the same directory. Recovery replay happens
+  // inside Start(); the first measurement pass runs against the
+  // recovered cache with no further warm-up.
+  bench::Section("Restart recovery: restarted node");
+  auto restarted_service = make_service();
+  server::PlanningServer restarted(restarted_service.get(),
+                                   durable_options);
+  if (Status started = restarted.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  const persist::RecoveryStats recovery =
+      restarted.persistence()->recovery_stats();
+  const int64_t entries_after =
+      restarted_service->shared_cache()->entry_count();
+  const PassResult recovered = RunPass(restarted, *restarted_service,
+                                       connections, requests_per_client,
+                                       mix);
+  std::printf("recovered %lld entries in %lld ms (snapshot %lld + "
+              "journal %lld records); first pass hit rate %.1f%% "
+              "(pre-restart %.1f%%)\n",
+              (long long)entries_after, (long long)recovery.recovery_ms,
+              (long long)recovery.snapshot_entries,
+              (long long)recovery.journal_records, 100.0 * recovered.hit_rate,
+              100.0 * warm.hit_rate);
+
+  // Phase 3: a cold replica (no disk state) warms over the wire from
+  // the restarted node, then serves the same mix at the same hit rate.
+  bench::Section("Replica warm-up over cache_dump/cache_load");
+  auto replica_service = make_service();
+  server::ServerOptions replica_options;
+  replica_options.port = 0;
+  server::PlanningServer replica(replica_service.get(), replica_options);
+  if (Status started = replica.Start(); !started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  Stopwatch warmup_timer;
+  int64_t copied = 0;
+  {
+    Result<server::PlanningClient> source =
+        server::PlanningClient::Connect("127.0.0.1", restarted.port());
+    Result<server::PlanningClient> target =
+        server::PlanningClient::Connect("127.0.0.1", replica.port());
+    if (!source.ok() || !target.ok()) {
+      std::fprintf(stderr, "replica warm-up connect failed\n");
+      return 1;
+    }
+    Result<int64_t> warmed = server::WarmCacheFromPeer(*source, *target);
+    if (!warmed.ok()) {
+      std::fprintf(stderr, "%s\n", warmed.status().ToString().c_str());
+      return 1;
+    }
+    copied = *warmed;
+  }
+  const double wire_warmup_ms = warmup_timer.ElapsedMicros() / 1000.0;
+  const PassResult replica_pass = RunPass(
+      replica, *replica_service, connections, requests_per_client, mix);
+  std::printf("copied %lld entries in %.1f ms; replica first-pass hit "
+              "rate %.1f%%\n",
+              (long long)copied, wire_warmup_ms,
+              100.0 * replica_pass.hit_rate);
+
+  restarted.Shutdown();
+  restarted.Wait();
+  replica.Shutdown();
+  replica.Wait();
+  std::filesystem::remove_all(dir);
+
+  const std::string json = StrPrintf(
+      "{\"bench\": \"server_load\", \"restart_recovery\": {"
+      "\"pre_restart_hit_rate\": %s, \"pre_restart_entries\": %lld, "
+      "\"journal_bytes\": %lld, \"recovery_ms\": %lld, "
+      "\"snapshot_entries\": %lld, \"journal_records\": %lld, "
+      "\"recovered_entries\": %lld, \"recovered_hit_rate\": %s, "
+      "\"replica_copied_entries\": %lld, \"replica_warmup_ms\": %s, "
+      "\"replica_hit_rate\": %s, \"errors\": %lld}}\n",
+      JsonNumber(warm.hit_rate).c_str(), (long long)entries_before,
+      (long long)journal_bytes, (long long)recovery.recovery_ms,
+      (long long)recovery.snapshot_entries,
+      (long long)recovery.journal_records, (long long)entries_after,
+      JsonNumber(recovered.hit_rate).c_str(), (long long)copied,
+      JsonNumber(wire_warmup_ms).c_str(),
+      JsonNumber(replica_pass.hit_rate).c_str(),
+      (long long)(warm.errors + recovered.errors + replica_pass.errors));
+  if (Status written = WriteTextFile("BENCH_server.json", json);
+      !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_server.json\n");
+
+  const int64_t total_errors =
+      warm.errors + recovered.errors + replica_pass.errors;
+  if (total_errors != 0) {
+    std::fprintf(stderr, "restart-recovery: %lld protocol errors\n",
+                 (long long)total_errors);
+    return 1;
+  }
+  if (smoke) {
+    // The recovered node and the wire-warmed replica must be as warm as
+    // the node that never died: same mix, same exact-mode cache, so the
+    // hit rates match up to the first-connection misses the warm pass
+    // also paid.
+    if (entries_after != entries_before || copied != entries_after) {
+      std::fprintf(stderr,
+                   "smoke: entry counts diverged (before %lld, "
+                   "recovered %lld, replica %lld)\n",
+                   (long long)entries_before, (long long)entries_after,
+                   (long long)copied);
+      return 1;
+    }
+    if (recovered.hit_rate + 1e-9 < warm.hit_rate ||
+        replica_pass.hit_rate + 1e-9 < warm.hit_rate) {
+      std::fprintf(stderr,
+                   "smoke: hit rate regressed after restart (pre %.3f, "
+                   "recovered %.3f, replica %.3f)\n",
+                   warm.hit_rate, recovered.hit_rate,
+                   replica_pass.hit_rate);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool sweep = false;
+  bool restart_recovery = false;
   int tenants = 0;
   int reactors = 0;
   for (int i = 1; i < argc; ++i) {
@@ -234,19 +472,21 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep = true;
+    } else if (std::strcmp(argv[i], "--restart-recovery") == 0) {
+      restart_recovery = true;
     } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       tenants = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--reactors") == 0 && i + 1 < argc) {
       reactors = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--sweep] [--tenants N] "
-                   "[--reactors N]\n",
+                   "usage: %s [--smoke] [--sweep] [--restart-recovery] "
+                   "[--tenants N] [--reactors N]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (smoke && tenants < 2) tenants = 2;
+  if (smoke && !restart_recovery && tenants < 2) tenants = 2;
 
   catalog::Catalog catalog = catalog::BuildTpchCatalog(100.0);
   const cost::JoinCostModels models =
@@ -271,6 +511,10 @@ int main(int argc, char** argv) {
       {"part", "partsupp", "supplier"},
       {"orders", "lineitem", "customer", "nation"},
   };
+
+  if (restart_recovery) {
+    return RunRestartRecovery(smoke, catalog, models, service_options, mix);
+  }
 
   const int requests_per_client = smoke ? 16 : 24;
   std::vector<int> ramp;

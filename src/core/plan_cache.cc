@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -12,15 +13,16 @@
 
 namespace raqo::core {
 
-void SortedArrayIndex::Insert(const CachedResourcePlan& plan) {
+bool SortedArrayIndex::Insert(const CachedResourcePlan& plan) {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), plan.key_gb,
       [](const CachedResourcePlan& e, double k) { return e.key_gb < k; });
   if (it != entries_.end() && it->key_gb == plan.key_gb) {
     *it = plan;  // overwrite
-    return;
+    return false;
   }
   entries_.insert(it, plan);
+  return true;
 }
 
 std::optional<CachedResourcePlan> SortedArrayIndex::FindExact(
@@ -44,13 +46,19 @@ std::vector<CachedResourcePlan> SortedArrayIndex::FindNeighbors(
   return out;
 }
 
-void CsbTreeIndex::Insert(const CachedResourcePlan& plan) {
+void SortedArrayIndex::ForEach(
+    const std::function<void(const CachedResourcePlan&)>& fn) const {
+  for (const CachedResourcePlan& entry : entries_) fn(entry);
+}
+
+bool CsbTreeIndex::Insert(const CachedResourcePlan& plan) {
   if (std::optional<int64_t> existing = tree_.Find(plan.key_gb)) {
     payloads_[static_cast<size_t>(*existing)] = plan;
-    return;
+    return false;
   }
   payloads_.push_back(plan);
   tree_.Insert(plan.key_gb, static_cast<int64_t>(payloads_.size() - 1));
+  return true;
 }
 
 std::optional<CachedResourcePlan> CsbTreeIndex::FindExact(double key) const {
@@ -67,6 +75,17 @@ std::vector<CachedResourcePlan> CsbTreeIndex::FindNeighbors(
     out.push_back(payloads_[static_cast<size_t>(handle)]);
   });
   return out;
+}
+
+void CsbTreeIndex::ForEach(
+    const std::function<void(const CachedResourcePlan&)>& fn) const {
+  // The tree scan yields keys ascending; payloads_ holds them insertion
+  // ordered, so iterate through the tree for the ordering promise.
+  tree_.Scan(-std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity(),
+             [&](double, int64_t handle) {
+               fn(payloads_[static_cast<size_t>(handle)]);
+             });
 }
 
 std::unique_ptr<ResourcePlanIndex> MakeResourcePlanIndex(
@@ -113,11 +132,11 @@ ShardedResourcePlanIndex::Shard& ShardedResourcePlanIndex::ShardFor(
       static_cast<const ShardedResourcePlanIndex*>(this)->ShardFor(key));
 }
 
-void ShardedResourcePlanIndex::Insert(const CachedResourcePlan& plan) {
+bool ShardedResourcePlanIndex::Insert(const CachedResourcePlan& plan) {
   Shard& shard = ShardFor(plan.key_gb);
   shard.inserts.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock = LockShard(shard);
-  shard.index->Insert(plan);
+  return shard.index->Insert(plan);
 }
 
 std::optional<CachedResourcePlan> ShardedResourcePlanIndex::FindExact(
@@ -145,6 +164,25 @@ std::vector<CachedResourcePlan> ShardedResourcePlanIndex::FindNeighbors(
               return a.key_gb < b.key_gb;
             });
   return out;
+}
+
+void ShardedResourcePlanIndex::ForEach(
+    const std::function<void(const CachedResourcePlan&)>& fn) const {
+  // Hash striping scatters the key order across shards: gather a
+  // snapshot per shard (each under its own lock, never two at once),
+  // restore the global ascending order, then visit outside all locks —
+  // so `fn` may take as long as it likes without blocking planners.
+  std::vector<CachedResourcePlan> all;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    shard.index->ForEach(
+        [&](const CachedResourcePlan& entry) { all.push_back(entry); });
+  }
+  std::sort(all.begin(), all.end(),
+            [](const CachedResourcePlan& a, const CachedResourcePlan& b) {
+              return a.key_gb < b.key_gb;
+            });
+  for (const CachedResourcePlan& entry : all) fn(entry);
 }
 
 size_t ShardedResourcePlanIndex::size() const {
@@ -355,6 +393,15 @@ std::optional<CachedResourcePlan> ResourcePlanCache::LookupImpl(
   return std::nullopt;
 }
 
+namespace {
+
+/// Approximate resident footprint of one cached entry: the plan struct
+/// plus the per-key index slot it occupies (key + payload handle).
+constexpr int64_t kApproxEntryBytes =
+    static_cast<int64_t>(sizeof(CachedResourcePlan)) + 16;
+
+}  // namespace
+
 void ResourcePlanCache::Insert(const std::string& model_name,
                                const CachedResourcePlan& plan) {
   CachedResourcePlan entry = plan;
@@ -365,22 +412,93 @@ void ResourcePlanCache::Insert(const std::string& model_name,
     // guard-less callers see the paper's original exact-match layout.
     entry.key_gb = ExactStorageKey(plan.key_gb, plan.larger_gb);
   }
+  bool inserted = false;
+  bool done = false;
   {
     std::shared_lock<std::shared_mutex> map_lock(map_mu_);
     if (ResourcePlanIndex* index = FindIndex(model_name)) {
-      index->Insert(entry);
-      return;
+      inserted = index->Insert(entry);
+      done = true;
     }
   }
-  // First insert for this model: create the index under the exclusive
-  // lock (IndexFor re-checks, so two racing creators agree).
-  std::unique_lock<std::shared_mutex> map_lock(map_mu_);
-  IndexFor(model_name).Insert(entry);
+  if (!done) {
+    // First insert for this model: create the index under the exclusive
+    // lock (IndexFor re-checks, so two racing creators agree).
+    std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+    inserted = IndexFor(model_name).Insert(entry);
+  }
+  if (inserted) {
+    const int64_t entries =
+        entry_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const int64_t bytes =
+        approx_bytes_.fetch_add(kApproxEntryBytes,
+                                std::memory_order_relaxed) +
+        kApproxEntryBytes;
+    if (obs::MetricsOn()) {
+      static obs::Gauge* entries_gauge =
+          obs::DefaultMetrics().GetGauge("cache.entries");
+      static obs::Gauge* bytes_gauge =
+          obs::DefaultMetrics().GetGauge("cache.bytes");
+      entries_gauge->Set(static_cast<double>(entries));
+      bytes_gauge->Set(static_cast<double>(bytes));
+    }
+  }
+  // Fire the mutation observer strictly after every cache lock is
+  // released: a listener journaling to disk or snapshotting the cache
+  // (which re-enters via DumpEntries) must never nest under map_mu_ or
+  // a shard stripe.
+  if (CacheEventListener* listener =
+          listener_.load(std::memory_order_acquire);
+      listener != nullptr) {
+    listener->OnInsert(model_name, plan);
+  }
 }
 
 void ResourcePlanCache::Clear() {
   std::unique_lock<std::shared_mutex> map_lock(map_mu_);
   per_model_.clear();
+  entry_count_.store(0, std::memory_order_relaxed);
+  approx_bytes_.store(0, std::memory_order_relaxed);
+  if (obs::MetricsOn()) {
+    static obs::Gauge* entries_gauge =
+        obs::DefaultMetrics().GetGauge("cache.entries");
+    static obs::Gauge* bytes_gauge =
+        obs::DefaultMetrics().GetGauge("cache.bytes");
+    entries_gauge->Set(0.0);
+    bytes_gauge->Set(0.0);
+  }
+}
+
+std::vector<CacheEntryRecord> ResourcePlanCache::DumpEntries() const {
+  std::vector<CacheEntryRecord> out;
+  {
+    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+    for (const auto& [model, index] : per_model_) {
+      index->ForEach([&](const CachedResourcePlan& stored) {
+        CacheEntryRecord record;
+        record.model = model;
+        record.plan = stored;
+        // Undo exact-mode key folding: the logical key is the original
+        // data characteristic, which Insert preserved in smaller_gb.
+        // Re-Inserting the record re-derives the identical storage key.
+        record.plan.key_gb = stored.smaller_gb;
+        out.push_back(std::move(record));
+      });
+    }
+  }
+  // The per-model map iterates sorted already; within a model the index
+  // yields storage-key order, which under exact-mode folding is not the
+  // logical order. Impose the canonical (model, smaller, larger) order
+  // so two dumps of equal caches are byte-identical when serialized.
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntryRecord& a, const CacheEntryRecord& b) {
+              if (a.model != b.model) return a.model < b.model;
+              if (a.plan.smaller_gb != b.plan.smaller_gb) {
+                return a.plan.smaller_gb < b.plan.smaller_gb;
+              }
+              return a.plan.larger_gb < b.plan.larger_gb;
+            });
+  return out;
 }
 
 size_t ResourcePlanCache::size() const {

@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/csb_tree.h"
@@ -43,8 +45,10 @@ class ResourcePlanIndex {
  public:
   virtual ~ResourcePlanIndex() = default;
 
-  /// Inserts or overwrites the entry at `plan.key_gb`.
-  virtual void Insert(const CachedResourcePlan& plan) = 0;
+  /// Inserts or overwrites the entry at `plan.key_gb`. Returns true
+  /// when a new key was inserted, false on overwrite — callers keeping
+  /// an entry count (the cache's obs gauges) depend on the distinction.
+  virtual bool Insert(const CachedResourcePlan& plan) = 0;
 
   /// Exact-key lookup.
   virtual std::optional<CachedResourcePlan> FindExact(double key) const = 0;
@@ -52,6 +56,11 @@ class ResourcePlanIndex {
   /// All entries with |entry.key - key| <= threshold, ascending by key.
   virtual std::vector<CachedResourcePlan> FindNeighbors(
       double key, double threshold) const = 0;
+
+  /// Visits every stored entry in ascending key order (the persistence
+  /// layer and cache_dump frames iterate through this).
+  virtual void ForEach(
+      const std::function<void(const CachedResourcePlan&)>& fn) const = 0;
 
   virtual size_t size() const = 0;
   virtual const char* name() const = 0;
@@ -61,10 +70,12 @@ class ResourcePlanIndex {
 /// paper).
 class SortedArrayIndex : public ResourcePlanIndex {
  public:
-  void Insert(const CachedResourcePlan& plan) override;
+  bool Insert(const CachedResourcePlan& plan) override;
   std::optional<CachedResourcePlan> FindExact(double key) const override;
   std::vector<CachedResourcePlan> FindNeighbors(
       double key, double threshold) const override;
+  void ForEach(const std::function<void(const CachedResourcePlan&)>& fn)
+      const override;
   size_t size() const override { return entries_.size(); }
   const char* name() const override { return "sorted-array"; }
 
@@ -76,10 +87,12 @@ class SortedArrayIndex : public ResourcePlanIndex {
 /// CSB+-Tree for larger workloads").
 class CsbTreeIndex : public ResourcePlanIndex {
  public:
-  void Insert(const CachedResourcePlan& plan) override;
+  bool Insert(const CachedResourcePlan& plan) override;
   std::optional<CachedResourcePlan> FindExact(double key) const override;
   std::vector<CachedResourcePlan> FindNeighbors(
       double key, double threshold) const override;
+  void ForEach(const std::function<void(const CachedResourcePlan&)>& fn)
+      const override;
   size_t size() const override { return payloads_.size(); }
   const char* name() const override { return "csb-tree"; }
 
@@ -117,10 +130,12 @@ class ShardedResourcePlanIndex : public ResourcePlanIndex {
  public:
   ShardedResourcePlanIndex(CacheIndexKind inner, size_t num_shards);
 
-  void Insert(const CachedResourcePlan& plan) override;
+  bool Insert(const CachedResourcePlan& plan) override;
   std::optional<CachedResourcePlan> FindExact(double key) const override;
   std::vector<CachedResourcePlan> FindNeighbors(
       double key, double threshold) const override;
+  void ForEach(const std::function<void(const CachedResourcePlan&)>& fn)
+      const override;
   size_t size() const override;
   const char* name() const override;
 
@@ -180,6 +195,31 @@ struct CacheStats {
     const int64_t total = lookups();
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
+};
+
+/// One logical cache entry as seen by callers of Insert: the model it
+/// belongs to plus the plan with its original (pre-key-folding) data
+/// characteristic. DumpEntries returns these; re-Inserting them into an
+/// identically configured cache reproduces the same stored state
+/// bit-for-bit, which is what the persistence layer (src/persist/) and
+/// the cache_dump wire frames rely on.
+struct CacheEntryRecord {
+  std::string model;
+  CachedResourcePlan plan;
+};
+
+/// Observer of cache mutations. Invoked *after* the cache has released
+/// every internal lock, so an implementation may call back into the
+/// cache (DumpEntries during compaction) without lock-order concerns.
+/// Installed via an atomic pointer like the fault injectors in
+/// common/net.h: one relaxed load per Insert when absent.
+class CacheEventListener {
+ public:
+  virtual ~CacheEventListener() = default;
+  /// One plan was recorded under `model`. `plan.key_gb` is the caller's
+  /// original key (before exact-mode key folding).
+  virtual void OnInsert(const std::string& model,
+                        const CachedResourcePlan& plan) = 0;
 };
 
 /// The resource-plan cache: per cost model (SMJ, BHJ, ...) an index of
@@ -249,6 +289,30 @@ class ResourcePlanCache {
   /// Total entries across all models.
   size_t size() const;
 
+  /// Cheap O(1) entry count maintained on Insert/Clear (size() walks
+  /// every index). Mirrors the `cache.entries` gauge.
+  int64_t entry_count() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  /// Approximate resident bytes of the cached entries (struct payload
+  /// only, not index overhead). Mirrors the `cache.bytes` gauge.
+  int64_t approx_bytes() const {
+    return approx_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs (nullptr clears) the mutation observer. The caller must
+  /// clear it before destroying the listener; the cache never deletes
+  /// it. The listener fires outside all cache locks.
+  void SetEventListener(CacheEventListener* listener) {
+    listener_.store(listener, std::memory_order_release);
+  }
+
+  /// Snapshot of every logical entry, deterministically ordered by
+  /// (model, smaller_gb, larger_gb). Entries carry the caller-visible
+  /// key (key_gb == smaller_gb), so replaying them through Insert on an
+  /// identically configured cache rebuilds identical stored state.
+  std::vector<CacheEntryRecord> DumpEntries() const;
+
  private:
   /// The uninstrumented lookup; Lookup() wraps it with the observability
   /// layer so the hot path stays branch-light when everything is off.
@@ -269,6 +333,9 @@ class ResourcePlanCache {
   size_t shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> entry_count_{0};
+  std::atomic<int64_t> approx_bytes_{0};
+  std::atomic<CacheEventListener*> listener_{nullptr};
   /// Guards `per_model_` (the map itself; sharded indexes carry their own
   /// stripe locks, unsharded indexes rely on this lock being held in
   /// shared mode only by single-threaded callers).

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/strings.h"
+
 namespace raqo::server {
 
 Result<PlanningClient> PlanningClient::Connect(const std::string& host,
@@ -40,6 +42,64 @@ Result<PlanResponse> PlanningClient::Call(const PlanRequest& request) {
     return payload.status();
   }
   return ParsePlanResponse(*payload);
+}
+
+Result<PlanResponse> PlanningClient::DumpCache(int64_t offset,
+                                               int64_t limit) {
+  PlanRequest request;
+  request.type = "cache_dump";
+  request.cache_offset = offset;
+  request.cache_limit = limit;
+  return Call(request);
+}
+
+Result<PlanResponse> PlanningClient::LoadCache(
+    const std::vector<core::CacheEntryRecord>& entries) {
+  if (entries.size() > kMaxCacheChunkEntries) {
+    return Status::InvalidArgument(StrPrintf(
+        "cache chunk of %zu entries exceeds the %zu-entry cap",
+        entries.size(), kMaxCacheChunkEntries));
+  }
+  PlanRequest request;
+  request.type = "cache_load";
+  request.cache_entries = entries;
+  return Call(request);
+}
+
+Result<int64_t> WarmCacheFromPeer(PlanningClient& source,
+                                  PlanningClient& target,
+                                  int64_t chunk_entries) {
+  int64_t chunk = chunk_entries;
+  if (chunk <= 0 || chunk > static_cast<int64_t>(kMaxCacheChunkEntries)) {
+    chunk = static_cast<int64_t>(kMaxCacheChunkEntries);
+  }
+  int64_t copied = 0;
+  int64_t offset = 0;
+  for (;;) {
+    RAQO_ASSIGN_OR_RETURN(PlanResponse dump,
+                          source.DumpCache(offset, chunk));
+    if (!dump.ok()) {
+      return Status::FailedPrecondition(StrPrintf(
+          "cache_dump rejected %s: %s", dump.status.c_str(),
+          dump.error.c_str()));
+    }
+    if (dump.cache_entries.empty()) break;
+    RAQO_ASSIGN_OR_RETURN(PlanResponse load,
+                          target.LoadCache(dump.cache_entries));
+    if (!load.ok()) {
+      return Status::FailedPrecondition(StrPrintf(
+          "cache_load rejected %s: %s", load.status.c_str(),
+          load.error.c_str()));
+    }
+    const int64_t got = static_cast<int64_t>(dump.cache_entries.size());
+    copied += got;
+    offset += got;
+    // A short chunk means the dump order is exhausted; cache_total can
+    // have grown since the first chunk, so the byte count, not the
+    // original total, terminates the loop.
+    if (got < chunk) break;
+  }
+  return copied;
 }
 
 }  // namespace raqo::server

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/net.h"
 #include "common/result.h"
@@ -49,6 +50,18 @@ class PlanningClient {
   /// ("RESOURCE_EXHAUSTED", ...).
   Result<PlanResponse> Call(const PlanRequest& request);
 
+  /// Requests one chunk of the server's shared plan cache, starting at
+  /// `offset` of its canonical dump order. `limit` of 0 (or anything
+  /// above kMaxCacheChunkEntries) means a full chunk. In-band failures
+  /// (no shared cache, version mismatch) come back as wire statuses on
+  /// the response, like Call().
+  Result<PlanResponse> DumpCache(int64_t offset = 0, int64_t limit = 0);
+
+  /// Pushes up to kMaxCacheChunkEntries entries into the server's
+  /// shared cache (InvalidArgument on more — chunk at the call site).
+  Result<PlanResponse> LoadCache(
+      const std::vector<core::CacheEntryRecord>& entries);
+
   /// Closes the connection (destruction does too).
   void Close() { fd_.reset(); }
   bool connected() const { return fd_.valid(); }
@@ -60,6 +73,19 @@ class PlanningClient {
   net::UniqueFd fd_;
   ClientOptions options_;
 };
+
+/// Warms `target`'s shared cache from `source`'s over the wire: dumps
+/// the source cache chunk by chunk (each bounded by
+/// kMaxCacheChunkEntries, so no frame or write buffer grows with cache
+/// size) and loads every chunk into the target. Both ends see ordinary
+/// admitted requests — quotas, deadlines, and admission limits apply.
+/// Entries inserted into the source *during* the copy may be missed;
+/// run warm-up before opening the replica to traffic. Returns the
+/// number of entries copied; a wire-status rejection on either side
+/// surfaces as a FailedPrecondition carrying the server's error.
+Result<int64_t> WarmCacheFromPeer(PlanningClient& source,
+                                  PlanningClient& target,
+                                  int64_t chunk_entries = 0);
 
 }  // namespace raqo::server
 

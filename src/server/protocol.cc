@@ -6,6 +6,7 @@
 #include "common/json.h"
 #include "common/net.h"
 #include "common/strings.h"
+#include "persist/cache_persist.h"
 
 namespace raqo::server {
 
@@ -185,7 +186,7 @@ std::string WireStatusName(StatusCode code) {
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
     case StatusCode::kFailedPrecondition:
-      return "FAILED_PRECONDITION";
+      return kWireFailedPrecondition;
     case StatusCode::kResourceExhausted:
       return kWireResourceExhausted;
     case StatusCode::kDeadlineExceeded:
@@ -207,6 +208,46 @@ PlanResponse ErrorResponse(std::string wire_status, std::string message,
   return response;
 }
 
+namespace {
+
+/// Renders the `entries` array of a cache message from the shared
+/// per-entry serializer (the same bytes the journal stores).
+std::string CacheEntriesJson(
+    const std::vector<core::CacheEntryRecord>& entries) {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += persist::SerializeCacheEntry(entries[i].model, entries[i].plan);
+  }
+  out += "]";
+  return out;
+}
+
+/// Parses the `entries` array of a cache message; the chunk cap bounds
+/// allocation against hostile frames.
+Status ParseCacheEntries(const JsonValue& cache,
+                         std::vector<core::CacheEntryRecord>* out) {
+  const JsonValue* entries = cache.Find("entries");
+  if (entries == nullptr) return Status::OK();
+  if (!entries->is_array()) {
+    return Status::InvalidArgument("\"cache.entries\" must be an array");
+  }
+  if (entries->items().size() > kMaxCacheChunkEntries) {
+    return Status::InvalidArgument(StrPrintf(
+        "cache chunk of %zu entries exceeds the %zu-entry cap",
+        entries->items().size(), kMaxCacheChunkEntries));
+  }
+  out->reserve(entries->items().size());
+  for (const JsonValue& item : entries->items()) {
+    RAQO_ASSIGN_OR_RETURN(core::CacheEntryRecord record,
+                          persist::ParseCacheEntry(item));
+    out->push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 std::string SerializePlanRequest(const PlanRequest& request) {
   std::string out = "{";
   bool first = true;
@@ -215,6 +256,7 @@ std::string SerializePlanRequest(const PlanRequest& request) {
     first = false;
     out += rendered;
   };
+  if (!request.type.empty()) field("\"type\": " + Quoted(request.type));
   if (!request.id.empty()) field("\"id\": " + Quoted(request.id));
   if (!request.tenant.empty()) {
     field("\"tenant\": " + Quoted(request.tenant));
@@ -262,6 +304,20 @@ std::string SerializePlanRequest(const PlanRequest& request) {
     field(StrPrintf("\"debug_sleep_ms\": %lld",
                     static_cast<long long>(request.debug_sleep_ms)));
   }
+  if (request.type == "cache_dump" || request.type == "cache_load") {
+    std::string cache = StrPrintf(
+        "\"cache\": {\"version\": %lld",
+        static_cast<long long>(request.cache_version));
+    if (request.type == "cache_dump") {
+      cache += StrPrintf(", \"offset\": %lld, \"limit\": %lld",
+                         static_cast<long long>(request.cache_offset),
+                         static_cast<long long>(request.cache_limit));
+    } else {
+      cache += ", \"entries\": " + CacheEntriesJson(request.cache_entries);
+    }
+    cache += "}";
+    field(cache);
+  }
   out += "}";
   return out;
 }
@@ -272,6 +328,7 @@ Result<PlanRequest> ParsePlanRequest(std::string_view json) {
     return Status::InvalidArgument("request must be a JSON object");
   }
   PlanRequest request;
+  RAQO_RETURN_IF_ERROR(ReadString(root, "type", &request.type));
   RAQO_RETURN_IF_ERROR(ReadString(root, "id", &request.id));
   RAQO_RETURN_IF_ERROR(ReadString(root, "tenant", &request.tenant));
   RAQO_RETURN_IF_ERROR(ReadString(root, "sql", &request.sql));
@@ -330,6 +387,19 @@ Result<PlanRequest> ParsePlanRequest(std::string_view json) {
   RAQO_RETURN_IF_ERROR(ReadInt(root, "deadline_ms", &request.deadline_ms));
   RAQO_RETURN_IF_ERROR(
       ReadInt(root, "debug_sleep_ms", &request.debug_sleep_ms));
+  if (const JsonValue* cache = root.Find("cache"); cache != nullptr) {
+    if (!cache->is_object()) {
+      return Status::InvalidArgument("\"cache\" must be an object");
+    }
+    // A missing version parses as 0, which no server speaks — the
+    // mismatch is then rejected at the service layer with
+    // FAILED_PRECONDITION (a protocol-level negotiation failure, not a
+    // malformed frame).
+    request.cache_version = IntMember(*cache, "version", 0);
+    RAQO_RETURN_IF_ERROR(ReadInt(*cache, "offset", &request.cache_offset));
+    RAQO_RETURN_IF_ERROR(ReadInt(*cache, "limit", &request.cache_limit));
+    RAQO_RETURN_IF_ERROR(ParseCacheEntries(*cache, &request.cache_entries));
+  }
   return request;
 }
 
@@ -339,7 +409,17 @@ std::string SerializePlanResponse(const PlanResponse& response) {
   if (!response.error.empty()) {
     out += ", \"error\": " + Quoted(response.error);
   }
-  if (response.ok()) {
+  if (response.ok() && response.has_cache) {
+    out += StrPrintf(
+        ", \"cache\": {\"version\": %lld, \"total\": %lld, "
+        "\"offset\": %lld, \"loaded\": %lld, \"entries\": ",
+        static_cast<long long>(response.cache_version),
+        static_cast<long long>(response.cache_total),
+        static_cast<long long>(response.cache_offset),
+        static_cast<long long>(response.cache_loaded));
+    out += CacheEntriesJson(response.cache_entries);
+    out += "}";
+  } else if (response.ok()) {
     out += ", \"plan\": " + Quoted(response.plan);
     out += StrPrintf(", \"cost\": {\"seconds\": %s, \"dollars\": %s}",
                      JsonNumber(response.cost.seconds).c_str(),
@@ -401,6 +481,15 @@ Result<PlanResponse> ParsePlanResponse(std::string_view json) {
   if (const JsonValue* server = root.FindObject("server");
       server != nullptr) {
     response.queue_wait_us = NumberMember(*server, "queue_wait_us", 0.0);
+  }
+  if (const JsonValue* cache = root.FindObject("cache"); cache != nullptr) {
+    response.has_cache = true;
+    response.cache_version = IntMember(*cache, "version", 0);
+    response.cache_total = IntMember(*cache, "total", 0);
+    response.cache_offset = IntMember(*cache, "offset", 0);
+    response.cache_loaded = IntMember(*cache, "loaded", 0);
+    RAQO_RETURN_IF_ERROR(
+        ParseCacheEntries(*cache, &response.cache_entries));
   }
   return response;
 }

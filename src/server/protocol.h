@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/plan_cache.h"
 #include "cost/cost_vector.h"
 #include "resource/resource_config.h"
 
@@ -26,6 +27,7 @@ inline constexpr const char kWireResourceExhausted[] = "RESOURCE_EXHAUSTED";
 inline constexpr const char kWireDeadlineExceeded[] = "DEADLINE_EXCEEDED";
 inline constexpr const char kWireUnavailable[] = "UNAVAILABLE";
 inline constexpr const char kWireInternal[] = "INTERNAL";
+inline constexpr const char kWireFailedPrecondition[] = "FAILED_PRECONDITION";
 
 /// Wire rendering of a library status code ("OK", "NOT_FOUND", ...).
 std::string WireStatusName(StatusCode code);
@@ -35,11 +37,32 @@ std::string WireStatusName(StatusCode code);
 /// sockets).
 inline constexpr size_t kMaxSqlBytes = 64 * 1024;
 
+/// Version of the cache replication frames (the `cache` member of
+/// cache_dump / cache_load messages). A peer speaking a different
+/// version is answered FAILED_PRECONDITION — never a silently
+/// misinterpreted entry.
+inline constexpr int64_t kCacheWireVersion = 1;
+
+/// Most cache entries one dump response or load request may carry.
+/// Bounds every frame (entries serialize to ~100 bytes each, so a full
+/// chunk stays far under the server's default 1 MiB request-frame cap
+/// and the connection's write-buffer cap); a longer `entries` array is
+/// rejected INVALID_ARGUMENT at parse time.
+inline constexpr size_t kMaxCacheChunkEntries = 512;
+
 /// One planning request. Exactly one of `sql` / `tables` names the
 /// query; the optional resource envelope / money budget select the
 /// planner use case (Section IV): none -> Plan, `resources` ->
 /// PlanForResources, `max_dollars` -> PlanForMoneyBudget.
 struct PlanRequest {
+  /// Message kind: "" or "plan" plans a query (every field below
+  /// applies); "cache_dump" asks for one chunk of the server's shared
+  /// plan cache; "cache_load" pushes a chunk of entries into it. The
+  /// cache kinds ride the same frames, admission queue, tenant quotas,
+  /// and deadlines as planning — replication traffic cannot bypass the
+  /// server's protections.
+  std::string type;
+
   /// Caller-chosen identifier, echoed verbatim in the response.
   std::string id;
 
@@ -78,6 +101,18 @@ struct PlanRequest {
   /// Test hook: hold the worker for this long before planning. Ignored
   /// unless the server enables test hooks.
   int64_t debug_sleep_ms = 0;
+
+  /// --- cache_dump / cache_load members (the wire `cache` object) ---
+  /// Frame-format version; a mismatch is rejected FAILED_PRECONDITION.
+  int64_t cache_version = kCacheWireVersion;
+  /// cache_dump: first entry (in the server's canonical dump order) of
+  /// the requested chunk.
+  int64_t cache_offset = 0;
+  /// cache_dump: entries requested; 0 or anything above
+  /// kMaxCacheChunkEntries means kMaxCacheChunkEntries.
+  int64_t cache_limit = 0;
+  /// cache_load: the entries to insert, at most kMaxCacheChunkEntries.
+  std::vector<core::CacheEntryRecord> cache_entries;
 };
 
 /// Planning statistics carried back over the wire (the subset of
@@ -107,6 +142,24 @@ struct PlanResponse {
   /// How long the request sat in the admission queue before a worker
   /// picked it up.
   double queue_wait_us = 0.0;
+
+  /// --- cache_dump / cache_load members (the wire `cache` object) ---
+  /// True when this response answers a cache operation; the plan fields
+  /// above are then absent from the wire form.
+  bool has_cache = false;
+  int64_t cache_version = 0;
+  /// cache_dump: total entries the server held when it built the chunk
+  /// (pagination cursor: keep requesting until offset reaches this).
+  int64_t cache_total = 0;
+  /// cache_dump: offset this chunk starts at (echo of the request).
+  int64_t cache_offset = 0;
+  /// cache_load: entries actually inserted.
+  int64_t cache_loaded = 0;
+  /// cache_dump: the chunk, in the server's canonical (model, smaller,
+  /// larger) order — the same entries serialize to the same bytes, so
+  /// dumps of equal caches are byte-identical (exact-mode determinism
+  /// extends over the wire).
+  std::vector<core::CacheEntryRecord> cache_entries;
 
   bool ok() const { return status == kWireOk; }
 };

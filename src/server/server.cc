@@ -77,6 +77,20 @@ Status PlanningServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
 
+  // Durable cache: recover before the first socket is bound, so by the
+  // time a client can connect the shared cache already holds its
+  // pre-restart state (the warm hit rate is there from request one).
+  if (!options_.persist_dir.empty() && service_->has_shared_cache()) {
+    persist::PersistOptions popts;
+    popts.dir = options_.persist_dir;
+    popts.fsync_policy = options_.persist_fsync;
+    popts.group_commit_bytes = options_.persist_group_commit_bytes;
+    popts.compact_threshold_bytes = options_.persist_compact_threshold_bytes;
+    RAQO_ASSIGN_OR_RETURN(
+        persistence_,
+        persist::CachePersistence::Open(popts, service_->shared_cache()));
+  }
+
   // Listener plan. With several reactors, try one SO_REUSEPORT listener
   // per reactor so the kernel spreads incoming connections across them.
   // If the kernel refuses (or any shard fails to bind), fall back to a
@@ -208,6 +222,16 @@ void PlanningServer::Wait() {
     }
     queue_cv_.notify_all();
     workers_.reset();  // joins the pool
+  }
+  // Workers are gone: no insert can race the final journal sync. The
+  // object stays alive (recovery stats remain readable); Close() is
+  // idempotent, so the destructor's second call is a no-op.
+  if (persistence_ != nullptr) {
+    const Status closed = persistence_->Close();
+    if (!closed.ok()) {
+      std::cerr << "raqo_server: cache journal close failed: "
+                << closed.ToString() << "\n";
+    }
   }
   if (threads_started_.load(std::memory_order_acquire) &&
       !torn_down_.exchange(true)) {
@@ -398,10 +422,12 @@ void PlanningServer::AcceptNewConnections(Reactor& r) {
           ErrorResponse(kWireUnavailable,
                         StrPrintf("connection limit (%zu) reached",
                                   options_.max_connections))));
+      // Count before the frame leaves: a client that has read the
+      // rejection must observe the bumped counter.
+      Bump(&ServerStats::connections_rejected);
       ssize_t ignored = net::Send(fd, frame.data(), frame.size(),
                                   MSG_NOSIGNAL | MSG_DONTWAIT);
       (void)ignored;
-      Bump(&ServerStats::connections_rejected);
       if (obs::MetricsOn()) {
         static obs::Counter* rejected =
             obs::DefaultMetrics().GetCounter("server.connections.rejected");

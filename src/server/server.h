@@ -17,6 +17,7 @@
 #include "common/net.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "persist/cache_persist.h"
 #include "server/service.h"
 
 namespace raqo::obs {
@@ -96,6 +97,19 @@ struct ServerOptions {
   /// registry and tracer as metrics.json / trace.json into this
   /// directory before the server stops.
   std::string telemetry_dir;
+  /// When non-empty (and the service shares a cache), the shared plan
+  /// cache is durable: Start() replays `persist_dir`'s snapshot and
+  /// journal into it before serving — a restarted node answers its
+  /// first request at the pre-restart hit rate — and every insert is
+  /// journaled while serving (docs/PERSISTENCE.md).
+  std::string persist_dir;
+  /// Journal fsync policy (persist/journal.h).
+  persist::FsyncPolicy persist_fsync = persist::FsyncPolicy::kGroupCommit;
+  /// Group-commit granularity in journal bytes.
+  size_t persist_group_commit_bytes = 64 * 1024;
+  /// Journal size that triggers snapshot + truncation; 0 disables
+  /// automatic compaction.
+  int64_t persist_compact_threshold_bytes = 4 << 20;
 };
 
 /// Point-in-time counters of server activity (also exported as
@@ -213,6 +227,13 @@ class PlanningServer {
 
   ServerStats stats() const;
 
+  /// The durable-cache layer (nullptr unless options.persist_dir was
+  /// set and the service shares a cache). Valid after Start() until
+  /// destruction; what recovery found is in recovery_stats().
+  const persist::CachePersistence* persistence() const {
+    return persistence_.get();
+  }
+
   /// Admission state of every tenant seen so far, sorted by name (the
   /// anonymous tenant appears as "").
   std::map<std::string, TenantStats> tenant_stats() const;
@@ -329,6 +350,10 @@ class PlanningServer {
   const PlanningService* service_;
   ServerOptions options_;
   uint16_t port_ = 0;
+
+  /// Durable-cache layer; attached to the service's shared cache
+  /// between Start() and the end of Wait()'s drain.
+  std::unique_ptr<persist::CachePersistence> persistence_;
 
   std::vector<std::unique_ptr<Reactor>> reactors_;
   bool reuseport_ = false;

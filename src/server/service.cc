@@ -76,6 +76,15 @@ PlanningService::PlanningService(const catalog::Catalog* catalog,
 }
 
 PlanResponse PlanningService::Handle(const PlanRequest& request) const {
+  if (request.type == "cache_dump") return HandleCacheDump(request);
+  if (request.type == "cache_load") return HandleCacheLoad(request);
+  if (!request.type.empty() && request.type != "plan") {
+    return ErrorResponse(
+        kWireInvalidArgument,
+        "unknown request type '" + request.type +
+            "' (plan | cache_dump | cache_load)",
+        request.id);
+  }
   if (request.sql.empty() == request.tables.empty()) {
     return ErrorResponse(
         kWireInvalidArgument,
@@ -160,6 +169,83 @@ PlanResponse PlanningService::Handle(const PlanRequest& request) const {
 core::CacheStats PlanningService::shared_cache_stats() const {
   return shared_cache_ != nullptr ? shared_cache_->stats()
                                   : core::CacheStats{};
+}
+
+namespace {
+
+/// Shared validation of the two cache operations: a cache to serve from
+/// and a matching frame version. Returns true when `out` was filled
+/// with a rejection.
+bool RejectCacheOp(const PlanRequest& request,
+                   const core::ResourcePlanCache* cache,
+                   PlanResponse* out) {
+  if (cache == nullptr) {
+    *out = ErrorResponse(kWireFailedPrecondition,
+                         "server shares no plan cache", request.id);
+    return true;
+  }
+  if (request.cache_version != kCacheWireVersion) {
+    *out = ErrorResponse(
+        kWireFailedPrecondition,
+        StrPrintf("cache wire version %lld unsupported (server speaks "
+                  "version %lld)",
+                  static_cast<long long>(request.cache_version),
+                  static_cast<long long>(kCacheWireVersion)),
+        request.id);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanResponse PlanningService::HandleCacheDump(
+    const PlanRequest& request) const {
+  PlanResponse response;
+  if (RejectCacheOp(request, shared_cache_.get(), &response)) {
+    return response;
+  }
+  // O(cache) per chunk: the dump is rebuilt for every request so a
+  // chunk never serves stale pages of a mutating cache. Replication is
+  // rare (replica start-up) and the cache is planner-metadata sized, so
+  // simplicity wins over a cursor protocol.
+  const std::vector<core::CacheEntryRecord> all =
+      shared_cache_->DumpEntries();
+  const int64_t total = static_cast<int64_t>(all.size());
+  const int64_t offset = std::min(request.cache_offset, total);
+  const int64_t limit =
+      request.cache_limit > 0
+          ? std::min<int64_t>(request.cache_limit,
+                              static_cast<int64_t>(kMaxCacheChunkEntries))
+          : static_cast<int64_t>(kMaxCacheChunkEntries);
+  const int64_t end = std::min(offset + limit, total);
+  response.id = request.id;
+  response.has_cache = true;
+  response.cache_version = kCacheWireVersion;
+  response.cache_total = total;
+  response.cache_offset = offset;
+  response.cache_entries.assign(all.begin() + offset, all.begin() + end);
+  return response;
+}
+
+PlanResponse PlanningService::HandleCacheLoad(
+    const PlanRequest& request) const {
+  PlanResponse response;
+  if (RejectCacheOp(request, shared_cache_.get(), &response)) {
+    return response;
+  }
+  // The parse layer already enforced the chunk cap; entries flow through
+  // the normal Insert path, so a persistence listener journals them and
+  // exact-mode keys re-derive identically to the peer's.
+  for (const core::CacheEntryRecord& entry : request.cache_entries) {
+    shared_cache_->Insert(entry.model, entry.plan);
+  }
+  response.id = request.id;
+  response.has_cache = true;
+  response.cache_version = kCacheWireVersion;
+  response.cache_loaded =
+      static_cast<int64_t>(request.cache_entries.size());
+  return response;
 }
 
 }  // namespace raqo::server

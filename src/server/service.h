@@ -50,10 +50,21 @@ class PlanningService {
   core::CacheStats shared_cache_stats() const;
   bool has_shared_cache() const { return shared_cache_ != nullptr; }
 
+  /// The service-wide shared cache (nullptr when share_cache is off).
+  /// The persistence layer attaches here; the pointee is thread-safe.
+  core::ResourcePlanCache* shared_cache() const {
+    return shared_cache_.get();
+  }
+
   const catalog::Catalog& catalog() const { return *catalog_; }
   const PlanningServiceOptions& options() const { return options_; }
 
  private:
+  /// cache_dump: renders one chunk of the shared cache.
+  PlanResponse HandleCacheDump(const PlanRequest& request) const;
+  /// cache_load: inserts a peer's chunk into the shared cache.
+  PlanResponse HandleCacheLoad(const PlanRequest& request) const;
+
   const catalog::Catalog* catalog_;
   cost::JoinCostModels models_;
   resource::ClusterConditions cluster_;

@@ -22,7 +22,9 @@
 #include "catalog/tpch.h"
 #include "common/json.h"
 #include "common/net.h"
+#include "core/plan_cache.h"
 #include "core/raqo_planner.h"
+#include "persist/cache_persist.h"
 #include "obs/trace.h"
 #include "plan/plan_node.h"
 #include "server/client.h"
@@ -1655,6 +1657,220 @@ TEST(ProtocolFuzzTest, CorruptPayloadNeverMisFramesTheNextRequest) {
     }
     EXPECT_TRUE(saw_tail) << "iteration " << iter;
   }
+}
+
+// ---------------------------------------------------------------------
+// Cache dump/load frames and durable restart
+
+core::CachedResourcePlan TestCachePlan(double key, double larger,
+                                       double cost) {
+  core::CachedResourcePlan plan;
+  plan.key_gb = key;
+  plan.larger_gb = larger;
+  plan.cost = cost;
+  plan.config = resource::ResourceConfig(4.0, 8.0);
+  return plan;
+}
+
+/// Canonical byte form of a cache's whole content — equality of two of
+/// these is the "replica is bit-identical" acceptance bar.
+std::string CanonicalCacheDump(const core::ResourcePlanCache& cache) {
+  std::string out;
+  for (const core::CacheEntryRecord& entry : cache.DumpEntries()) {
+    out += persist::SerializeCacheEntry(entry.model, entry.plan);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ProtocolTest, CacheDumpRequestRoundTrips) {
+  PlanRequest request;
+  request.id = "dump-7";
+  request.type = "cache_dump";
+  request.cache_offset = 1024;
+  request.cache_limit = 128;
+
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, "cache_dump");
+  EXPECT_EQ(parsed->cache_version, server::kCacheWireVersion);
+  EXPECT_EQ(parsed->cache_offset, 1024);
+  EXPECT_EQ(parsed->cache_limit, 128);
+}
+
+TEST(ProtocolTest, CacheLoadRequestRoundTripsEntriesByteForByte) {
+  PlanRequest request;
+  request.type = "cache_load";
+  request.cache_entries.push_back(
+      {"smj \"q\"", TestCachePlan(0.1 + 0.2, 123.45600000000013, 1e-300)});
+  request.cache_entries.push_back({"bhj", TestCachePlan(42.0, 99.5, 7.25)});
+
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->cache_entries.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    // The wire uses the same entry codec as the journal, so equality is
+    // checkable at the byte level, doubles included.
+    EXPECT_EQ(persist::SerializeCacheEntry(parsed->cache_entries[i].model,
+                                           parsed->cache_entries[i].plan),
+              persist::SerializeCacheEntry(request.cache_entries[i].model,
+                                           request.cache_entries[i].plan));
+  }
+}
+
+TEST(ProtocolTest, CacheResponseRoundTrips) {
+  PlanResponse response;
+  response.id = "dump-7";
+  response.has_cache = true;
+  response.cache_version = server::kCacheWireVersion;
+  response.cache_total = 42;
+  response.cache_offset = 17;
+  response.cache_entries.push_back({"smj", TestCachePlan(1.5, 8.0, 3.0)});
+
+  Result<PlanResponse> parsed =
+      server::ParsePlanResponse(server::SerializePlanResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_TRUE(parsed->has_cache);
+  EXPECT_EQ(parsed->cache_version, server::kCacheWireVersion);
+  EXPECT_EQ(parsed->cache_total, 42);
+  EXPECT_EQ(parsed->cache_offset, 17);
+  ASSERT_EQ(parsed->cache_entries.size(), 1u);
+  EXPECT_EQ(parsed->cache_entries[0].model, "smj");
+  EXPECT_EQ(parsed->cache_entries[0].plan.key_gb, 1.5);
+}
+
+TEST(ProtocolTest, OversizedCacheChunkIsRejectedAtParse) {
+  PlanRequest request;
+  request.type = "cache_load";
+  for (size_t i = 0; i <= server::kMaxCacheChunkEntries; ++i) {
+    request.cache_entries.push_back(
+        {"smj", TestCachePlan(static_cast<double>(i), 8.0, 1.0)});
+  }
+  // One entry over the cap: the parse itself must refuse, before any
+  // server-side allocation proportional to the claimed chunk.
+  Result<PlanRequest> parsed =
+      server::ParsePlanRequest(server::SerializePlanRequest(request));
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(PlanningServerTest, CacheVersionMismatchIsRejected) {
+  TestServer ts;
+  PlanningClient client = ts.Connect();
+
+  PlanRequest request;
+  request.id = "vmm";
+  request.type = "cache_dump";
+  request.cache_version = server::kCacheWireVersion + 7;
+  Result<PlanResponse> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->status, server::kWireFailedPrecondition);
+  EXPECT_EQ(response->id, "vmm");
+}
+
+TEST(PlanningServerTest, UnknownRequestTypeIsRejected) {
+  TestServer ts;
+  PlanningClient client = ts.Connect();
+
+  PlanRequest request;
+  request.id = "bogus";
+  request.type = "cache_explode";
+  Result<PlanResponse> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->status, server::kWireInvalidArgument);
+}
+
+TEST(PlanningServerTest, ColdReplicaWarmsFromPeerOverTheWire) {
+  TestServer warm;
+  TestServer cold;
+  PlanningClient warm_client = warm.Connect();
+  PlanningClient cold_client = cold.Connect();
+
+  // Populate the warm node's shared cache with real planning work.
+  PlanRequest plan_request;
+  plan_request.id = "warmup";
+  plan_request.tables = {"orders", "lineitem", "customer"};
+  Result<PlanResponse> planned = warm_client.Call(plan_request);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ASSERT_TRUE(planned->ok()) << planned->status << ": " << planned->error;
+  ASSERT_GT(warm.service.shared_cache()->entry_count(), 0);
+
+  // Chunk size 1 forces the pagination loop through every entry.
+  Result<int64_t> copied =
+      server::WarmCacheFromPeer(warm_client, cold_client, 1);
+  ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+  EXPECT_EQ(*copied, warm.service.shared_cache()->entry_count());
+
+  // The replica's cache is byte-identical to the peer's...
+  EXPECT_EQ(CanonicalCacheDump(*cold.service.shared_cache()),
+            CanonicalCacheDump(*warm.service.shared_cache()));
+
+  // ...and immediately useful: the same query on the cold node hits it.
+  Result<PlanResponse> replayed = cold_client.Call(plan_request);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_TRUE(replayed->ok()) << replayed->status << ": "
+                              << replayed->error;
+  EXPECT_GT(cold.service.shared_cache_stats().hits, 0);
+  EXPECT_EQ(replayed->plan, planned->plan);
+}
+
+TEST(PlanningServerTest, PersistDirSurvivesServerRestart) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "raqo_server_persist")
+          .string();
+  std::filesystem::remove_all(dir);
+  ServerOptions options;
+  options.persist_dir = dir;
+  options.persist_fsync = persist::FsyncPolicy::kEachRecord;
+
+  PlanRequest plan_request;
+  plan_request.id = "before-restart";
+  plan_request.tables = {"orders", "lineitem", "customer"};
+
+  std::string before;
+  int64_t entries_before = 0;
+  {
+    TestServer ts(options);
+    PlanningClient client = ts.Connect();
+    Result<PlanResponse> planned = client.Call(plan_request);
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    ASSERT_TRUE(planned->ok()) << planned->status << ": "
+                               << planned->error;
+    entries_before = ts.service.shared_cache()->entry_count();
+    ASSERT_GT(entries_before, 0);
+    before = CanonicalCacheDump(*ts.service.shared_cache());
+    ts.server->Shutdown();
+    ts.server->Wait();
+  }
+
+  // A "restarted node": fresh service, fresh cache, same data dir.
+  TestServer ts(options);
+  ASSERT_NE(ts.server->persistence(), nullptr);
+  const persist::RecoveryStats recovered =
+      ts.server->persistence()->recovery_stats();
+  EXPECT_EQ(recovered.snapshot_entries + recovered.journal_records,
+            entries_before);
+  EXPECT_FALSE(recovered.torn_tail);
+  EXPECT_EQ(CanonicalCacheDump(*ts.service.shared_cache()), before);
+
+  // Pre-restart hit rate is available immediately: the first query after
+  // recovery hits the cache instead of re-deriving its plans.
+  PlanningClient client = ts.Connect();
+  PlanRequest again = plan_request;
+  again.id = "after-restart";
+  Result<PlanResponse> replayed = client.Call(again);
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_TRUE(replayed->ok()) << replayed->status << ": "
+                              << replayed->error;
+  EXPECT_GT(ts.service.shared_cache_stats().hits, 0);
+
+  ts.server->Shutdown();
+  ts.server->Wait();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
