@@ -1,7 +1,9 @@
 // Concurrent planning-service throughput: a Figure 15(b)-style workload
 // of many queries over a random schema, planned by the sequential
 // WorkloadRunner and by the ConcurrentWorkloadRunner at 1/2/4/8 worker
-// threads sharing one exact-match resource-plan cache.
+// threads sharing one exact-match resource-plan cache, plus a cold
+// (cache-off) head-to-head of the sequential and parallel brute-force
+// resource searches.
 //
 // Besides the wall-clock speedup the bench verifies, for every thread
 // count, that the concurrent service returned exactly the sequential
@@ -10,8 +12,15 @@
 // reported against the measured hardware concurrency: on a single-core
 // host all configurations collapse to ~1x by construction, while on a
 // 4-core host the 4-thread run shows the >=2x the service targets.
+//
+// With --smoke the bench turns into a CI regression gate: it exits
+// non-zero when the parallel brute-force cold path is materially slower
+// than the sequential one (it must not be — small grids fall back to the
+// sequential scan), or when the 4-thread speedup on a >=4-core host
+// falls below a conservative floor.
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -26,6 +35,18 @@ namespace {
 
 using namespace raqo;
 
+// The cold ratio gate: sequential_ms / parallel_ms must stay above this.
+// The paper-default grid sits below the parallel planner's
+// min_parallel_cells threshold, so both searches run the identical
+// sequential scan and the ratio is ~1.0 up to noise.
+constexpr double kColdRatioFloor = 0.9;
+
+// The scaling gate, enforced only on hosts with >= 4 hardware threads:
+// 4 planner workers must beat the sequential baseline by at least this
+// much. The serial-bottleneck era plateaued at ~1.56x; the persistent
+// shared pools clear 2x on a 4-core CI runner, so 1.7x is conservative.
+constexpr double kSpeedupFloor = 1.7;
+
 core::RaqoPlannerOptions ServiceOptions() {
   core::RaqoPlannerOptions options;
   options.algorithm = core::PlannerAlgorithm::kSelinger;
@@ -35,6 +56,14 @@ core::RaqoPlannerOptions ServiceOptions() {
   options.evaluator.use_cache = true;
   options.evaluator.cache_mode = core::CacheLookupMode::kExact;
   options.clear_cache_between_queries = false;
+  return options;
+}
+
+core::RaqoPlannerOptions ColdOptions(core::ResourceSearch search) {
+  core::RaqoPlannerOptions options;
+  options.algorithm = core::PlannerAlgorithm::kSelinger;
+  options.evaluator.use_cache = false;
+  options.evaluator.search = search;
   return options;
 }
 
@@ -50,8 +79,13 @@ bool SamePlans(const core::WorkloadReport& a, const core::WorkloadReport& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace raqo;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   catalog::RandomSchemaOptions schema;
   schema.num_tables = 40;
   catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
@@ -73,10 +107,10 @@ int main() {
     workload.push_back(std::move(query));
   }
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
   bench::Section("Concurrent planning service: across-query workload "
                  "(64 queries, random 40-table schema)");
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware threads available: %u\n\n", hardware_threads);
 
   // Sequential baseline.
   core::RaqoPlanner planner(&cat, models, cluster, resource::PricingModel(),
@@ -87,6 +121,7 @@ int main() {
 
   // Rendered to BENCH_concurrent.json alongside the printed table.
   std::string json_levels;
+  double speedup_at_4 = 0.0;
   bench::Table table({"threads", "wall clock (ms)", "speedup",
                       "cache hits", "cache misses", "plans identical"});
   table.AddRow({"sequential", bench::Num(baseline->wall_clock_ms, "%.1f"),
@@ -107,11 +142,12 @@ int main() {
     const bool identical = SamePlans(*baseline, *report);
     RAQO_CHECK(identical)
         << "concurrent service diverged from sequential plans";
+    const double speedup =
+        baseline->wall_clock_ms / report->wall_clock_ms;
+    if (threads == 4) speedup_at_4 = speedup;
     table.AddRow({bench::Int(threads),
                   bench::Num(report->wall_clock_ms, "%.1f"),
-                  bench::Num(baseline->wall_clock_ms /
-                                 report->wall_clock_ms,
-                             "%.2fx"),
+                  bench::Num(speedup, "%.2fx"),
                   bench::Int(report->shared_cache.hits),
                   bench::Int(report->shared_cache.misses),
                   identical ? "yes" : "NO"});
@@ -127,17 +163,61 @@ int main() {
         "\"cache_hits\": %lld, \"cache_misses\": %lld, \"hit_rate\": %s, "
         "\"plans_identical\": %s}",
         threads, JsonNumber(report->wall_clock_ms).c_str(),
-        JsonNumber(baseline->wall_clock_ms / report->wall_clock_ms).c_str(),
+        JsonNumber(speedup).c_str(),
         (long long)hits, (long long)misses, JsonNumber(hit_rate).c_str(),
         identical ? "true" : "false");
   }
   table.Print();
 
+  // Cold path: one planner, no cache, every resource search computed.
+  // The parallel brute force must match the sequential one's wall clock
+  // on the paper-default grid (it falls back to the same sequential scan
+  // below min_parallel_cells) and must return bit-identical plans.
+  bench::Section("Cold brute-force search: sequential vs parallel "
+                 "(no cache, paper-default 10x100 grid)");
+  core::RaqoPlanner cold_seq_planner(
+      &cat, models, cluster, resource::PricingModel(),
+      ColdOptions(core::ResourceSearch::kBruteForce));
+  core::WorkloadRunner cold_seq_runner(&cold_seq_planner);
+  const Result<core::WorkloadReport> cold_seq =
+      cold_seq_runner.Run(workload);
+  RAQO_CHECK(cold_seq.ok()) << cold_seq.status().ToString();
+
+  core::RaqoPlanner cold_par_planner(
+      &cat, models, cluster, resource::PricingModel(),
+      ColdOptions(core::ResourceSearch::kParallelBruteForce));
+  core::WorkloadRunner cold_par_runner(&cold_par_planner);
+  const Result<core::WorkloadReport> cold_par =
+      cold_par_runner.Run(workload);
+  RAQO_CHECK(cold_par.ok()) << cold_par.status().ToString();
+  RAQO_CHECK(SamePlans(*cold_seq, *cold_par))
+      << "parallel brute force diverged from sequential plans";
+
+  const double cold_ratio =
+      cold_par->wall_clock_ms > 0.0
+          ? cold_seq->wall_clock_ms / cold_par->wall_clock_ms
+          : 1.0;
+  bench::Table cold_table(
+      {"search", "wall clock (ms)", "vs sequential"});
+  cold_table.AddRow({"brute-force",
+                     bench::Num(cold_seq->wall_clock_ms, "%.1f"),
+                     bench::Num(1.0, "%.2fx")});
+  cold_table.AddRow({"parallel-brute-force",
+                     bench::Num(cold_par->wall_clock_ms, "%.1f"),
+                     bench::Num(cold_ratio, "%.2fx")});
+  cold_table.Print();
+
   const std::string json = StrPrintf(
       "{\"bench\": \"concurrent_workload\", \"queries\": %zu, "
-      "\"sequential_wall_ms\": %s, \"levels\": [%s]}\n",
-      workload.size(), JsonNumber(baseline->wall_clock_ms).c_str(),
-      json_levels.c_str());
+      "\"hardware_threads\": %u, "
+      "\"sequential_wall_ms\": %s, \"levels\": [%s], "
+      "\"brute_force_cold\": {\"sequential_ms\": %s, \"parallel_ms\": %s, "
+      "\"ratio\": %s}}\n",
+      workload.size(), hardware_threads,
+      JsonNumber(baseline->wall_clock_ms).c_str(), json_levels.c_str(),
+      JsonNumber(cold_seq->wall_clock_ms).c_str(),
+      JsonNumber(cold_par->wall_clock_ms).c_str(),
+      JsonNumber(cold_ratio).c_str());
   if (Status written = WriteTextFile("BENCH_concurrent.json", json);
       !written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
@@ -148,5 +228,34 @@ int main() {
       "\nspeedup scales with physical cores (target: >=2x at 4 threads on "
       "a >=4-core host); plans, costs, and resource configurations are "
       "identical to the sequential baseline at every thread count\n");
+
+  if (smoke) {
+    bool ok = true;
+    if (cold_ratio < kColdRatioFloor) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: parallel brute-force cold path is %.2fx "
+                   "the sequential wall clock (floor %.2fx) — the "
+                   "sequential fallback regressed\n",
+                   cold_ratio, kColdRatioFloor);
+      ok = false;
+    }
+    if (hardware_threads >= 4) {
+      if (speedup_at_4 < kSpeedupFloor) {
+        std::fprintf(stderr,
+                     "SMOKE FAIL: 4-thread speedup %.2fx is below the "
+                     "%.2fx floor on a %u-thread host — the concurrent "
+                     "core regressed\n",
+                     speedup_at_4, kSpeedupFloor, hardware_threads);
+        ok = false;
+      }
+    } else {
+      std::printf(
+          "smoke: host has %u hardware threads, skipping the 4-thread "
+          "speedup gate (needs >= 4)\n",
+          hardware_threads);
+    }
+    if (!ok) return 1;
+    std::printf("smoke: all scaling gates passed\n");
+  }
   return 0;
 }

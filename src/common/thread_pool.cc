@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace raqo {
 
@@ -26,40 +27,72 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(packaged));
+    QueuedTask queued;
+    queued.own = std::move(packaged);
+    queue_.push_back(std::move(queued));
   }
   cv_.notify_one();
   return future;
+}
+
+void ThreadPool::RunChunk(ParallelForJob* job, int64_t begin, int64_t end) {
+  try {
+    (*job->body)(begin, end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (!job->error) job->error = std::current_exception();
+  }
+  // The acq_rel decrement publishes every chunk's writes to the caller's
+  // acquire read (RMWs extend the release sequence). It must happen
+  // *under* the latch mutex: the caller destroys the stack-allocated job
+  // the moment its predicate sees zero, so zero may only become visible
+  // after this thread's last touch of the job — the unlock below.
+  std::lock_guard<std::mutex> lock(job->mu);
+  if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    job->done_cv.notify_one();
+  }
 }
 
 void ThreadPool::ParallelFor(
     int64_t n, const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
   const int64_t chunks =
-      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
+      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()) + 1);
   if (chunks <= 1) {
     body(0, n);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<size_t>(chunks) - 1);
+  ParallelForJob job;
+  job.body = &body;
+  // Every chunk — the queued ones and the caller's own — decrements the
+  // latch once in RunChunk, so seed it with the full chunk count.
+  job.remaining.store(chunks, std::memory_order_relaxed);
+
   const int64_t base = n / chunks;
   const int64_t extra = n % chunks;
-  int64_t begin = 0;
-  int64_t first_end = 0;
-  for (int64_t c = 0; c < chunks; ++c) {
-    const int64_t end = begin + base + (c < extra ? 1 : 0);
-    if (c == 0) {
-      // Chunk 0 runs on the calling thread after the rest are queued.
-      first_end = end;
-    } else {
-      futures.push_back(
-          Submit([&body, begin, end] { body(begin, end); }));
+  // Chunk 0 runs on the calling thread after the rest are queued.
+  const int64_t first_end = base + (extra > 0 ? 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t begin = first_end;
+    for (int64_t c = 1; c < chunks; ++c) {
+      const int64_t end = begin + base + (c < extra ? 1 : 0);
+      QueuedTask queued;
+      queued.job = &job;
+      queued.begin = begin;
+      queued.end = end;
+      queue_.push_back(std::move(queued));
+      begin = end;
     }
-    begin = end;
   }
-  body(0, first_end);
-  for (std::future<void>& f : futures) f.get();
+  cv_.notify_all();
+
+  RunChunk(&job, 0, first_end);
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.done_cv.wait(lock, [&job] {
+    return job.remaining.load(std::memory_order_acquire) <= 0;
+  });
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 int ThreadPool::DefaultThreads() {
@@ -69,7 +102,7 @@ int ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -77,7 +110,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.job != nullptr) {
+      RunChunk(task.job, task.begin, task.end);
+    } else {
+      task.own();
+    }
   }
 }
 

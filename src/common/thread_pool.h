@@ -1,9 +1,11 @@
 #ifndef RAQO_COMMON_THREAD_POOL_H_
 #define RAQO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -19,8 +21,11 @@ namespace raqo {
 /// chunks" pattern used by the parallel resource planner and the
 /// concurrent workload runner.
 ///
-/// The pool itself is thread-safe: any thread may Submit. Task closures
-/// must synchronize their own shared state.
+/// The pool itself is thread-safe: any thread may Submit, and any number
+/// of threads may run ParallelFor concurrently (each call's chunks
+/// interleave on the workers; each caller blocks only on its own
+/// completion latch). Task closures must synchronize their own shared
+/// state.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (clamped to at least 1).
@@ -42,6 +47,13 @@ class ThreadPool {
   /// contiguous chunks (at most one per worker), blocking until every
   /// chunk completes. The calling thread executes one chunk itself so a
   /// single-threaded pool degrades to a plain loop.
+  ///
+  /// Dispatch is deliberately cheap: all chunks are queued under one
+  /// lock acquisition as thin (job, range) records — no per-chunk
+  /// std::function, packaged_task, or future shared state — and
+  /// completion is signalled through a stack-allocated latch. The first
+  /// exception a chunk throws is rethrown on the calling thread after
+  /// every chunk has finished.
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& body);
 
@@ -50,11 +62,33 @@ class ThreadPool {
   static int DefaultThreads();
 
  private:
+  /// Shared state of one ParallelFor call, living on the caller's stack
+  /// for the duration of the call. `remaining` counts queued chunks
+  /// still running; the worker finishing the last one signals `done_cv`.
+  struct ParallelForJob {
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::atomic<int64_t> remaining{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first chunk failure, under `mu`
+  };
+
+  /// One queue slot: either an owned Submit closure or a borrowed
+  /// ParallelFor chunk (job != nullptr).
+  struct QueuedTask {
+    std::packaged_task<void()> own;
+    ParallelForJob* job = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  static void RunChunk(ParallelForJob* job, int64_t begin, int64_t end);
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

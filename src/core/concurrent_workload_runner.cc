@@ -33,6 +33,28 @@ ConcurrentWorkloadRunner::ConcurrentWorkloadRunner(
         planner_options_.evaluator.cache_index,
         std::max<size_t>(1, options_.cache_shards));
   }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+  }
+  // One search pool for all planners: without it, every evaluator with
+  // the parallel brute-force search would spawn a private pool —
+  // num_threads * parallel_search_threads threads for grids that only
+  // ever need parallel_search_threads of them.
+  if (planner_options_.evaluator.search ==
+          ResourceSearch::kParallelBruteForce &&
+      planner_options_.evaluator.search_pool == nullptr) {
+    search_pool_ = std::make_unique<ThreadPool>(
+        std::max(1, planner_options_.evaluator.parallel_search_threads));
+    planner_options_.evaluator.search_pool = search_pool_.get();
+  }
+  planners_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int w = 0; w < options_.num_threads; ++w) {
+    planners_.push_back(std::make_unique<RaqoPlanner>(
+        catalog_, models_, cluster_, pricing_, planner_options_));
+    if (shared_cache_ != nullptr) {
+      planners_.back()->evaluator().ShareCache(shared_cache_);
+    }
+  }
 }
 
 Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
@@ -44,20 +66,12 @@ Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
   const CacheStats shared_before =
       shared_cache_ != nullptr ? shared_cache_->stats() : CacheStats{};
 
-  // One private planner per worker; the shared cache (if any) is
-  // attached to every evaluator, making the workers one service.
+  // The persistent per-worker planners (shared cache already attached)
+  // fan out over the persistent pool; small workloads use a prefix of
+  // the workers rather than waking idle ones.
   const int num_workers =
       static_cast<int>(std::min<size_t>(
           static_cast<size_t>(options_.num_threads), workload.size()));
-  std::vector<std::unique_ptr<RaqoPlanner>> planners;
-  planners.reserve(static_cast<size_t>(num_workers));
-  for (int w = 0; w < num_workers; ++w) {
-    planners.push_back(std::make_unique<RaqoPlanner>(
-        catalog_, models_, cluster_, pricing_, planner_options_));
-    if (shared_cache_ != nullptr) {
-      planners.back()->evaluator().ShareCache(shared_cache_);
-    }
-  }
 
   // Dynamic work stealing over the query list: a single atomic cursor
   // hands out submission indices, and every result lands in its query's
@@ -120,19 +134,18 @@ Result<WorkloadReport> ConcurrentWorkloadRunner::Run(
   };
 
   if (num_workers == 1) {
-    worker_loop(planners[0].get(), 0);
+    worker_loop(planners_[0].get(), 0);
   } else {
-    // Workers 1..N-1 run on the pool; worker 0 runs here so the calling
-    // thread contributes instead of idling.
-    ThreadPool pool(num_workers - 1);
+    // Workers 1..N-1 run on the persistent pool; worker 0 runs here so
+    // the calling thread contributes instead of idling.
     std::vector<std::future<void>> futures;
     futures.reserve(static_cast<size_t>(num_workers) - 1);
     for (int w = 1; w < num_workers; ++w) {
-      RaqoPlanner* planner = planners[static_cast<size_t>(w)].get();
+      RaqoPlanner* planner = planners_[static_cast<size_t>(w)].get();
       futures.push_back(
-          pool.Submit([&, planner, w] { worker_loop(planner, w); }));
+          pool_->Submit([&, planner, w] { worker_loop(planner, w); }));
     }
-    worker_loop(planners[0].get(), 0);
+    worker_loop(planners_[0].get(), 0);
     for (std::future<void>& f : futures) f.get();
   }
 

@@ -26,8 +26,38 @@ enum class ResourceSearch {
 struct RaqoEvaluatorOptions {
   ResourceSearch search = ResourceSearch::kHillClimb;
   /// Worker threads of the kParallelBruteForce search (ignored by the
-  /// other strategies).
+  /// other strategies). Only consulted when no `search_pool` is
+  /// injected: it sizes the evaluator-owned fallback pool.
   int parallel_search_threads = 4;
+
+  /// Externally owned pool the kParallelBruteForce search runs on (must
+  /// outlive the evaluator). The concurrent runner and the planning
+  /// server inject one pool shared by all their planners; without it,
+  /// every evaluator would spawn a private pool — N planner workers
+  /// times M search threads — and pay pool construction per planner.
+  /// nullptr falls back to an evaluator-owned pool of
+  /// `parallel_search_threads` workers.
+  ThreadPool* search_pool = nullptr;
+
+  /// Grids smaller than this many cells are scanned sequentially by the
+  /// kParallelBruteForce search (see
+  /// ParallelBruteForceResourcePlanner::kDefaultMinParallelCells); the
+  /// result is bit-identical either way. 0 forces the parallel path.
+  int64_t min_parallel_grid_cells =
+      ParallelBruteForceResourcePlanner::kDefaultMinParallelCells;
+
+  /// Write-behind batching of inserts into a *shared* exact-mode cache:
+  /// computed plans are staged privately and flushed to the shared
+  /// cache in batches of this many entries (and at the end of every
+  /// query), so shard locks are taken per batch instead of per insert.
+  /// Lookups consult the private staging cache first — repeated
+  /// data characteristics within a query (the common case under
+  /// Selinger's DP) stop touching shared locks entirely. Exact-mode
+  /// entries always reproduce what recomputation would return, so
+  /// results stay bit-identical to write-through; only hit/miss
+  /// *counters* of the shared cache shift. 0 disables batching
+  /// (write-through); similarity lookup modes always write through.
+  size_t shared_insert_batch = 32;
 
   /// Resource-plan caching (off by default, matching the paper's setup
   /// of clearing the cache before each query unless stated otherwise).
@@ -88,8 +118,16 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   /// threads (the concurrent planning service: N planners, one cache).
   /// The cache must be thread-safe (built with shards > 0) when more
   /// than one planner shares it. Passing nullptr reverts to the
-  /// evaluator-owned cache configured by the options.
+  /// evaluator-owned cache configured by the options. Pending batched
+  /// inserts are flushed to the previously shared cache first.
   void ShareCache(std::shared_ptr<ResourcePlanCache> cache);
+
+  /// Pushes any write-behind staged inserts to the shared cache (one
+  /// batched InsertBatch per call). RaqoPlanner calls this at the end
+  /// of every query so cross-worker reuse is at most one query stale;
+  /// the destructor and ShareCache flush too, so no computed plan is
+  /// ever lost. No-op without a shared cache or with batching off.
+  void FlushSharedCacheInserts();
 
   /// True when the active cache is shared with other planners; per-query
   /// cache statistics are then workload-global, not per-planner, and the
@@ -97,6 +135,9 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   bool cache_is_shared() const { return shared_cache_ != nullptr; }
 
   const RaqoEvaluatorOptions& options() const { return options_; }
+
+  /// Flushes any pending write-behind inserts to the shared cache.
+  ~RaqoCostEvaluator() override;
 
  protected:
   Result<optimizer::OperatorCost> CostJoinImpl(
@@ -107,6 +148,15 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   /// attached, the owned one otherwise (may be null when caching is off).
   ResourcePlanCache* active_cache() const {
     return shared_cache_ != nullptr ? shared_cache_.get() : cache_.get();
+  }
+
+  /// True when inserts into the shared cache are write-behind batched:
+  /// requires a shared cache in exact lookup mode (the only mode whose
+  /// hits provably reproduce recomputation) and a non-zero batch size.
+  bool batching_shared_inserts() const {
+    return shared_cache_ != nullptr &&
+           shared_cache_->mode() == CacheLookupMode::kExact &&
+           options_.shared_insert_batch > 0;
   }
 
   cost::JoinCostModels models_;
@@ -120,6 +170,16 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   std::unique_ptr<ResourcePlanner> planner_;
   std::unique_ptr<ResourcePlanCache> cache_;
   std::shared_ptr<ResourcePlanCache> shared_cache_;
+  /// Write-behind state, live only while batching_shared_inserts():
+  /// `staging_` is a private unsharded exact-mode cache consulted before
+  /// the shared one (and fed by both computed plans and shared hits, so
+  /// repeated lookups stay lock-free); `pending_inserts_` holds the
+  /// computed plans not yet flushed to the shared cache, in insertion
+  /// order. Exact-mode entries equal what recomputation would produce,
+  /// so staging entries can never go stale — only cluster-condition
+  /// changes invalidate them, and those clear everything.
+  std::unique_ptr<ResourcePlanCache> staging_;
+  std::vector<CacheEntryRecord> pending_inserts_;
 };
 
 }  // namespace raqo::core

@@ -51,51 +51,83 @@ ParallelBruteForceResourcePlanner::ParallelBruteForceResourcePlanner(
     ThreadPool* pool)
     : pool_(pool) {}
 
+namespace {
+
+/// Per-band reduction state of the parallel scan.
+struct BandBest {
+  resource::ResourceConfig config;
+  double cost = kInf;
+  int64_t explored = 0;
+  /// Row-major rank of the winning cell, for the deterministic
+  /// earliest-wins tie-break the sequential scan applies implicitly.
+  int64_t rank = 0;
+};
+
+/// Scans container-size rows [row_begin, row_end) of the grid with the
+/// exact enumeration arithmetic of the sequential brute force, so costs
+/// (and their floating-point quirks) match cell for cell no matter how
+/// the rows are banded — or whether they are banded at all.
+BandBest ScanBand(const ResourceCostFn& cost,
+                  const resource::ClusterConditions& cluster,
+                  int64_t row_begin, int64_t row_end, int64_t nc_points) {
+  const resource::ResourceConfig& min = cluster.min();
+  const resource::ResourceConfig& step = cluster.step();
+  BandBest local;
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const double cs = min.dim(resource::kContainerSizeGb) +
+                      static_cast<double>(i) *
+                          step.dim(resource::kContainerSizeGb);
+    for (int64_t j = 0; j < nc_points; ++j) {
+      const double nc = min.dim(resource::kNumContainers) +
+                        static_cast<double>(j) *
+                            step.dim(resource::kNumContainers);
+      const resource::ResourceConfig config(cs, nc);
+      ++local.explored;
+      const double c = Sanitize(cost(config));
+      if (c < local.cost) {
+        local.cost = c;
+        local.config = config;
+        local.rank = i * nc_points + j;
+      }
+    }
+  }
+  return local;
+}
+
+}  // namespace
+
 Result<ResourcePlanResult> ParallelBruteForceResourcePlanner::PlanResources(
     const ResourceCostFn& cost,
     const resource::ClusterConditions& cluster) const {
   const int64_t cs_points =
       cluster.GridPoints(resource::kContainerSizeGb);
   const int64_t nc_points = cluster.GridPoints(resource::kNumContainers);
-  const resource::ResourceConfig& min = cluster.min();
-  const resource::ResourceConfig& step = cluster.step();
 
-  struct BandBest {
-    resource::ResourceConfig config;
-    double cost = kInf;
-    int64_t explored = 0;
-    /// Row-major rank of the winning cell, for the deterministic
-    /// earliest-wins tie-break the sequential scan applies implicitly.
-    int64_t rank = 0;
-  };
+  // Small grids drown in fan-out/join dispatch: scan them inline on the
+  // calling thread instead (TotalGridSize saturates, so absurd grids
+  // always take the parallel path). Bit-identical by construction —
+  // one band covering every row is the sequential scan.
+  if (pool_ == nullptr || pool_->size() <= 1 ||
+      cluster.TotalGridSize() < min_parallel_cells_) {
+    const BandBest all = ScanBand(cost, cluster, 0, cs_points, nc_points);
+    if (all.cost == kInf) {
+      return Status::FailedPrecondition(
+          "no feasible resource configuration in the cluster grid");
+    }
+    ResourcePlanResult best;
+    best.cost = all.cost;
+    best.config = all.config;
+    best.configs_explored = all.explored;
+    return best;
+  }
 
   // One band of container-size rows per chunk; ParallelFor sizes the
-  // chunks to the pool. Each band reproduces the sequential enumeration
-  // arithmetic exactly, so costs (and their floating-point quirks) match
-  // BruteForceResourcePlanner cell for cell.
+  // chunks to the pool.
   std::mutex merge_mu;
   std::vector<BandBest> bands;
   std::atomic<int64_t> explored_total{0};
   pool_->ParallelFor(cs_points, [&](int64_t row_begin, int64_t row_end) {
-    BandBest local;
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const double cs = min.dim(resource::kContainerSizeGb) +
-                        static_cast<double>(i) *
-                            step.dim(resource::kContainerSizeGb);
-      for (int64_t j = 0; j < nc_points; ++j) {
-        const double nc = min.dim(resource::kNumContainers) +
-                          static_cast<double>(j) *
-                              step.dim(resource::kNumContainers);
-        const resource::ResourceConfig config(cs, nc);
-        ++local.explored;
-        const double c = Sanitize(cost(config));
-        if (c < local.cost) {
-          local.cost = c;
-          local.config = config;
-          local.rank = i * nc_points + j;
-        }
-      }
-    }
+    BandBest local = ScanBand(cost, cluster, row_begin, row_end, nc_points);
     explored_total.fetch_add(local.explored, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(merge_mu);
     bands.push_back(local);

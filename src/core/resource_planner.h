@@ -86,13 +86,29 @@ class HillClimbResourcePlanner : public ResourcePlanner {
 /// worker count. The supplied cost function is invoked concurrently and
 /// must therefore be thread-safe (the learned-model objectives are: they
 /// only read immutable model weights).
+///
+/// Grids below `min_parallel_cells` (and any grid when the pool is
+/// absent or has a single worker) are scanned sequentially on the
+/// calling thread with the very same enumeration arithmetic, so the
+/// cold small-grid path can never be slower than
+/// BruteForceResourcePlanner — fan-out/join dispatch only happens where
+/// there is enough work to amortize it. The result is bit-identical
+/// either way.
 class ParallelBruteForceResourcePlanner : public ResourcePlanner {
  public:
-  /// Owns a private pool of `num_threads` workers.
+  /// Grids smaller than this many cells are scanned sequentially. The
+  /// paper-default 10x100 grid sits far below it on purpose: at ~1000
+  /// cheap model evaluations, fan-out costs more than it buys.
+  static constexpr int64_t kDefaultMinParallelCells = 2048;
+
+  /// Owns a private pool of `num_threads` workers. Prefer the borrowing
+  /// constructor wherever a pool already exists — per-planner pools
+  /// multiply into N x M threads when planners are themselves pooled.
   explicit ParallelBruteForceResourcePlanner(int num_threads);
 
-  /// Borrows `pool` (must outlive the planner). Do not call PlanResources
-  /// from tasks already running on that pool.
+  /// Borrows `pool` (must outlive the planner; nullptr degrades to the
+  /// sequential scan). Do not call PlanResources from tasks already
+  /// running on that pool.
   explicit ParallelBruteForceResourcePlanner(ThreadPool* pool);
 
   Result<ResourcePlanResult> PlanResources(
@@ -100,9 +116,15 @@ class ParallelBruteForceResourcePlanner : public ResourcePlanner {
       const resource::ClusterConditions& cluster) const override;
   const char* name() const override { return "parallel-brute-force"; }
 
+  /// Adjusts the sequential-fallback threshold (cells). 0 forces the
+  /// parallel path for every grid (tests use this to exercise it).
+  void set_min_parallel_cells(int64_t cells) { min_parallel_cells_ = cells; }
+  int64_t min_parallel_cells() const { return min_parallel_cells_; }
+
  private:
   ThreadPool* pool_;
   std::unique_ptr<ThreadPool> owned_pool_;
+  int64_t min_parallel_cells_ = kDefaultMinParallelCells;
 };
 
 /// An extension beyond the paper's Algorithm 1 for very large resource

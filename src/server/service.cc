@@ -75,6 +75,14 @@ PlanningService::PlanningService(const catalog::Catalog* catalog,
   }
 }
 
+ThreadPool* PlanningService::SearchPool() const {
+  std::call_once(search_pool_once_, [this] {
+    search_pool_ = std::make_unique<ThreadPool>(std::max(
+        1, options_.planner.evaluator.parallel_search_threads));
+  });
+  return search_pool_.get();
+}
+
 PlanResponse PlanningService::Handle(const PlanRequest& request) const {
   if (request.type == "cache_dump") return HandleCacheDump(request);
   if (request.type == "cache_load") return HandleCacheLoad(request);
@@ -133,6 +141,13 @@ PlanResponse PlanningService::Handle(const PlanRequest& request) const {
   core::RaqoPlannerOptions planner_options = options_.planner;
   if (Status knobs = ApplyKnobs(request, &planner_options); !knobs.ok()) {
     return FromStatus(knobs, request.id);
+  }
+  if (planner_options.evaluator.search ==
+          core::ResourceSearch::kParallelBruteForce &&
+      planner_options.evaluator.search_pool == nullptr) {
+    // All "parallel" requests share the service's search pool instead of
+    // spawning (and joining) a private one per request.
+    planner_options.evaluator.search_pool = SearchPool();
   }
 
   core::RaqoPlanner planner(catalog, models_, cluster_, pricing_,

@@ -11,9 +11,16 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <filesystem>
+#endif
 
 #include "catalog/random_schema.h"
 #include "catalog/tpch.h"
@@ -84,6 +91,42 @@ TEST(ThreadPoolTest, DrainsPendingTasksOnDestruction) {
     }
   }  // destructor joins after draining the queue
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTheFirstChunkFailure) {
+  ThreadPool pool(3);
+  // Every other chunk still runs; the caller sees one of the failures
+  // rethrown (the first to be recorded) instead of a hang or a crash.
+  std::atomic<int64_t> covered{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int64_t begin, int64_t end) {
+                         covered.fetch_add(end - begin);
+                         if (begin == 0) throw std::runtime_error("chunk 0");
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(covered.load(), 100);
+  // The pool survives a throwing job and keeps serving.
+  std::atomic<int> after{0};
+  pool.ParallelFor(10, [&](int64_t begin, int64_t end) {
+    after.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForReusesThePoolAcrossManySmallJobs) {
+  // The completion-latch fan-out must stay correct under rapid reuse:
+  // many back-to-back ParallelFor calls on one pool, each fully covering
+  // its range exactly once.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    const int64_t n = 1 + (round % 17);
+    pool.ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sum.fetch_add(i + 1);
+    });
+    ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -360,6 +403,92 @@ TEST(ParallelBruteForceTest, WorksAsEvaluatorSearchStrategy) {
             b->stats.resource_configs_explored);
 }
 
+TEST(ParallelBruteForceTest, SmallGridsScanInlineOnTheCallingThread) {
+  // The paper-default 10x100 grid sits below min_parallel_cells: the
+  // planner must scan it on the calling thread without touching the
+  // pool, so the cold path never pays fan-out/join dispatch for ~1000
+  // cheap model evaluations.
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+  ASSERT_LT(cluster.TotalGridSize(),
+            core::ParallelBruteForceResourcePlanner::kDefaultMinParallelCells);
+  core::ParallelBruteForceResourcePlanner parallel(4);
+  std::mutex mu;
+  std::set<std::thread::id> evaluator_threads;
+  auto objective = [&](const resource::ResourceConfig& c) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      evaluator_threads.insert(std::this_thread::get_id());
+    }
+    return c.container_size_gb() + c.num_containers();
+  };
+  const auto result = parallel.PlanResources(objective, cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->configs_explored, cluster.TotalGridSize());
+  EXPECT_EQ(evaluator_threads.size(), 1u);
+  EXPECT_EQ(*evaluator_threads.begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelBruteForceTest, ForcedParallelPathMatchesSequentialOnSmallGrids) {
+  // min_parallel_cells = 0 pushes even tiny grids through the pooled
+  // fan-out (this is also what keeps the parallel path under TSan
+  // coverage no matter the grid sizes other tests happen to draw).
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const resource::ClusterConditions cluster =
+        *resource::ClusterConditions::Create(
+            resource::ResourceConfig(1.0, 1.0),
+            resource::ResourceConfig(rng.Uniform(2.0, 10.0),
+                                     static_cast<double>(
+                                         rng.UniformInt(2, 50))),
+            resource::ResourceConfig(1.0, 1.0));
+    const double a = rng.Uniform(1.0, 10.0);
+    auto objective = [a](const resource::ResourceConfig& c) {
+      return std::fabs(c.container_size_gb() - a) +
+             0.01 * c.num_containers();
+    };
+    const auto sequential =
+        core::BruteForceResourcePlanner().PlanResources(objective, cluster);
+    core::ParallelBruteForceResourcePlanner parallel(4);
+    parallel.set_min_parallel_cells(0);
+    const auto result = parallel.PlanResources(objective, cluster);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(result->cost, sequential->cost);
+    EXPECT_EQ(result->config, sequential->config);
+    EXPECT_EQ(result->configs_explored, sequential->configs_explored);
+  }
+}
+
+TEST(ParallelBruteForceTest, BorrowedPoolIsSharedAcrossPlanners) {
+  // Many planners borrowing one pool must all produce the sequential
+  // optimum — the pool-sharing shape the runner and the server use.
+  ThreadPool pool(4);
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::WithMax(8.0, 400.0);
+  auto objective = [](const resource::ResourceConfig& c) {
+    return std::fabs(c.container_size_gb() - 5.0) * 2.0 +
+           std::fabs(c.num_containers() - 123.0) * 0.5;
+  };
+  const auto sequential =
+      core::BruteForceResourcePlanner().PlanResources(objective, cluster);
+  ASSERT_TRUE(sequential.ok());
+  for (int i = 0; i < 4; ++i) {
+    core::ParallelBruteForceResourcePlanner planner(&pool);
+    planner.set_min_parallel_cells(0);
+    const auto result = planner.PlanResources(objective, cluster);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->cost, sequential->cost);
+    EXPECT_EQ(result->config, sequential->config);
+  }
+  // A null borrowed pool degrades to the sequential scan.
+  core::ParallelBruteForceResourcePlanner unpooled(nullptr);
+  unpooled.set_min_parallel_cells(0);
+  const auto result = unpooled.PlanResources(objective, cluster);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->config, sequential->config);
+}
+
 // ---------------------------------------------------------------------
 // Concurrent workload runner (satellite property (a)): report equals
 // the sequential runner's, merged in submission order.
@@ -551,6 +680,232 @@ TEST(ConcurrentWorkloadRunnerTest, ReportsLowestIndexErrorDeterministically) {
   }
   EXPECT_FALSE(service.Run({}).ok());
 }
+
+// ---------------------------------------------------------------------
+// Batched cache inserts: InsertBatch must be indistinguishable from the
+// same Insert calls in order, for every layout and lookup mode.
+
+class InsertBatchTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Shards, InsertBatchTest, ::testing::Values(0, 8));
+
+TEST_P(InsertBatchTest, MatchesSequentialInsertsIncludingDuplicates) {
+  const size_t shards = GetParam();
+  for (const core::CacheLookupMode mode :
+       {core::CacheLookupMode::kExact,
+        core::CacheLookupMode::kNearestNeighbor}) {
+    core::ResourcePlanCache one_by_one(mode, 0.5,
+                                       core::CacheIndexKind::kSortedArray,
+                                       shards);
+    core::ResourcePlanCache batched(mode, 0.5,
+                                    core::CacheIndexKind::kSortedArray,
+                                    shards);
+    Rng rng(42);
+    std::vector<core::CacheEntryRecord> records;
+    for (int i = 0; i < 200; ++i) {
+      core::CacheEntryRecord record;
+      record.model = rng.Bernoulli(0.5) ? "smj" : "bhj";
+      // A narrow key range forces duplicate (model, key, larger) triples,
+      // which must resolve to the last occurrence either way.
+      record.plan.key_gb = std::floor(rng.Uniform(0.0, 20.0));
+      record.plan.larger_gb = std::floor(rng.Uniform(0.0, 4.0)) * 10.0;
+      record.plan.cost = static_cast<double>(i);
+      record.plan.config = resource::ResourceConfig(
+          rng.Uniform(1.0, 10.0), rng.Uniform(1.0, 100.0));
+      records.push_back(record);
+    }
+    for (const core::CacheEntryRecord& record : records) {
+      one_by_one.Insert(record.model, record.plan);
+    }
+    batched.InsertBatch(records);
+
+    EXPECT_EQ(batched.size(), one_by_one.size());
+    EXPECT_EQ(batched.entry_count(), one_by_one.entry_count());
+    EXPECT_EQ(batched.approx_bytes(), one_by_one.approx_bytes());
+    const std::vector<core::CacheEntryRecord> a = one_by_one.DumpEntries();
+    const std::vector<core::CacheEntryRecord> b = batched.DumpEntries();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].model, b[i].model);
+      EXPECT_EQ(a[i].plan.key_gb, b[i].plan.key_gb);
+      EXPECT_EQ(a[i].plan.larger_gb, b[i].plan.larger_gb);
+      EXPECT_EQ(a[i].plan.smaller_gb, b[i].plan.smaller_gb);
+      EXPECT_EQ(a[i].plan.cost, b[i].plan.cost);
+      EXPECT_EQ(a[i].plan.config, b[i].plan.config);
+    }
+  }
+}
+
+TEST_P(InsertBatchTest, FiresTheListenerPerEntryInBatchOrder) {
+  class Recorder : public core::CacheEventListener {
+   public:
+    void OnInsert(const std::string& model,
+                  const core::CachedResourcePlan& plan) override {
+      events.emplace_back(model, plan.key_gb);
+    }
+    std::vector<std::pair<std::string, double>> events;
+  };
+  core::ResourcePlanCache cache(core::CacheLookupMode::kExact, 0.0,
+                                core::CacheIndexKind::kSortedArray,
+                                GetParam());
+  Recorder recorder;
+  cache.SetEventListener(&recorder);
+  std::vector<core::CacheEntryRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    core::CacheEntryRecord record;
+    record.model = i % 2 == 0 ? "smj" : "bhj";
+    record.plan.key_gb = static_cast<double>(i);
+    records.push_back(record);
+  }
+  cache.InsertBatch(records);
+  cache.SetEventListener(nullptr);
+  ASSERT_EQ(recorder.events.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(recorder.events[i].first, records[i].model);
+    // The listener sees the caller's original key, not the folded one.
+    EXPECT_EQ(recorder.events[i].second, records[i].plan.key_gb);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Write-behind shared-cache batching inside the evaluator: plans stay
+// bit-identical to write-through, and every staged plan is flushed by
+// the end of the query.
+
+TEST(WriteBehindCacheTest, BatchedAndWriteThroughPlansAndCachesMatch) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const std::vector<TableId> tables =
+      *catalog::TpchQueryTables(cat, TpchQuery::kQ3);
+
+  auto shared_cache = [] {
+    return std::make_shared<core::ResourcePlanCache>(
+        core::CacheLookupMode::kExact, 0.0,
+        core::CacheIndexKind::kSortedArray, /*shards=*/8);
+  };
+  auto options_with_batch = [](size_t batch) {
+    core::RaqoPlannerOptions options;
+    options.evaluator.use_cache = true;
+    options.evaluator.cache_mode = core::CacheLookupMode::kExact;
+    options.evaluator.shared_insert_batch = batch;
+    options.clear_cache_between_queries = false;
+    return options;
+  };
+
+  // Write-through (batch 0) vs write-behind (tiny batch, forcing many
+  // mid-query flushes) vs write-behind (large batch, flushed only at the
+  // end of the query).
+  std::vector<core::JointPlan> plans;
+  std::vector<std::vector<core::CacheEntryRecord>> dumps;
+  for (const size_t batch : {size_t{0}, size_t{3}, size_t{1024}}) {
+    std::shared_ptr<core::ResourcePlanCache> cache = shared_cache();
+    core::RaqoPlanner planner(&cat, Models(),
+                              resource::ClusterConditions::PaperDefault(),
+                              resource::PricingModel(),
+                              options_with_batch(batch));
+    planner.evaluator().ShareCache(cache);
+    Result<core::JointPlan> plan = planner.Plan(tables);
+    ASSERT_TRUE(plan.ok()) << "batch " << batch;
+    // Everything staged was flushed by the end of Plan().
+    EXPECT_GT(cache->size(), 0u) << "batch " << batch;
+    plans.push_back(std::move(*plan));
+    dumps.push_back(cache->DumpEntries());
+  }
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[i].cost.seconds, plans[0].cost.seconds);
+    EXPECT_EQ(plans[i].cost.dollars, plans[0].cost.dollars);
+    EXPECT_TRUE(plans[i].plan->StructurallyEquals(*plans[0].plan));
+    // The shared cache ends bit-identical no matter the batching.
+    ASSERT_EQ(dumps[i].size(), dumps[0].size());
+    for (size_t j = 0; j < dumps[i].size(); ++j) {
+      EXPECT_EQ(dumps[i][j].model, dumps[0][j].model);
+      EXPECT_EQ(dumps[i][j].plan.key_gb, dumps[0][j].plan.key_gb);
+      EXPECT_EQ(dumps[i][j].plan.larger_gb, dumps[0][j].plan.larger_gb);
+      EXPECT_EQ(dumps[i][j].plan.cost, dumps[0][j].plan.cost);
+      EXPECT_EQ(dumps[i][j].plan.config, dumps[0][j].plan.config);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Thread accounting: the shared-pool architecture must not multiply
+// planner workers by search threads (the N x M oversubscription this
+// layer once had), and repeated Run calls must not spawn anything.
+
+#ifdef __linux__
+int CountProcessThreads() {
+  int count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+TEST(ThreadAccountingTest, RunnerSharesOneSearchPoolAcrossWorkers) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  std::vector<core::WorkloadQuery> workload = {
+      {"Q3", *catalog::TpchQueryTables(cat, TpchQuery::kQ3)},
+      {"Q2", *catalog::TpchQueryTables(cat, TpchQuery::kQ2)},
+      {"Q12", *catalog::TpchQueryTables(cat, TpchQuery::kQ12)},
+      {"Q3-again", *catalog::TpchQueryTables(cat, TpchQuery::kQ3)},
+  };
+  core::RaqoPlannerOptions planner_options = ServiceOptions(true);
+  planner_options.evaluator.search =
+      core::ResourceSearch::kParallelBruteForce;
+  planner_options.evaluator.parallel_search_threads = 4;
+  core::ConcurrentRunnerOptions concurrency;
+  concurrency.num_threads = 4;
+
+  const int before = CountProcessThreads();
+  core::ConcurrentWorkloadRunner service(
+      &cat, Models(), resource::ClusterConditions::PaperDefault(),
+      resource::PricingModel(), planner_options, concurrency);
+  const int after_ctor = CountProcessThreads();
+  // Exactly one worker pool (num_threads - 1: the caller is worker 0)
+  // plus one shared search pool — NOT num_threads * search_threads.
+  EXPECT_EQ(after_ctor - before, (4 - 1) + 4);
+
+  const Result<core::WorkloadReport> first = service.Run(workload);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(CountProcessThreads(), after_ctor) << "Run spawned threads";
+
+  // Reuse: a second Run on the same planners and pools returns the same
+  // plans (the shared exact cache may serve more hits, which must not
+  // change any plan).
+  const Result<core::WorkloadReport> second = service.Run(workload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(CountProcessThreads(), after_ctor);
+  ASSERT_EQ(second->queries.size(), first->queries.size());
+  for (size_t i = 0; i < first->queries.size(); ++i) {
+    EXPECT_EQ(second->queries[i].plan, first->queries[i].plan);
+    EXPECT_EQ(second->queries[i].cost.seconds,
+              first->queries[i].cost.seconds);
+    EXPECT_EQ(second->queries[i].cost.dollars,
+              first->queries[i].cost.dollars);
+    ASSERT_EQ(second->queries[i].join_resources.size(),
+              first->queries[i].join_resources.size());
+    for (size_t j = 0; j < first->queries[i].join_resources.size(); ++j) {
+      EXPECT_EQ(second->queries[i].join_resources[j],
+                first->queries[i].join_resources[j]);
+    }
+  }
+}
+
+TEST(ThreadAccountingTest, SequentialPlannersStillOwnPrivatePools) {
+  // Without an injected pool the evaluator falls back to an owned pool —
+  // the single-planner ergonomics are unchanged.
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  core::RaqoPlannerOptions options;
+  options.evaluator.search = core::ResourceSearch::kParallelBruteForce;
+  options.evaluator.parallel_search_threads = 3;
+  const int before = CountProcessThreads();
+  core::RaqoPlanner planner(&cat, Models(),
+                            resource::ClusterConditions::PaperDefault(),
+                            resource::PricingModel(), options);
+  EXPECT_EQ(CountProcessThreads() - before, 3);
+}
+#endif  // __linux__
 
 // ---------------------------------------------------------------------
 // Saturation guards on the exploration counters.

@@ -311,6 +311,52 @@ TEST(PlanningServiceTest, OversizedSqlIsRejectedCleanly) {
   EXPECT_NE(response.error.find("exceeds"), std::string::npos);
 }
 
+#ifdef __linux__
+TEST(PlanningServiceTest, ParallelSearchRequestsShareOneServicePool) {
+  // The resource-search pool is built lazily by the first "parallel"
+  // request and shared by every later one: the thread count grows once
+  // by parallel_search_threads, then stays flat no matter how many
+  // parallel requests are handled — never a pool per request.
+  PlanningService service = MakeService();
+  auto count_threads = [] {
+    int count = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/task")) {
+      (void)entry;
+      ++count;
+    }
+    return count;
+  };
+  PlanRequest request;
+  request.tables = {"orders", "lineitem", "customer"};
+  request.search = "parallel";
+
+  const int before = count_threads();
+  PlanResponse first = service.Handle(request);
+  ASSERT_TRUE(first.ok()) << first.status << ": " << first.error;
+  const int after_first = count_threads();
+  EXPECT_EQ(after_first - before,
+            service.options().planner.evaluator.parallel_search_threads);
+
+  for (int i = 0; i < 4; ++i) {
+    PlanResponse next = service.Handle(request);
+    ASSERT_TRUE(next.ok()) << next.status << ": " << next.error;
+  }
+  EXPECT_EQ(count_threads(), after_first);
+
+  // And the answers match the default sequential grid search exactly.
+  PlanRequest grid = request;
+  grid.search = "grid";
+  PlanResponse sequential = service.Handle(grid);
+  PlanResponse parallel = service.Handle(request);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(sequential.plan, parallel.plan);
+  EXPECT_EQ(sequential.cost.seconds, parallel.cost.seconds);
+  EXPECT_EQ(sequential.cost.dollars, parallel.cost.dollars);
+}
+#endif  // __linux__
+
 // ---------------------------------------------------------------------
 // End-to-end over loopback
 
