@@ -6,9 +6,47 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stats.h"
 #include "common/strings.h"
 
 namespace raqo::bench {
+
+/// Tail-latency summary of one latency series (any unit; the caller
+/// keeps units consistent). Every bench reports the same three
+/// percentiles so JSON artifacts stay comparable across benches.
+struct LatencyStats {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Percentiles over an unsorted sample (copied; linear-interpolated via
+/// raqo::Percentile). Zeroes on an empty sample.
+inline LatencyStats SummarizeLatencies(const std::vector<double>& values) {
+  LatencyStats stats;
+  if (values.empty()) return stats;
+  stats.p50 = Percentile(values, 50.0);
+  stats.p95 = Percentile(values, 95.0);
+  stats.p99 = Percentile(values, 99.0);
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    if (v > stats.max) stats.max = v;
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  return stats;
+}
+
+/// The JSON fragment every bench embeds for a latency series:
+/// `"p50_<unit>": ..., "p95_<unit>": ..., "p99_<unit>": ...`.
+inline std::string LatencyJsonFields(const LatencyStats& stats,
+                                     const char* unit) {
+  return StrPrintf(
+      "\"p50_%s\": %.3f, \"p95_%s\": %.3f, \"p99_%s\": %.3f", unit,
+      stats.p50, unit, stats.p95, unit, stats.p99);
+}
 
 /// Minimal fixed-width table printer for the figure-reproduction
 /// binaries: each bench prints the same rows/series the paper's figure

@@ -67,6 +67,22 @@ core::RaqoPlannerOptions ColdOptions(core::ResourceSearch search) {
   return options;
 }
 
+// Per-query planning-latency distribution of a workload report: the
+// tail matters to a planning *service* (one slow query behind a shared
+// pool shows up at p99 long before it moves the mean).
+bench::LatencyStats PlanLatencies(const core::WorkloadReport& report) {
+  std::vector<double> wall_ms;
+  wall_ms.reserve(report.queries.size());
+  for (const core::QueryRunReport& query : report.queries) {
+    wall_ms.push_back(query.wall_ms);
+  }
+  return bench::SummarizeLatencies(wall_ms);
+}
+
+std::string LatencyCell(const bench::LatencyStats& stats) {
+  return StrPrintf("%.1f/%.1f/%.1f", stats.p50, stats.p95, stats.p99);
+}
+
 bool SamePlans(const core::WorkloadReport& a, const core::WorkloadReport& b) {
   if (a.queries.size() != b.queries.size()) return false;
   for (size_t i = 0; i < a.queries.size(); ++i) {
@@ -123,9 +139,11 @@ int main(int argc, char** argv) {
   std::string json_levels;
   double speedup_at_4 = 0.0;
   bench::Table table({"threads", "wall clock (ms)", "speedup",
-                      "cache hits", "cache misses", "plans identical"});
+                      "p50/p95/p99 (ms)", "cache hits", "cache misses",
+                      "plans identical"});
+  const bench::LatencyStats baseline_lat = PlanLatencies(*baseline);
   table.AddRow({"sequential", bench::Num(baseline->wall_clock_ms, "%.1f"),
-                bench::Num(1.0, "%.2fx"),
+                bench::Num(1.0, "%.2fx"), LatencyCell(baseline_lat),
                 bench::Int(baseline->total_cache_hits),
                 bench::Int(baseline->total_cache_misses), "-"});
 
@@ -145,9 +163,10 @@ int main(int argc, char** argv) {
     const double speedup =
         baseline->wall_clock_ms / report->wall_clock_ms;
     if (threads == 4) speedup_at_4 = speedup;
+    const bench::LatencyStats level_lat = PlanLatencies(*report);
     table.AddRow({bench::Int(threads),
                   bench::Num(report->wall_clock_ms, "%.1f"),
-                  bench::Num(speedup, "%.2fx"),
+                  bench::Num(speedup, "%.2fx"), LatencyCell(level_lat),
                   bench::Int(report->shared_cache.hits),
                   bench::Int(report->shared_cache.misses),
                   identical ? "yes" : "NO"});
@@ -159,11 +178,12 @@ int main(int argc, char** argv) {
             : 0.0;
     if (!json_levels.empty()) json_levels += ", ";
     json_levels += StrPrintf(
-        "{\"threads\": %d, \"wall_ms\": %s, \"speedup\": %s, "
+        "{\"threads\": %d, \"wall_ms\": %s, \"speedup\": %s, %s, "
         "\"cache_hits\": %lld, \"cache_misses\": %lld, \"hit_rate\": %s, "
         "\"plans_identical\": %s}",
         threads, JsonNumber(report->wall_clock_ms).c_str(),
         JsonNumber(speedup).c_str(),
+        bench::LatencyJsonFields(level_lat, "ms").c_str(),
         (long long)hits, (long long)misses, JsonNumber(hit_rate).c_str(),
         identical ? "true" : "false");
   }
@@ -210,11 +230,14 @@ int main(int argc, char** argv) {
   const std::string json = StrPrintf(
       "{\"bench\": \"concurrent_workload\", \"queries\": %zu, "
       "\"hardware_threads\": %u, "
-      "\"sequential_wall_ms\": %s, \"levels\": [%s], "
+      "\"sequential_wall_ms\": %s, \"sequential\": {%s}, "
+      "\"levels\": [%s], "
       "\"brute_force_cold\": {\"sequential_ms\": %s, \"parallel_ms\": %s, "
       "\"ratio\": %s}}\n",
       workload.size(), hardware_threads,
-      JsonNumber(baseline->wall_clock_ms).c_str(), json_levels.c_str(),
+      JsonNumber(baseline->wall_clock_ms).c_str(),
+      bench::LatencyJsonFields(baseline_lat, "ms").c_str(),
+      json_levels.c_str(),
       JsonNumber(cold_seq->wall_clock_ms).c_str(),
       JsonNumber(cold_par->wall_clock_ms).c_str(),
       JsonNumber(cold_ratio).c_str());

@@ -55,13 +55,6 @@ namespace {
 
 using namespace raqo;
 
-double Percentile(std::vector<double> sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const size_t index = static_cast<size_t>(
-      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
-  return sorted_us[std::min(index, sorted_us.size() - 1)];
-}
-
 struct LevelResult {
   int connections = 0;
   int64_t requests = 0;
@@ -69,8 +62,9 @@ struct LevelResult {
   int64_t quota_rejected = 0;
   double wall_ms = 0.0;
   double throughput_rps = 0.0;
-  double p50_us = 0.0;
-  double p99_us = 0.0;
+  // End-to-end request latency percentiles (bench::SummarizeLatencies,
+  // shared with the other benches so the JSON artifacts compare).
+  bench::LatencyStats latency_us;
 };
 
 struct LadderResult {
@@ -96,11 +90,11 @@ std::string LevelsJson(const std::vector<LevelResult>& levels) {
     json += StrPrintf(
         "{\"connections\": %d, \"requests\": %lld, \"errors\": %lld, "
         "\"quota_rejected\": %lld, \"wall_ms\": %s, \"throughput_rps\": %s, "
-        "\"p50_us\": %s, \"p99_us\": %s}",
+        "%s}",
         level.connections, (long long)level.requests, (long long)level.errors,
         (long long)level.quota_rejected, JsonNumber(level.wall_ms).c_str(),
         JsonNumber(level.throughput_rps).c_str(),
-        JsonNumber(level.p50_us).c_str(), JsonNumber(level.p99_us).c_str());
+        bench::LatencyJsonFields(level.latency_us, "us").c_str());
   }
   return json + "]";
 }
@@ -108,7 +102,7 @@ std::string LevelsJson(const std::vector<LevelResult>& levels) {
 void PrintLevels(const std::vector<LevelResult>& levels, int tenants) {
   std::vector<std::string> headers = {"connections", "requests", "errors",
                                       "wall (ms)", "throughput (req/s)",
-                                      "p50 (us)", "p99 (us)"};
+                                      "p50 (us)", "p95 (us)", "p99 (us)"};
   if (tenants > 0) headers.insert(headers.begin() + 3, "quota rejected");
   bench::Table table(headers);
   for (const LevelResult& level : levels) {
@@ -116,7 +110,9 @@ void PrintLevels(const std::vector<LevelResult>& levels, int tenants) {
         bench::Int(level.connections), bench::Int(level.requests),
         bench::Int(level.errors), bench::Num(level.wall_ms, "%.1f"),
         bench::Num(level.throughput_rps, "%.0f"),
-        bench::Num(level.p50_us, "%.0f"), bench::Num(level.p99_us, "%.0f")};
+        bench::Num(level.latency_us.p50, "%.0f"),
+        bench::Num(level.latency_us.p95, "%.0f"),
+        bench::Num(level.latency_us.p99, "%.0f")};
     if (tenants > 0) {
       row.insert(row.begin() + 3, bench::Int(level.quota_rejected));
     }
@@ -214,7 +210,6 @@ LadderResult RunLadder(const server::PlanningService& service, int tenants,
             std::chrono::steady_clock::now() - level_start)
             .count();
 
-    std::sort(latencies_us.begin(), latencies_us.end());
     LevelResult level;
     level.connections = connections;
     level.requests = static_cast<int64_t>(latencies_us.size());
@@ -224,8 +219,7 @@ LadderResult RunLadder(const server::PlanningService& service, int tenants,
     level.throughput_rps =
         wall_ms > 0.0 ? 1000.0 * static_cast<double>(level.requests) / wall_ms
                       : 0.0;
-    level.p50_us = Percentile(latencies_us, 0.50);
-    level.p99_us = Percentile(latencies_us, 0.99);
+    level.latency_us = bench::SummarizeLatencies(latencies_us);
     result.levels.push_back(level);
   }
 

@@ -1,0 +1,63 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace raqo {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  RAQO_CHECK(align != 0 && (align & (align - 1)) == 0)
+      << "arena alignment must be a power of two";
+  RAQO_CHECK(align <= kMaxAlign) << "over-aligned arena request";
+  if (bytes == 0) bytes = 1;  // distinct pointers for zero-byte requests
+
+  uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+  if (cursor_ == nullptr ||
+      aligned + bytes > reinterpret_cast<uintptr_t>(limit_)) {
+    AddBlock(bytes);
+    p = reinterpret_cast<uintptr_t>(cursor_);
+    aligned = (p + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+  }
+  cursor_ = reinterpret_cast<char*>(aligned + bytes);
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::AddBlock(size_t bytes) {
+  // Double the footprint each time (with room for the request plus worst
+  // case alignment padding) so the block count stays logarithmic in the
+  // peak allocation size.
+  const size_t want = bytes + kMaxAlign;
+  const size_t grown = std::max(min_block_bytes_, bytes_reserved_);
+  Block block;
+  block.capacity = std::max(want, grown);
+  block.data = std::make_unique<char[]>(block.capacity);
+  cursor_ = block.data.get();
+  limit_ = cursor_ + block.capacity;
+  bytes_reserved_ += block.capacity;
+  blocks_.push_back(std::move(block));
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) {
+    bytes_allocated_ = 0;
+    return;
+  }
+  // Keep only the largest block: after a few queries it is big enough
+  // for a whole run and Reset becomes free of allocator traffic.
+  size_t largest = 0;
+  for (size_t i = 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].capacity > blocks_[largest].capacity) largest = i;
+  }
+  if (largest != 0) std::swap(blocks_[0], blocks_[largest]);
+  blocks_.resize(1);
+  cursor_ = blocks_[0].data.get();
+  limit_ = cursor_ + blocks_[0].capacity;
+  bytes_reserved_ = blocks_[0].capacity;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace raqo

@@ -35,12 +35,23 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::RunChunk(ParallelForJob* job, int64_t begin, int64_t end) {
-  try {
-    (*job->body)(begin, end);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(job->mu);
-    if (!job->error) job->error = std::current_exception();
+void ThreadPool::RunParallelChunks(ParallelForJob* job) {
+  // Work stealing: claim the next chunk off the shared cursor until the
+  // range is drained. A participant that lands on a slow chunk simply
+  // claims fewer chunks; fast ones soak up the rest. The relaxed
+  // fetch_add is fine — chunk ranges are disjoint by construction and
+  // the latch below publishes every chunk's writes.
+  while (true) {
+    const int64_t begin =
+        job->next.fetch_add(job->chunk, std::memory_order_relaxed);
+    if (begin >= job->n) break;
+    const int64_t end = std::min(begin + job->chunk, job->n);
+    try {
+      (*job->body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (!job->error) job->error = std::current_exception();
+    }
   }
   // The acq_rel decrement publishes every chunk's writes to the caller's
   // acquire read (RMWs extend the release sequence). It must happen
@@ -56,38 +67,34 @@ void ThreadPool::RunChunk(ParallelForJob* job, int64_t begin, int64_t end) {
 void ThreadPool::ParallelFor(
     int64_t n, const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
-  const int64_t chunks =
+  const int64_t participants =
       std::min<int64_t>(n, static_cast<int64_t>(workers_.size()) + 1);
-  if (chunks <= 1) {
+  if (participants <= 1) {
     body(0, n);
     return;
   }
   ParallelForJob job;
   job.body = &body;
-  // Every chunk — the queued ones and the caller's own — decrements the
-  // latch once in RunChunk, so seed it with the full chunk count.
-  job.remaining.store(chunks, std::memory_order_relaxed);
+  job.n = n;
+  // ~8 claims per participant: fine enough that one slow chunk cannot
+  // stall the call behind it, coarse enough that the cursor's cache line
+  // is not the new bottleneck.
+  job.chunk = std::max<int64_t>(1, n / (participants * 8));
+  // Every participant — the queued records and the caller — decrements
+  // the latch once in RunParallelChunks, so seed it with the full count.
+  job.remaining.store(participants, std::memory_order_relaxed);
 
-  const int64_t base = n / chunks;
-  const int64_t extra = n % chunks;
-  // Chunk 0 runs on the calling thread after the rest are queued.
-  const int64_t first_end = base + (extra > 0 ? 1 : 0);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    int64_t begin = first_end;
-    for (int64_t c = 1; c < chunks; ++c) {
-      const int64_t end = begin + base + (c < extra ? 1 : 0);
+    for (int64_t c = 1; c < participants; ++c) {
       QueuedTask queued;
       queued.job = &job;
-      queued.begin = begin;
-      queued.end = end;
       queue_.push_back(std::move(queued));
-      begin = end;
     }
   }
   cv_.notify_all();
 
-  RunChunk(&job, 0, first_end);
+  RunParallelChunks(&job);
   std::unique_lock<std::mutex> lock(job.mu);
   job.done_cv.wait(lock, [&job] {
     return job.remaining.load(std::memory_order_acquire) <= 0;
@@ -111,7 +118,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     if (task.job != nullptr) {
-      RunChunk(task.job, task.begin, task.end);
+      RunParallelChunks(task.job);
     } else {
       task.own();
     }

@@ -43,17 +43,27 @@ class ThreadPool {
   /// propagate through the future).
   std::future<void> Submit(std::function<void()> task);
 
-  /// Runs body(begin, end) over a partition of [0, n) into roughly equal
-  /// contiguous chunks (at most one per worker), blocking until every
-  /// chunk completes. The calling thread executes one chunk itself so a
-  /// single-threaded pool degrades to a plain loop.
+  /// Runs body(begin, end) over contiguous chunks of [0, n), blocking
+  /// until the whole range completes. The calling thread participates,
+  /// so a single-threaded pool degrades to a plain loop.
   ///
-  /// Dispatch is deliberately cheap: all chunks are queued under one
-  /// lock acquisition as thin (job, range) records — no per-chunk
+  /// Chunks are *claimed dynamically* (work stealing): participants bump
+  /// a shared atomic cursor and take the next chunk of roughly
+  /// n / (participants * 8) indices, so a participant stuck on a slow
+  /// chunk — one band of pruned-out grid rows costing nothing next to a
+  /// band holding the surviving block, a worker preempted by the OS —
+  /// no longer stretches the whole call the way one static
+  /// range-per-worker did. Late-arriving participants that find the
+  /// cursor exhausted simply leave; the range still completes because
+  /// the caller itself drains the cursor.
+  ///
+  /// Dispatch is deliberately cheap: the participant records are queued
+  /// under one lock acquisition as thin job pointers — no per-chunk
   /// std::function, packaged_task, or future shared state — and
   /// completion is signalled through a stack-allocated latch. The first
   /// exception a chunk throws is rethrown on the calling thread after
-  /// every chunk has finished.
+  /// the whole range has been processed (a failed chunk never aborts the
+  /// others).
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& body);
 
@@ -63,10 +73,14 @@ class ThreadPool {
 
  private:
   /// Shared state of one ParallelFor call, living on the caller's stack
-  /// for the duration of the call. `remaining` counts queued chunks
-  /// still running; the worker finishing the last one signals `done_cv`.
+  /// for the duration of the call. `next` is the work-stealing cursor
+  /// participants claim chunks from; `remaining` counts participants
+  /// still running — the one finishing last signals `done_cv`.
   struct ParallelForJob {
     const std::function<void(int64_t, int64_t)>* body = nullptr;
+    int64_t n = 0;
+    int64_t chunk = 1;
+    std::atomic<int64_t> next{0};
     std::atomic<int64_t> remaining{0};
     std::mutex mu;
     std::condition_variable done_cv;
@@ -74,15 +88,15 @@ class ThreadPool {
   };
 
   /// One queue slot: either an owned Submit closure or a borrowed
-  /// ParallelFor chunk (job != nullptr).
+  /// ParallelFor participant record (job != nullptr).
   struct QueuedTask {
     std::packaged_task<void()> own;
     ParallelForJob* job = nullptr;
-    int64_t begin = 0;
-    int64_t end = 0;
   };
 
-  static void RunChunk(ParallelForJob* job, int64_t begin, int64_t end);
+  /// Claims and runs chunks until the job's cursor is exhausted, then
+  /// drops the participant latch.
+  static void RunParallelChunks(ParallelForJob* job);
 
   void WorkerLoop();
 

@@ -46,6 +46,36 @@ RaqoCostEvaluator::RaqoCostEvaluator(cost::JoinCostModels models,
       resource_span_name_ = "planner.resource.grid";
       break;
     }
+    case ResourceSearch::kSwitchAwareGrid: {
+      // Borrows the injected pool only: the paper-default grid sits far
+      // below the parallel threshold, so the common case is sequential
+      // anyway, and pruning makes big grids cheap before parallelism
+      // would (inject a pool + lower min_parallel_grid_cells to fan out).
+      auto switch_aware = std::make_unique<SwitchAwareGridResourcePlanner>(
+          options_.search_pool);
+      switch_aware->set_min_parallel_cells(options_.min_parallel_grid_cells);
+      switch_aware->set_block_cells(options_.switch_block_cells);
+      planner_ = std::move(switch_aware);
+      resource_span_name_ = "planner.resource.grid";
+      switch_aware_ = true;
+      // Validate the monotonicity declaration of each model once, at
+      // load: a rejected model plans exhaustively (no bound oracle) and
+      // the rejection is counted, never silently pruned unsoundly.
+      const plan::JoinImpl impls[2] = {plan::JoinImpl::kSortMergeJoin,
+                                       plan::JoinImpl::kBroadcastHashJoin};
+      for (int i = 0; i < 2; ++i) {
+        Result<cost::ResourceBoundOracle> oracle =
+            cost::ResourceBoundOracle::Create(models_.ForImpl(impls[i]));
+        if (oracle.ok()) {
+          oracles_[i] = *std::move(oracle);
+        } else if (obs::MetricsOn()) {
+          static obs::Counter* rejected = obs::DefaultMetrics().GetCounter(
+              "planner.resource.monotonicity_rejected");
+          rejected->Add(1);
+        }
+      }
+      break;
+    }
   }
   if (options_.use_cache) {
     cache_ = std::make_unique<ResourcePlanCache>(
@@ -57,7 +87,17 @@ RaqoCostEvaluator::RaqoCostEvaluator(cost::JoinCostModels models,
 void RaqoCostEvaluator::UpdateClusterConditions(
     resource::ClusterConditions cluster) {
   cluster_ = cluster;
+  // Warm starts are snapped onto the current grid by index, so a stale
+  // one is *safe* — but a fresh grid means the old optimum carries no
+  // switch-point signal. Start cold like the caches do.
+  last_best_[0].reset();
+  last_best_[1].reset();
   ClearCache();
+}
+
+void RaqoCostEvaluator::BeginQuery() {
+  last_best_[0].reset();
+  last_best_[1].reset();
 }
 
 RaqoCostEvaluator::~RaqoCostEvaluator() { FlushSharedCacheInserts(); }
@@ -197,16 +237,53 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
     }
   }
 
+  // Acceleration hints for the switch-aware search. Both are pure
+  // accelerators (bit-identical results with or without); the objective
+  // lower bound composes the model-seconds bound with the pricing model
+  // evaluated at the box's low corner, which under-approximates the
+  // weighted objective whenever time_weight lies in [0, 1] and the
+  // price rate is non-negative — outside that envelope the bound is
+  // simply not offered and the sweep runs exhaustively.
+  const size_t model_idx =
+      context.impl == plan::JoinImpl::kSortMergeJoin ? 0 : 1;
+  ResourceSearchHints hints;
+  if (switch_aware_) {
+    hints.warm_start = last_best_[model_idx];
+    const double tw = options_.time_weight;
+    if (oracles_[model_idx].has_value() && tw >= 0.0 && tw <= 1.0 &&
+        pricing_.dollars_per_gb_hour() >= 0.0) {
+      const cost::ResourceBoundOracle* oracle = &*oracles_[model_idx];
+      hints.box_lower_bound = [this, oracle, tw, ss_gb, ls_gb](
+                                  const resource::ResourceConfig& lo,
+                                  const resource::ResourceConfig& hi) {
+        cost::JoinFeatures data;
+        data.smaller_gb = ss_gb;
+        data.larger_gb = ls_gb;
+        const double sec_lb = oracle->SecondsLowerBound(data, lo, hi);
+        // Same floating-point expression shape as the objective, fed
+        // with componentwise lower bounds: every op in the chain is
+        // monotone under round-to-nearest, so bound <= objective holds
+        // at the bit level, not just in real arithmetic.
+        const double dollars_lb = pricing_.Cost(lo, sec_lb);
+        return cost::CostVector{sec_lb, dollars_lb}.Weighted(tw);
+      };
+    }
+  }
+  auto run_search = [&] {
+    return switch_aware_ ? planner_->PlanResourcesWithHints(
+                               objective, search_cluster, hints)
+                         : planner_->PlanResources(objective, search_cluster);
+  };
+
   Result<ResourcePlanResult> planned = [&] {
     const bool metrics_on = obs::MetricsOn();
     const bool tracing_on = obs::TracingOn();
     if (!metrics_on && !tracing_on) {
-      return planner_->PlanResources(objective, search_cluster);
+      return run_search();
     }
     Stopwatch timer;
     obs::Span span = obs::DefaultTracer().StartSpan(resource_span_name_);
-    Result<ResourcePlanResult> result =
-        planner_->PlanResources(objective, search_cluster);
+    Result<ResourcePlanResult> result = run_search();
     if (span.recording()) {
       span.SetAttr("strategy", planner_->name());
       span.SetAttr("model", model.name());
@@ -215,6 +292,9 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
       if (result.ok()) {
         span.SetAttr("configs_explored",
                      static_cast<int64_t>(result->configs_explored));
+        if (result->cells_pruned > 0) {
+          span.SetAttr("cells_pruned", result->cells_pruned);
+        }
       } else {
         span.SetAttr("error", result.status().message());
       }
@@ -229,11 +309,27 @@ Result<optimizer::OperatorCost> RaqoCostEvaluator::CostJoinImpl(
       searches->Add(1);
       if (result.ok()) explored->Add(result->configs_explored);
       latency->Record(timer.ElapsedMicros());
+      if (result.ok() && switch_aware_) {
+        static obs::Counter* pruned = obs::DefaultMetrics().GetCounter(
+            "planner.resource.cells_pruned");
+        static obs::Counter* replanned = obs::DefaultMetrics().GetCounter(
+            "planner.resource.cells_replanned");
+        static obs::Counter* reused = obs::DefaultMetrics().GetCounter(
+            "planner.resource.plans_reused");
+        pruned->Add(result->cells_pruned);
+        // Cells evaluated beyond the warm-start re-cost — the true
+        // incremental work of this search.
+        const int64_t beyond_warm =
+            result->configs_explored - (hints.warm_start.has_value() ? 1 : 0);
+        replanned->Add(beyond_warm > 0 ? beyond_warm : 0);
+        if (result->warm_start_won) reused->Add(1);
+      }
     }
     return result;
   }();
   if (!planned.ok()) return planned.status();
   AddResourceConfigsExplored(planned->configs_explored);
+  if (switch_aware_) last_best_[model_idx] = planned->config;
 
   if (cache != nullptr) {
     CachedResourcePlan entry;

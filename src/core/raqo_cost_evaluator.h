@@ -1,11 +1,14 @@
 #ifndef RAQO_CORE_RAQO_COST_EVALUATOR_H_
 #define RAQO_CORE_RAQO_COST_EVALUATOR_H_
 
+#include <array>
 #include <memory>
+#include <optional>
 
 #include "core/plan_cache.h"
 #include "core/resource_planner.h"
 #include "cost/cost_model.h"
+#include "cost/model_bounds.h"
 #include "optimizer/cost_evaluator.h"
 #include "resource/cluster_conditions.h"
 #include "resource/pricing.h"
@@ -20,6 +23,13 @@ enum class ResourceSearch {
   kHillClimb,
   kAcceleratedHillClimb,
   kParallelBruteForce,
+  /// The switch-point-aware incremental grid search: bit-identical to
+  /// kBruteForce but warm-started from the previous search's optimum
+  /// and dominance-pruned through sound cost-model lower bounds
+  /// (SwitchAwareGridResourcePlanner, docs/PERF.md). Models whose
+  /// feature set fails monotonicity validation fall back to the plain
+  /// exhaustive sweep and bump planner.resource.monotonicity_rejected.
+  kSwitchAwareGrid,
 };
 
 /// Configuration of the RAQO cost evaluator.
@@ -71,6 +81,11 @@ struct RaqoEvaluatorOptions {
   /// single-threaded layout. Shared caches (ShareCache) bring their own
   /// sharding.
   size_t cache_shards = 0;
+
+  /// Cells per dominance-pruning block of the kSwitchAwareGrid search
+  /// (ignored by the other strategies).
+  int64_t switch_block_cells =
+      SwitchAwareGridResourcePlanner::kDefaultBlockCells;
 
   /// Objective weight for resource planning: 1.0 plans resources for pure
   /// execution time, 0.0 for pure monetary cost.
@@ -136,6 +151,21 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
 
   const RaqoEvaluatorOptions& options() const { return options_; }
 
+  /// Marks a query boundary: drops the per-model warm-start memory of
+  /// the switch-aware search so every query plans from a cold incumbent.
+  /// Warm starts never change results — this only keeps the per-query
+  /// `configs_explored` stats independent of which queries a worker
+  /// planned before (the concurrent runner steals queries dynamically).
+  void BeginQuery();
+
+  /// True when the switch-aware search prunes with a validated bound
+  /// oracle for the given join implementation (false for the other
+  /// strategies and for monotonicity-rejected models).
+  bool has_bound_oracle(plan::JoinImpl impl) const {
+    return oracles_[impl == plan::JoinImpl::kSortMergeJoin ? 0 : 1]
+        .has_value();
+  }
+
   /// Flushes any pending write-behind inserts to the shared cache.
   ~RaqoCostEvaluator() override;
 
@@ -180,6 +210,15 @@ class RaqoCostEvaluator : public optimizer::PlanCostEvaluator {
   /// changes invalidate them, and those clear everything.
   std::unique_ptr<ResourcePlanCache> staging_;
   std::vector<CacheEntryRecord> pending_inserts_;
+  /// Switch-aware search state, unused by the other strategies. Indexed
+  /// by join implementation (0 = SMJ, 1 = BHJ): a validated lower-bound
+  /// oracle per model (nullopt after monotonicity rejection => that
+  /// model's searches run exhaustively) and the previous search's
+  /// optimum as the next warm start (cleared by BeginQuery and cluster
+  /// updates).
+  std::array<std::optional<cost::ResourceBoundOracle>, 2> oracles_;
+  std::array<std::optional<resource::ResourceConfig>, 2> last_best_;
+  bool switch_aware_ = false;
 };
 
 }  // namespace raqo::core

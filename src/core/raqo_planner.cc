@@ -36,9 +36,19 @@ RaqoPlanner::RaqoPlanner(const catalog::Catalog* catalog,
 Result<JointPlan> RaqoPlanner::RunPlanner(
     const std::vector<catalog::TableId>& tables,
     optimizer::PlanCostEvaluator& evaluator) {
+  // Fresh warm-start state and a recycled scratch arena per run: plans
+  // and counters for a query never depend on what this planner worked
+  // on before (the concurrent runner steals queries dynamically, so any
+  // cross-query leakage would make results scheduling-dependent).
+  evaluator_.BeginQuery();
+  optimizer::SelingerOptions selinger = options_.selinger;
+  if (selinger.arena == nullptr) {
+    arena_.Reset();
+    selinger.arena = &arena_;
+  }
   Result<optimizer::PlannedQuery> planned =
       options_.algorithm == PlannerAlgorithm::kSelinger
-          ? optimizer::SelingerPlanner(options_.selinger)
+          ? optimizer::SelingerPlanner(selinger)
                 .Plan(*catalog_, tables, evaluator)
           : optimizer::FastRandomizedPlanner(options_.randomized)
                 .PlanBest(*catalog_, tables, evaluator);
@@ -118,6 +128,7 @@ Result<JointPlan> RaqoPlanner::PlanResourcesForPlan(
   if (options_.clear_cache_between_queries && !evaluator_.cache_is_shared()) {
     evaluator_.ClearCache();
   }
+  evaluator_.BeginQuery();
   evaluator_.ResetCounters();
   plan::CardinalityEstimator estimator(catalog_);
   JointPlan out;

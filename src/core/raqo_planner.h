@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/arena.h"
 #include "common/result.h"
 #include "core/raqo_cost_evaluator.h"
 #include "cost/cost_model.h"
@@ -112,6 +113,12 @@ class RaqoPlanner {
   resource::PricingModel pricing_;
   RaqoPlannerOptions options_;
   RaqoCostEvaluator evaluator_;
+  /// Planner-owned scratch arena, reset at the start of every planning
+  /// run and lent to the DP enumerators (unless the caller injected an
+  /// arena through the Selinger options). Once its block has grown to
+  /// the workload's largest memo, per-query planning stops touching the
+  /// global allocator for enumeration state entirely.
+  Arena arena_;
 };
 
 }  // namespace raqo::core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -17,6 +18,29 @@ namespace raqo::core {
 /// +infinity marks an infeasible configuration.
 using ResourceCostFn = std::function<double(const resource::ResourceConfig&)>;
 
+/// Sound lower bound of the cost over *every* grid cell in the inclusive
+/// box [lo, hi]: for all cells r in the box, bound(lo, hi) <= cost(r).
+/// Returning -infinity says "no bound available for this box" and simply
+/// disables pruning there — soundness over tightness, always.
+using ResourceBoxBoundFn = std::function<double(
+    const resource::ResourceConfig& lo, const resource::ResourceConfig& hi)>;
+
+/// Optional acceleration hints for a resource search. Both members are
+/// pure accelerators: any planner honoring them must return bit-identical
+/// results with or without them (the incremental-search property tests
+/// hold every combination to that).
+struct ResourceSearchHints {
+  /// Enables dominance pruning (branch-and-bound over grid blocks).
+  /// Empty function => no pruning.
+  ResourceBoxBoundFn box_lower_bound;
+  /// The previous search's optimum under similar data characteristics
+  /// (the switch-point observation: the winning cell moves rarely).
+  /// Seeding the incumbent with it lets tight bounds prune almost the
+  /// whole grid when no switch point was crossed. Snapped onto the
+  /// current grid before use, so a stale or off-grid value is safe.
+  std::optional<resource::ResourceConfig> warm_start;
+};
+
 /// Outcome of planning resources for one sub-plan.
 struct ResourcePlanResult {
   resource::ResourceConfig config;
@@ -25,6 +49,13 @@ struct ResourcePlanResult {
   /// Resource configurations whose cost was evaluated — the paper's
   /// "#Resource-Iterations" overhead metric (Figure 13).
   int64_t configs_explored = 0;
+  /// Grid cells skipped by dominance pruning (0 for exhaustive scans).
+  int64_t cells_pruned = 0;
+  /// Lower-bound oracle invocations (each costs ~4 model evaluations).
+  int64_t bound_probes = 0;
+  /// True when the winning cell is the warm-start cell — no switch point
+  /// was crossed since the previous search.
+  bool warm_start_won = false;
 };
 
 /// Picks the resource configuration for one sub-plan (one join operator),
@@ -40,6 +71,18 @@ class ResourcePlanner {
   virtual Result<ResourcePlanResult> PlanResources(
       const ResourceCostFn& cost,
       const resource::ClusterConditions& cluster) const = 0;
+
+  /// PlanResources with acceleration hints. The default ignores the
+  /// hints — only searches that can exploit them while preserving their
+  /// exactness contract override this (the hill climbers are already
+  /// heuristic and gain nothing sound from a bound).
+  virtual Result<ResourcePlanResult> PlanResourcesWithHints(
+      const ResourceCostFn& cost,
+      const resource::ClusterConditions& cluster,
+      const ResourceSearchHints& hints) const {
+    (void)hints;
+    return PlanResources(cost, cluster);
+  }
 
   virtual const char* name() const = 0;
 };
@@ -125,6 +168,74 @@ class ParallelBruteForceResourcePlanner : public ResourcePlanner {
   ThreadPool* pool_;
   std::unique_ptr<ThreadPool> owned_pool_;
   int64_t min_parallel_cells_ = kDefaultMinParallelCells;
+};
+
+/// The switch-point-aware incremental grid search: exhaustive-equivalent
+/// (bit-identical winner, cost, and tie-break to
+/// BruteForceResourcePlanner) but typically evaluating a small fraction
+/// of the grid. Three mechanisms compose:
+///
+///   1. *Warm start / join-plan reuse*: the previous search's optimum is
+///      re-costed first and seeds the incumbent. The paper's Fig. 4/9
+///      observation — optima move only at sparse switch points — makes
+///      this seed almost always the final winner, so the rest of the
+///      sweep is pure verification.
+///   2. *Dominance pruning*: the grid is swept in row-major rank order
+///      as rows, then blocks of `block_cells` cells; each is skipped
+///      when a sound lower bound (hints.box_lower_bound, built from the
+///      validated-monotone cost model) shows it cannot beat — or
+///      cannot earlier-rank-tie — the incumbent.
+///   3. On grids of at least `min_parallel_cells` with a pool attached,
+///      rows fan out over ParallelFor; bands prune against their local
+///      incumbent plus a shared atomic best-cost (strict rule only —
+///      stale reads prune less, never wrong), and band results merge by
+///      (cost, rank) exactly like the parallel brute force.
+///
+/// The tie-break is load-bearing: the cost model clamps predictions at a
+/// floor, so large equal-cost plateaus are common and "first cell in
+/// row-major order wins" is part of the exhaustive search's observable
+/// behavior. A block is therefore pruned only when its bound *strictly*
+/// exceeds the incumbent, or ties it while the whole block ranks after
+/// the incumbent's cell. Soundness argument: docs/PERF.md.
+///
+/// Without hints this degrades to the plain exhaustive scan (still
+/// bit-identical). The cost function must be thread-safe when a pool is
+/// attached.
+class SwitchAwareGridResourcePlanner : public ResourcePlanner {
+ public:
+  /// Cells per pruning block within a row. Small enough that one
+  /// surviving block costs little to scan, large enough that bound
+  /// probes (~4 model evaluations each) amortize.
+  static constexpr int64_t kDefaultBlockCells = 16;
+
+  /// `pool` may be nullptr (sequential always); borrowed, must outlive
+  /// the planner.
+  explicit SwitchAwareGridResourcePlanner(ThreadPool* pool = nullptr)
+      : pool_(pool) {}
+
+  Result<ResourcePlanResult> PlanResources(
+      const ResourceCostFn& cost,
+      const resource::ClusterConditions& cluster) const override;
+
+  Result<ResourcePlanResult> PlanResourcesWithHints(
+      const ResourceCostFn& cost,
+      const resource::ClusterConditions& cluster,
+      const ResourceSearchHints& hints) const override;
+
+  const char* name() const override { return "switch-aware-grid"; }
+
+  /// Grids below this many cells are swept on the calling thread even
+  /// when a pool is attached (same default as the parallel brute force).
+  void set_min_parallel_cells(int64_t cells) { min_parallel_cells_ = cells; }
+  void set_block_cells(int64_t cells) {
+    block_cells_ = cells < 1 ? 1 : cells;
+  }
+
+ private:
+  ThreadPool* pool_;
+  int64_t min_parallel_cells_ =
+      ParallelBruteForceResourcePlanner::kDefaultMinParallelCells;
+  int64_t block_cells_ = kDefaultBlockCells;
 };
 
 /// An extension beyond the paper's Algorithm 1 for very large resource

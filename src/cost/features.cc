@@ -7,8 +7,15 @@
 namespace raqo::cost {
 
 size_t NumFeatures(FeatureSet set) {
-  return set == FeatureSet::kPaper ? kNumPaperFeatures
-                                   : kNumExtendedFeatures;
+  switch (set) {
+    case FeatureSet::kPaper:
+      return kNumPaperFeatures;
+    case FeatureSet::kExtended:
+      return kNumExtendedFeatures;
+    case FeatureSet::kPeakedProbe:
+      return kNumPeakedProbeFeatures;
+  }
+  return kNumPaperFeatures;
 }
 
 std::vector<double> ExpandFeatures(const JoinFeatures& f, FeatureSet set) {
@@ -33,6 +40,12 @@ size_t ExpandFeaturesInto(const JoinFeatures& f, FeatureSet set,
     out[6] = cs * nc;
     return kNumPaperFeatures;
   }
+  if (set == FeatureSet::kPeakedProbe) {
+    out[0] = ss;
+    out[1] = cs * (14.0 - cs);  // peaks at cs = 7, inside the paper grid
+    out[2] = nc;
+    return kNumPeakedProbeFeatures;
+  }
   const double safe_nc = std::max(nc, 1e-9);
   const double safe_cs = std::max(cs, 1e-9);
   out[0] = ss;
@@ -56,7 +69,74 @@ const std::vector<std::string>& FeatureNames(FeatureSet set) {
       new std::vector<std::string>{"ss",    "ls", "ss/nc", "ls/nc",
                                    "ss*nc", "nc", "cs",    "ss/cs",
                                    "ls/cs", "1/cs"};
-  return set == FeatureSet::kPaper ? *paper : *extended;
+  static const std::vector<std::string>* peaked =
+      new std::vector<std::string>{"ss", "cs*(14-cs)", "nc"};
+  switch (set) {
+    case FeatureSet::kPaper:
+      return *paper;
+    case FeatureSet::kExtended:
+      return *extended;
+    case FeatureSet::kPeakedProbe:
+      return *peaked;
+  }
+  return *paper;
+}
+
+const std::vector<FeatureResourceTrend>& FeatureResourceTrends(
+    FeatureSet set) {
+  using T = FeatureTrend;
+  // Trends hold for ss, ls >= 0 and cs, nc > 0, the domain of every
+  // valid cluster grid. Division features use max(x, 1e-9) guards in
+  // ExpandFeaturesInto; max of a monotone function is monotone, so the
+  // guards do not change any trend.
+  static const std::vector<FeatureResourceTrend>* paper =
+      new std::vector<FeatureResourceTrend>{
+          {T::kConstant, T::kConstant},      // ss
+          {T::kConstant, T::kConstant},      // ss^2
+          {T::kIncreasing, T::kConstant},    // cs
+          {T::kIncreasing, T::kConstant},    // cs^2
+          {T::kConstant, T::kIncreasing},    // nc
+          {T::kConstant, T::kIncreasing},    // nc^2
+          {T::kIncreasing, T::kIncreasing},  // cs*nc
+      };
+  static const std::vector<FeatureResourceTrend>* extended =
+      new std::vector<FeatureResourceTrend>{
+          {T::kConstant, T::kConstant},     // ss
+          {T::kConstant, T::kConstant},     // ls
+          {T::kConstant, T::kDecreasing},   // ss/nc
+          {T::kConstant, T::kDecreasing},   // ls/nc
+          {T::kConstant, T::kIncreasing},   // ss*nc
+          {T::kConstant, T::kIncreasing},   // nc
+          {T::kIncreasing, T::kConstant},   // cs
+          {T::kDecreasing, T::kConstant},   // ss/cs
+          {T::kDecreasing, T::kConstant},   // ls/cs
+          {T::kDecreasing, T::kConstant},   // 1/cs
+      };
+  static const std::vector<FeatureResourceTrend>* peaked =
+      new std::vector<FeatureResourceTrend>{
+          {T::kConstant, T::kConstant},     // ss
+          {T::kNonMonotone, T::kConstant},  // cs*(14-cs)
+          {T::kConstant, T::kIncreasing},   // nc
+      };
+  switch (set) {
+    case FeatureSet::kPaper:
+      return *paper;
+    case FeatureSet::kExtended:
+      return *extended;
+    case FeatureSet::kPeakedProbe:
+      return *peaked;
+  }
+  return *paper;
+}
+
+bool FeatureSetResourceMonotone(FeatureSet set) {
+  for (const FeatureResourceTrend& trend : FeatureResourceTrends(set)) {
+    if (trend.container_size == FeatureTrend::kNonMonotone ||
+        trend.num_containers == FeatureTrend::kNonMonotone) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace raqo::cost

@@ -2,6 +2,7 @@
 #define RAQO_COST_FEATURES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,11 +35,20 @@ enum class FeatureSet {
   /// future work; this is that extension, and it is the default for
   /// models trained against the execution simulator.
   kExtended,
+  /// A deliberately resource-NON-monotone set: [ss, cs*(14-cs), nc].
+  /// The middle feature peaks at cs = 7, inside the paper-default grid,
+  /// so no corner bound over a container-size interval is sound for it.
+  /// Models over this set predict fine; the switch-aware grid search's
+  /// monotonicity validation must *reject* them and fall back to the
+  /// exhaustive scan — this set exists to keep that rejection path
+  /// honest (tests/incremental_search_test.cc).
+  kPeakedProbe,
 };
 
 /// Number of expanded features for each set.
 inline constexpr size_t kNumPaperFeatures = 7;
 inline constexpr size_t kNumExtendedFeatures = 10;
+inline constexpr size_t kNumPeakedProbeFeatures = 3;
 /// Upper bound across all feature sets (for stack buffers).
 inline constexpr size_t kMaxFeatures = 16;
 size_t NumFeatures(FeatureSet set);
@@ -56,6 +66,37 @@ size_t ExpandFeaturesInto(const JoinFeatures& f, FeatureSet set,
 
 /// Names of the expanded features, aligned with ExpandFeatures output.
 const std::vector<std::string>& FeatureNames(FeatureSet set);
+
+/// Monotone trend of one expanded feature along one resource dimension,
+/// valid for any fixed data characteristics ss, ls >= 0 and positive
+/// resource values (the domain every ClusterConditions grid lives in).
+/// kIncreasing/kDecreasing are weak (non-strict) trends.
+enum class FeatureTrend : uint8_t {
+  kConstant,
+  kIncreasing,
+  kDecreasing,
+  kNonMonotone,
+};
+
+/// Trend of one feature along each of the two resource dimensions.
+struct FeatureResourceTrend {
+  FeatureTrend container_size = FeatureTrend::kConstant;
+  FeatureTrend num_containers = FeatureTrend::kConstant;
+};
+
+/// Per-feature resource monotonicity metadata, aligned with
+/// ExpandFeatures output. Declared analytically per feature set (the
+/// sets are a closed enum, so each expression is audited by hand here
+/// rather than probed); the bound oracle re-validates numerically at
+/// model load as defense in depth.
+const std::vector<FeatureResourceTrend>& FeatureResourceTrends(
+    FeatureSet set);
+
+/// True when every feature of `set` is per-dimension monotone in the
+/// resource dimensions — the property that makes interval corner bounds
+/// sound (docs/PERF.md): a componentwise-monotone function attains its
+/// extremes over a box at the box corners.
+bool FeatureSetResourceMonotone(FeatureSet set);
 
 }  // namespace raqo::cost
 

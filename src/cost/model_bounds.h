@@ -1,0 +1,64 @@
+#ifndef RAQO_COST_MODEL_BOUNDS_H_
+#define RAQO_COST_MODEL_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/regression.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "cost/features.h"
+#include "resource/resource_config.h"
+
+namespace raqo::cost {
+
+/// A sound lower-bound oracle over rectangular resource boxes for one
+/// linear OperatorCostModel — the "monotone cost-model dimensions,
+/// validated at model load" half of the switch-aware grid search
+/// (docs/PERF.md).
+///
+/// Soundness argument. Every feature of the supported sets is, for fixed
+/// data characteristics, monotone along each resource dimension over any
+/// positive box (FeatureResourceTrends declares this analytically; the
+/// sets are a closed enum). A componentwise-monotone function attains its
+/// extremes over a box at the box corners, so for each feature i,
+///   min over box of w_i * phi_i = min over the 4 corners of w_i * phi_i,
+/// and summing per-feature corner minima under-approximates the linear
+/// response everywhere in the box:
+///   sum_i min_corners(w_i * phi_i) + intercept <= w . phi(r) for all r.
+/// PredictSeconds clamps at kMinSeconds, and max is monotone, so
+///   max(linear lower bound, kMinSeconds) <= PredictSeconds(r).
+/// The bound needs no assumption on weight signs and is exact whenever
+/// one corner simultaneously minimizes every term.
+///
+/// Create() refuses models whose feature set is not declared
+/// per-dimension monotone (e.g. FeatureSet::kPeakedProbe) or whose
+/// weights are non-finite, and additionally cross-checks the bound
+/// numerically against direct predictions on a sample grid — rejection
+/// makes the caller fall back to the plain exhaustive scan, never an
+/// unsound prune.
+class ResourceBoundOracle {
+ public:
+  /// Validates `model` and builds the oracle (which keeps its own copy
+  /// of the weights, so the model may be destroyed afterwards).
+  static Result<ResourceBoundOracle> Create(const OperatorCostModel& model);
+
+  /// Lower bound of PredictSeconds over every resource configuration in
+  /// the inclusive box [lo, hi], for the fixed data characteristics in
+  /// `data` (its resource fields are ignored). Requires lo <= hi per
+  /// dimension and positive resource values.
+  double SecondsLowerBound(const JoinFeatures& data,
+                           const resource::ResourceConfig& lo,
+                           const resource::ResourceConfig& hi) const;
+
+ private:
+  ResourceBoundOracle(LinearModel model, FeatureSet feature_set)
+      : model_(std::move(model)), feature_set_(feature_set) {}
+
+  LinearModel model_;
+  FeatureSet feature_set_;
+};
+
+}  // namespace raqo::cost
+
+#endif  // RAQO_COST_MODEL_BOUNDS_H_

@@ -29,9 +29,12 @@ Result<double> ParseHexDouble(const std::string& s) {
 std::string SerializeModel(const OperatorCostModel& model) {
   std::string out = std::string(kHeader) + "\n";
   out += "name " + model.name() + "\n";
-  out += std::string("feature-set ") +
-         (model.feature_set() == FeatureSet::kPaper ? "paper" : "extended") +
-         "\n";
+  const char* set_name = "paper";
+  if (model.feature_set() == FeatureSet::kExtended) set_name = "extended";
+  if (model.feature_set() == FeatureSet::kPeakedProbe) {
+    set_name = "peaked-probe";
+  }
+  out += std::string("feature-set ") + set_name + "\n";
   out += StrPrintf("intercept %d\n", model.model().has_intercept ? 1 : 0);
   out += StrPrintf("weights %zu", model.model().weights.size());
   for (double w : model.model().weights) out += " " + HexDouble(w);
@@ -69,6 +72,8 @@ Result<OperatorCostModel> DeserializeModel(const std::string& text) {
         feature_set = FeatureSet::kPaper;
       } else if (value == "extended") {
         feature_set = FeatureSet::kExtended;
+      } else if (value == "peaked-probe") {
+        feature_set = FeatureSet::kPeakedProbe;
       } else {
         return Status::InvalidArgument("unknown feature set: " + value);
       }

@@ -24,6 +24,10 @@ struct DpEntry {
   std::optional<resource::ResourceConfig> resources;
 };
 
+// The memo lives in the planner arena, which runs no destructors.
+static_assert(std::is_trivially_destructible_v<DpEntry>,
+              "DP entries must stay trivially destructible (arena scratch)");
+
 }  // namespace
 
 Result<PlannedQuery> BushyDpPlanner::Plan(
@@ -68,8 +72,16 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
   // the metrics registry once per planning run.
   int64_t subproblems = 0;
   int64_t pruned = 0;
+  int64_t bound_pruned = 0;
 
-  std::vector<uint32_t> adjacency(static_cast<size_t>(n), 0);
+  // DP scratch (memo, adjacency, connectivity, deferral list) is arena
+  // scratch: trivially destructible, dropped wholesale per query.
+  Arena local_arena;
+  Arena* arena =
+      options_.arena != nullptr ? options_.arena : &local_arena;
+
+  ArenaVector<uint32_t> adjacency(static_cast<size_t>(n), 0,
+                                  ArenaAllocator<uint32_t>(arena));
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i != j &&
@@ -97,7 +109,8 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
   };
 
   const uint32_t full = (uint32_t{1} << n) - 1;
-  std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+  ArenaVector<DpEntry> dp(static_cast<size_t>(full) + 1, DpEntry{},
+                          ArenaAllocator<DpEntry>(arena));
   for (int i = 0; i < n; ++i) {
     DpEntry& e = dp[uint32_t{1} << i];
     e.valid = true;
@@ -109,7 +122,8 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
   // otherwise a cross product with a *small* build side would look cheap
   // to the per-operator cost model (which does not price the exploding
   // output — the blow-up only surfaces as later operators' inputs).
-  std::vector<bool> is_connected(static_cast<size_t>(full) + 1, false);
+  ArenaVector<bool> is_connected(static_cast<size_t>(full) + 1, false,
+                                 ArenaAllocator<bool>(arena));
   for (uint32_t mask = 1; mask <= full; ++mask) {
     const uint32_t seed = mask & (~mask + 1);
     uint32_t reached = seed;
@@ -164,6 +178,16 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
     }
   };
 
+  // Incumbent-bound pruning with deferred evaluation (the same
+  // bit-identity construction as the Selinger planner): splits whose
+  // parts already cost more than `cost_upper_bound` cannot lie on an
+  // optimal tree, so their evaluator calls are skipped unless the
+  // subset would otherwise stay unreachable. Reachability depends only
+  // on candidate feasibility, so evaluating the deferred splits exactly
+  // when the subset is still invalid keeps reachability — and every
+  // at-or-under-bound memo entry — identical to the unbounded run.
+  ArenaVector<uint32_t> deferred{ArenaAllocator<uint32_t>(arena)};
+
   for (uint32_t mask = 1; mask <= full; ++mask) {
     if (__builtin_popcount(mask) < 2) continue;
     ++subproblems;
@@ -173,6 +197,7 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
     const uint32_t lowest = mask & (~mask + 1);
     const bool need_cross =
         options_.avoid_cross_products && !is_connected[mask];
+    deferred.clear();
     for (uint32_t sub = (mask - 1) & mask; sub != 0;
          sub = (sub - 1) & mask) {
       if (!(sub & lowest)) continue;
@@ -185,7 +210,18 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
         ++pruned;
         continue;
       }
+      if (dp[sub].valid && dp[mask ^ sub].valid &&
+          (dp[sub].scalar > options_.cost_upper_bound ||
+           dp[mask ^ sub].scalar > options_.cost_upper_bound)) {
+        deferred.push_back(sub);
+        continue;
+      }
       try_split(mask, sub);
+    }
+    if (dp[mask].valid) {
+      bound_pruned += static_cast<int64_t>(deferred.size());
+    } else {
+      for (uint32_t sub : deferred) try_split(mask, sub);
     }
   }
 
@@ -196,6 +232,7 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
   if (span.recording()) {
     span.SetAttr("subproblems", subproblems);
     span.SetAttr("pruned", pruned);
+    span.SetAttr("bound_pruned", bound_pruned);
     span.SetAttr("memo_entries", memo_entries);
     span.SetAttr("plans_considered", stats.plans_considered);
   }
@@ -206,6 +243,8 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
         obs::DefaultMetrics().GetCounter("planner.bushy_dp.subproblems");
     static obs::Counter* pruned_total =
         obs::DefaultMetrics().GetCounter("planner.bushy_dp.pruned");
+    static obs::Counter* bound_pruned_total =
+        obs::DefaultMetrics().GetCounter("planner.bushy_dp.bound_pruned");
     static obs::Counter* plans_total = obs::DefaultMetrics().GetCounter(
         "planner.bushy_dp.plans_considered");
     static obs::Gauge* memo_size =
@@ -213,6 +252,7 @@ Result<PlannedQuery> BushyDpPlanner::Plan(
     runs->Add(1);
     subproblems_total->Add(subproblems);
     pruned_total->Add(pruned);
+    bound_pruned_total->Add(bound_pruned);
     plans_total->Add(stats.plans_considered);
     memo_size->Set(static_cast<double>(memo_entries));
   }

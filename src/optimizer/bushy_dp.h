@@ -1,9 +1,11 @@
 #ifndef RAQO_OPTIMIZER_BUSHY_DP_H_
 #define RAQO_OPTIMIZER_BUSHY_DP_H_
 
+#include <limits>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/arena.h"
 #include "common/result.h"
 #include "optimizer/cost_evaluator.h"
 #include "optimizer/planner_result.h"
@@ -19,6 +21,17 @@ struct BushyDpOptions {
   bool avoid_cross_products = true;
   /// Subset-pair enumeration is O(3^n); refuse beyond this.
   int max_tables = 14;
+  /// Scratch arena for the DP memo and connectivity tables (borrowed,
+  /// must outlive the call; nullptr uses a run-local arena). The
+  /// returned plan is never arena-allocated, so the owner may Reset()
+  /// the arena between queries (docs/PERF.md).
+  Arena* arena = nullptr;
+  /// Known upper bound on the optimal plan's scalarized cost. Splits
+  /// whose parts already cost strictly more are deferred and only
+  /// evaluated if the subset would otherwise stay unreachable — same
+  /// bit-identity contract as SelingerOptions::cost_upper_bound.
+  /// +infinity disables the pruning.
+  double cost_upper_bound = std::numeric_limits<double>::infinity();
 };
 
 /// An exhaustive bottom-up optimizer over *bushy* join trees (DPsub-style

@@ -27,6 +27,10 @@ struct DpEntry {
   std::optional<resource::ResourceConfig> resources;
 };
 
+// The memo lives in the planner arena, which runs no destructors.
+static_assert(std::is_trivially_destructible_v<DpEntry>,
+              "DP entries must stay trivially destructible (arena scratch)");
+
 }  // namespace
 
 Result<PlannedQuery> SelingerPlanner::Plan(
@@ -72,11 +76,21 @@ Result<PlannedQuery> SelingerPlanner::Plan(
   // the metrics registry once per planning run.
   int64_t subproblems = 0;
   int64_t pruned = 0;
+  int64_t bound_pruned = 0;
+
+  // All DP scratch lives in the arena: one bump-pointer region filled
+  // per query, dropped wholesale afterwards (the caller resets a shared
+  // arena; the local fallback frees on scope exit). Every type placed
+  // here is trivially destructible.
+  Arena local_arena;
+  Arena* arena =
+      options_.arena != nullptr ? options_.arena : &local_arena;
 
   // Precompute: bytes of every subset are resolved lazily through the
   // estimator; adjacency between query positions comes from the join
   // graph.
-  std::vector<uint32_t> adjacency(static_cast<size_t>(n), 0);
+  ArenaVector<uint32_t> adjacency(static_cast<size_t>(n), 0,
+                                  ArenaAllocator<uint32_t>(arena));
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i != j && catalog.join_graph().HasEdge(tables[static_cast<size_t>(i)],
@@ -95,7 +109,8 @@ Result<PlannedQuery> SelingerPlanner::Plan(
   };
 
   const uint32_t full = (n == 32) ? 0xFFFFFFFFu : ((uint32_t{1} << n) - 1);
-  std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+  ArenaVector<DpEntry> dp(static_cast<size_t>(full) + 1, DpEntry{},
+                          ArenaAllocator<DpEntry>(arena));
   for (int i = 0; i < n; ++i) {
     DpEntry& e = dp[uint32_t{1} << i];
     e.valid = true;
@@ -139,32 +154,55 @@ Result<PlannedQuery> SelingerPlanner::Plan(
     }
   };
 
-  for (uint32_t mask = 1; mask <= full; ++mask) {
-    if (__builtin_popcount(mask) < 2) continue;
-    ++subproblems;
-    // Pass 1: only joins along graph edges.
+  // Incumbent-bound pruning with deferred evaluation. Extensions whose
+  // prefix already costs more than `cost_upper_bound` cannot lie on an
+  // optimal chain (prefix scalars never exceed totals), so their
+  // evaluator calls are skipped — *unless* the subset would otherwise
+  // end up unreachable. Reachability depends only on candidate
+  // feasibility, never on costs, so evaluating the deferred candidates
+  // exactly when the subset is still invalid reproduces the unbounded
+  // run's reachability — and with it the cross-product fallback
+  // triggering — bit for bit. Entries at or under the bound are built
+  // from the same candidates in the same order either way; entries
+  // over the bound may differ, but no optimal chain ever goes through
+  // one as long as the bound really is an upper bound on the optimum.
+  auto extend_with_bound = [&](uint32_t mask, bool require_edge) {
+    uint32_t deferred = 0;
     for (int t = 0; t < n; ++t) {
       const uint32_t bit = uint32_t{1} << t;
       if (!(mask & bit)) continue;
       const uint32_t prev = mask ^ bit;
       if (!dp[prev].valid) continue;
-      if (options_.avoid_cross_products &&
+      if (require_edge &&
           (adjacency[static_cast<size_t>(t)] & prev) == 0) {
         ++pruned;  // cross product skipped
         continue;
       }
+      if (dp[prev].scalar > options_.cost_upper_bound) {
+        deferred |= bit;
+        continue;
+      }
       try_extend(mask, prev, t);
     }
+    if (dp[mask].valid) {
+      bound_pruned += __builtin_popcount(deferred);
+    } else {
+      for (uint32_t rest = deferred; rest != 0; rest &= rest - 1) {
+        const int t = __builtin_ctz(rest);
+        try_extend(mask, mask ^ (uint32_t{1} << t), t);
+      }
+    }
+  };
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcount(mask) < 2) continue;
+    ++subproblems;
+    // Pass 1: only joins along graph edges.
+    extend_with_bound(mask, options_.avoid_cross_products);
     // Pass 2 (fallback): allow cross products when the subset is
     // otherwise unreachable.
     if (!dp[mask].valid && options_.avoid_cross_products) {
-      for (int t = 0; t < n; ++t) {
-        const uint32_t bit = uint32_t{1} << t;
-        if (!(mask & bit)) continue;
-        const uint32_t prev = mask ^ bit;
-        if (!dp[prev].valid) continue;
-        try_extend(mask, prev, t);
-      }
+      extend_with_bound(mask, /*require_edge=*/false);
     }
   }
 
@@ -176,6 +214,7 @@ Result<PlannedQuery> SelingerPlanner::Plan(
   if (span.recording()) {
     span.SetAttr("subproblems", subproblems);
     span.SetAttr("pruned", pruned);
+    span.SetAttr("bound_pruned", bound_pruned);
     span.SetAttr("memo_entries", memo_entries);
     span.SetAttr("plans_considered", stats.plans_considered);
   }
@@ -186,6 +225,8 @@ Result<PlannedQuery> SelingerPlanner::Plan(
         obs::DefaultMetrics().GetCounter("planner.selinger.subproblems");
     static obs::Counter* pruned_total =
         obs::DefaultMetrics().GetCounter("planner.selinger.pruned");
+    static obs::Counter* bound_pruned_total =
+        obs::DefaultMetrics().GetCounter("planner.selinger.bound_pruned");
     static obs::Counter* plans_total = obs::DefaultMetrics().GetCounter(
         "planner.selinger.plans_considered");
     static obs::Gauge* memo_size =
@@ -193,6 +234,7 @@ Result<PlannedQuery> SelingerPlanner::Plan(
     runs->Add(1);
     subproblems_total->Add(subproblems);
     pruned_total->Add(pruned);
+    bound_pruned_total->Add(bound_pruned);
     plans_total->Add(stats.plans_considered);
     memo_size->Set(static_cast<double>(memo_entries));
   }
@@ -202,7 +244,9 @@ Result<PlannedQuery> SelingerPlanner::Plan(
   }
 
   // Reconstruct the left-deep tree by unwinding the back pointers.
-  std::vector<uint32_t> chain;  // masks from full down to a singleton
+  // Back-pointer masks, full down to a singleton.
+  ArenaVector<uint32_t> chain{ArenaAllocator<uint32_t>(arena)};
+  chain.reserve(static_cast<size_t>(n));
   for (uint32_t mask = full; __builtin_popcount(mask) > 1;
        mask = dp[mask].prev_mask) {
     chain.push_back(mask);

@@ -1,0 +1,175 @@
+// Arena bump allocator: alignment, accounting, reset/reuse, and the
+// allocator adapter standard containers draw scratch through. The DP
+// enumerators route their per-query memos through these paths, so this
+// file is also what ASan runs to certify the arena's pointer hygiene
+// (no overlap, no use of recycled ranges before Reset).
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace raqo {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> chunks;
+  Rng rng(42);
+  size_t requested = 0;
+  for (int i = 0; i < 500; ++i) {
+    const size_t bytes = static_cast<size_t>(rng.UniformInt(1, 700));
+    char* p = static_cast<char*>(arena.Allocate(bytes, 1));
+    ASSERT_NE(p, nullptr);
+    // Stamp the whole chunk; any overlap with a prior chunk would
+    // corrupt its stamp below.
+    std::memset(p, static_cast<int>(i % 251), bytes);
+    chunks.emplace_back(p, bytes);
+    requested += bytes;
+  }
+  EXPECT_EQ(arena.bytes_allocated(), requested);
+  EXPECT_GE(arena.bytes_reserved(), requested);
+  for (int i = 0; i < static_cast<int>(chunks.size()); ++i) {
+    for (size_t b = 0; b < chunks[i].second; ++b) {
+      ASSERT_EQ(chunks[i].first[b], static_cast<char>(i % 251))
+          << "allocation " << i << " was overwritten";
+    }
+  }
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  Rng rng(7);
+  for (size_t align : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                       Arena::kMaxAlign}) {
+    for (int i = 0; i < 50; ++i) {
+      void* p = arena.Allocate(static_cast<size_t>(rng.UniformInt(1, 33)),
+                               align);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "align=" << align;
+    }
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocationsAreUniqueValidPointers) {
+  Arena arena;
+  std::set<void*> seen;
+  for (int i = 0; i < 64; ++i) {
+    void* p = arena.Allocate(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "zero-byte pointers must differ";
+  }
+}
+
+TEST(ArenaTest, OversizedRequestsGetTheirOwnBlock) {
+  Arena arena(/*min_block_bytes=*/128);
+  // Far beyond the block size: must still succeed, in one contiguous run.
+  const size_t big = 1 << 20;
+  char* p = static_cast<char*>(arena.Allocate(big));
+  std::memset(p, 0xab, big);
+  EXPECT_EQ(p[0], static_cast<char>(0xab));
+  EXPECT_EQ(p[big - 1], static_cast<char>(0xab));
+  EXPECT_GE(arena.bytes_reserved(), big);
+}
+
+TEST(ArenaTest, ResetRetainsCapacityAndStopsGrowth) {
+  Arena arena;
+  auto churn = [&arena] {
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      arena.Allocate(static_cast<size_t>(rng.UniformInt(8, 2048)));
+    }
+  };
+  churn();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  const size_t reserved_after_warmup = arena.bytes_reserved();
+  EXPECT_GT(reserved_after_warmup, 0u);
+  // The steady state the planner relies on: repeating a same-shaped
+  // query against a reset arena allocates no new blocks... eventually.
+  // One extra round may grow (Reset keeps only the largest block), so
+  // warm up twice before holding the reservation fixed.
+  churn();
+  arena.Reset();
+  const size_t steady = arena.bytes_reserved();
+  for (int round = 0; round < 5; ++round) {
+    churn();
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_reserved(), steady)
+        << "arena kept growing across identical query rounds";
+  }
+}
+
+TEST(ArenaTest, ReusedMemoryIsCleanlyRewritable) {
+  Arena arena;
+  char* first = static_cast<char*>(arena.Allocate(4096));
+  std::memset(first, 1, 4096);
+  arena.Reset();
+  // After Reset the same storage may be handed out again; writing it
+  // must be valid (ASan would flag any bookkeeping error here).
+  char* second = static_cast<char*>(arena.Allocate(4096));
+  std::memset(second, 2, 4096);
+  EXPECT_EQ(second[0], 2);
+  EXPECT_EQ(second[4095], 2);
+}
+
+TEST(ArenaTest, ArenaVectorMatchesStdVector) {
+  Arena arena;
+  ArenaVector<int64_t> v{ArenaAllocator<int64_t>(&arena)};
+  std::vector<int64_t> reference;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t x = static_cast<int64_t>(rng.NextUint64());
+    v.push_back(x);
+    reference.push_back(x);
+  }
+  ASSERT_EQ(v.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(v[i], reference[i]);
+  }
+  // Geometric growth left old buffers in the arena — that is the
+  // documented trade; the arena must have reserved at least the final
+  // buffer.
+  EXPECT_GE(arena.bytes_reserved(), v.capacity() * sizeof(int64_t));
+}
+
+TEST(ArenaTest, ArenaVectorSizedUpFrontAllocatesOnce) {
+  Arena arena;
+  ArenaVector<uint32_t> v(1024, 0u, ArenaAllocator<uint32_t>(&arena));
+  const size_t after_construction = arena.bytes_allocated();
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<uint32_t>(i);
+  EXPECT_EQ(arena.bytes_allocated(), after_construction)
+      << "writes into a pre-sized vector must not allocate";
+}
+
+TEST(ArenaTest, AllocatorEqualityFollowsArenaIdentity) {
+  Arena a;
+  Arena b;
+  ArenaAllocator<int> aa(&a);
+  ArenaAllocator<double> ad(&a);  // rebound type, same arena
+  ArenaAllocator<int> ba(&b);
+  EXPECT_TRUE(aa == ad);
+  EXPECT_TRUE(aa != ba);
+  // Converting construction preserves the arena.
+  ArenaAllocator<double> converted(aa);
+  EXPECT_EQ(converted.arena(), &a);
+}
+
+TEST(ArenaTest, WorksWithNodeBasedContainers) {
+  // deque rebinds the allocator to internal node types; the adapter must
+  // survive that.
+  Arena arena;
+  std::deque<int, ArenaAllocator<int>> d{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 500; ++i) d.push_back(i);
+  for (int i = 0; i < 500; ++i) ASSERT_EQ(d[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace raqo

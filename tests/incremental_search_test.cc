@@ -1,0 +1,604 @@
+// The switch-aware incremental grid search is only allowed to be fast:
+// its contract is bit-identical results — winner, cost, tie-break,
+// feasibility failures — to the exhaustive brute force, under every
+// combination of acceleration hints, grid shape, thread count, and cost
+// model. These tests hold it to that, and keep the rejection paths
+// honest (non-monotone models must fall back to the exhaustive sweep,
+// never to an unsound prune).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/random_schema.h"
+#include "catalog/tpch.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/raqo_cost_evaluator.h"
+#include "core/raqo_planner.h"
+#include "core/resource_planner.h"
+#include "core/workload_runner.h"
+#include "cost/cost_model.h"
+#include "cost/features.h"
+#include "cost/model_bounds.h"
+#include "obs/metrics.h"
+#include "optimizer/bushy_dp.h"
+#include "optimizer/fixed_resource_evaluator.h"
+#include "optimizer/selinger.h"
+#include "resource/cluster_conditions.h"
+#include "sim/profile_runner.h"
+
+namespace raqo {
+namespace {
+
+using catalog::TableId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Trained once; several tests share them (training is the slow part).
+const cost::JoinCostModels& HiveModels() {
+  static const cost::JoinCostModels* models = new cost::JoinCostModels(
+      *sim::TrainModelsFromSimulator(sim::EngineProfile::Hive()));
+  return *models;
+}
+
+// ---------------------------------------------------------------------
+// Direct planner level: synthetic cost surfaces over random grids.
+//
+// The surface is a clamped, quantized linear form: the clamp and the
+// quantization create the equal-cost plateaus that make the row-major
+// tie-break observable, and a deterministic per-cell hash sprinkles in
+// infeasible cells. The box bound follows the oracle's corner argument
+// on the same expression, so it is sound by construction.
+
+struct SyntheticSurface {
+  double w_cs = 0.0;
+  double w_nc = 0.0;
+  double w_cross = 0.0;
+  double intercept = 0.0;
+  double clamp_floor = 0.05;
+  /// Feasibility cap on total memory; +inf disables it.
+  double memory_cap = kInf;
+  /// Probability (driven by a per-cell hash) that a cell is infeasible.
+  uint32_t infeasible_one_in = 0;  // 0 = never
+
+  static double Quantize(double x) { return std::floor(x * 4.0) / 4.0; }
+
+  static uint64_t CellHash(double cs, double nc) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    uint64_t a;
+    static_assert(sizeof(a) == sizeof(cs), "");
+    std::memcpy(&a, &cs, sizeof(a));
+    h ^= a + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    std::memcpy(&a, &nc, sizeof(a));
+    h ^= a + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  double Linear(double cs, double nc) const {
+    return intercept + w_cs * cs + w_nc * nc + w_cross * (cs * nc);
+  }
+
+  double Cost(const resource::ResourceConfig& r) const {
+    const double cs = r.container_size_gb();
+    const double nc = r.num_containers();
+    if (cs * nc > memory_cap) return kInf;
+    if (infeasible_one_in != 0 &&
+        CellHash(cs, nc) % infeasible_one_in == 0) {
+      return kInf;
+    }
+    return Quantize(std::max(Linear(cs, nc), clamp_floor));
+  }
+
+  /// Sound bound: per-term corner minima of the same linear form, run
+  /// through the same monotone clamp+quantization. Feasibility never
+  /// weakens it (infeasible cells cost +inf >= anything).
+  double BoxBound(const resource::ResourceConfig& lo,
+                  const resource::ResourceConfig& hi) const {
+    const double cs_c[2] = {lo.container_size_gb(), hi.container_size_gb()};
+    const double nc_c[2] = {lo.num_containers(), hi.num_containers()};
+    double sum = intercept;
+    double term_min = kInf;
+    for (double cs : cs_c) term_min = std::min(term_min, w_cs * cs);
+    sum += term_min;
+    term_min = kInf;
+    for (double nc : nc_c) term_min = std::min(term_min, w_nc * nc);
+    sum += term_min;
+    term_min = kInf;
+    for (double cs : cs_c) {
+      for (double nc : nc_c) {
+        term_min = std::min(term_min, w_cross * (cs * nc));
+      }
+    }
+    sum += term_min;
+    return Quantize(std::max(sum, clamp_floor));
+  }
+};
+
+resource::ClusterConditions RandomGrid(Rng& rng) {
+  // Integer minima/steps keep every grid point exactly representable,
+  // so "bit-identical" is meaningful without FP caveats in the test
+  // itself (the planner's arithmetic is identical either way).
+  const double cs_min = static_cast<double>(rng.UniformInt(1, 3));
+  const double cs_step = static_cast<double>(rng.UniformInt(1, 2));
+  const double nc_min = static_cast<double>(rng.UniformInt(1, 5));
+  const double nc_step = static_cast<double>(rng.UniformInt(1, 3));
+  const double cs_max =
+      cs_min + cs_step * static_cast<double>(rng.UniformInt(0, 13));
+  const double nc_max =
+      nc_min + nc_step * static_cast<double>(rng.UniformInt(0, 59));
+  return *resource::ClusterConditions::Create(
+      resource::ResourceConfig(cs_min, nc_min),
+      resource::ResourceConfig(cs_max, nc_max),
+      resource::ResourceConfig(cs_step, nc_step));
+}
+
+SyntheticSurface RandomSurface(Rng& rng) {
+  SyntheticSurface s;
+  s.w_cs = rng.Uniform(-2.0, 2.0);
+  s.w_nc = rng.Uniform(-0.5, 0.5);
+  s.w_cross = rng.Uniform(-0.05, 0.05);
+  s.intercept = rng.Uniform(0.0, 10.0);
+  // A third of the surfaces clamp aggressively => broad plateaus where
+  // only the rank tie-break distinguishes winners.
+  if (rng.Bernoulli(0.33)) s.clamp_floor = rng.Uniform(2.0, 8.0);
+  if (rng.Bernoulli(0.3)) s.memory_cap = rng.Uniform(20.0, 200.0);
+  if (rng.Bernoulli(0.25)) {
+    s.infeasible_one_in = static_cast<uint32_t>(rng.UniformInt(2, 9));
+  }
+  return s;
+}
+
+void ExpectSameOutcome(
+    const Result<core::ResourcePlanResult>& expected,
+    const Result<core::ResourcePlanResult>& actual,
+    const std::string& what) {
+  ASSERT_EQ(expected.ok(), actual.ok())
+      << what << ": feasibility verdicts differ";
+  if (!expected.ok()) return;
+  EXPECT_TRUE(expected->config == actual->config)
+      << what << ": " << expected->config.ToString() << " vs "
+      << actual->config.ToString();
+  // Bit-identical cost, not approximately equal.
+  EXPECT_EQ(expected->cost, actual->cost) << what;
+}
+
+class SeededIncrementalSearchTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededIncrementalSearchTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(SeededIncrementalSearchTest,
+       MatchesBruteForceUnderEveryHintCombination) {
+  Rng rng(GetParam() * 977 + 13);
+  core::BruteForceResourcePlanner brute;
+  core::SwitchAwareGridResourcePlanner sweep(nullptr);
+  std::optional<resource::ResourceConfig> previous_best;
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const resource::ClusterConditions grid = RandomGrid(rng);
+    const SyntheticSurface surface = RandomSurface(rng);
+    const core::ResourceCostFn cost =
+        [&surface](const resource::ResourceConfig& r) {
+          return surface.Cost(r);
+        };
+    sweep.set_block_cells(rng.UniformInt(1, 40));
+
+    const Result<core::ResourcePlanResult> expected =
+        brute.PlanResources(cost, grid);
+
+    // Hints are pure accelerators: every combination must reproduce the
+    // exhaustive result exactly.
+    core::ResourceSearchHints combos[4];
+    combos[1].box_lower_bound =
+        [&surface](const resource::ResourceConfig& lo,
+                   const resource::ResourceConfig& hi) {
+          return surface.BoxBound(lo, hi);
+        };
+    combos[2].warm_start = previous_best;
+    if (rng.Bernoulli(0.3)) {
+      // Off-grid / stale warm starts must be snapped, never trusted.
+      combos[2].warm_start = resource::ResourceConfig(
+          rng.Uniform(0.0, 40.0), rng.Uniform(0.0, 300.0));
+    }
+    combos[3].box_lower_bound = combos[1].box_lower_bound;
+    combos[3].warm_start = combos[2].warm_start;
+    if (rng.Bernoulli(0.2)) {
+      // A bound oracle may also decline ("no bound for this box"):
+      // -inf disables pruning there and must change nothing.
+      combos[3].box_lower_bound =
+          [&surface](const resource::ResourceConfig& lo,
+                     const resource::ResourceConfig& hi) {
+            if (SyntheticSurface::CellHash(lo.container_size_gb(),
+                                           lo.num_containers()) %
+                    3 ==
+                0) {
+              return -kInf;
+            }
+            return surface.BoxBound(lo, hi);
+          };
+    }
+
+    const char* names[4] = {"no hints", "bound only", "warm only",
+                            "bound+warm"};
+    for (int c = 0; c < 4; ++c) {
+      const Result<core::ResourcePlanResult> got =
+          sweep.PlanResourcesWithHints(cost, grid, combos[c]);
+      ExpectSameOutcome(expected, got,
+                        std::string(names[c]) + " @trial " +
+                            std::to_string(trial));
+      if (expected.ok()) {
+        // The warm-start cell may be re-costed once on top of the sweep
+        // (the honest-counter contract), hence the +1 slack.
+        EXPECT_LE(got->configs_explored, expected->configs_explored + 1)
+            << names[c];
+      }
+    }
+    if (expected.ok()) previous_best = expected->config;
+  }
+}
+
+TEST_P(SeededIncrementalSearchTest, ParallelPathMatchesSequentialPath) {
+  ThreadPool pool(4);
+  core::BruteForceResourcePlanner brute;
+  core::SwitchAwareGridResourcePlanner sequential(nullptr);
+  core::SwitchAwareGridResourcePlanner parallel(&pool);
+  parallel.set_min_parallel_cells(0);  // force fan-out on every grid
+
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const resource::ClusterConditions grid = RandomGrid(rng);
+    const SyntheticSurface surface = RandomSurface(rng);
+    const core::ResourceCostFn cost =
+        [&surface](const resource::ResourceConfig& r) {
+          return surface.Cost(r);
+        };
+    core::ResourceSearchHints hints;
+    hints.box_lower_bound =
+        [&surface](const resource::ResourceConfig& lo,
+                   const resource::ResourceConfig& hi) {
+          return surface.BoxBound(lo, hi);
+        };
+    if (trial % 2 == 0) {
+      hints.warm_start = resource::ResourceConfig(
+          rng.Uniform(1.0, 10.0), rng.Uniform(1.0, 100.0));
+    }
+    const Result<core::ResourcePlanResult> expected =
+        brute.PlanResources(cost, grid);
+    ExpectSameOutcome(expected,
+                      sequential.PlanResourcesWithHints(cost, grid, hints),
+                      "sequential @trial " + std::to_string(trial));
+    ExpectSameOutcome(expected,
+                      parallel.PlanResourcesWithHints(cost, grid, hints),
+                      "forced-parallel @trial " + std::to_string(trial));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bound oracle: sound on the supported models, rejected on the probe
+// set built to defeat it.
+
+TEST(ResourceBoundOracleTest, BoundNeverExceedsPrediction) {
+  Rng rng(99);
+  static const cost::JoinCostModels paper = cost::PaperHiveModels();
+  for (const cost::OperatorCostModel* model :
+       {&HiveModels().smj, &HiveModels().bhj, &paper.smj, &paper.bhj}) {
+    const Result<cost::ResourceBoundOracle> oracle =
+        cost::ResourceBoundOracle::Create(*model);
+    ASSERT_TRUE(oracle.ok()) << model->name() << ": "
+                             << oracle.status().ToString();
+    for (int trial = 0; trial < 400; ++trial) {
+      cost::JoinFeatures data;
+      data.smaller_gb = rng.Uniform(0.0, 300.0);
+      data.larger_gb = data.smaller_gb + rng.Uniform(0.0, 300.0);
+      const double cs_lo = rng.Uniform(0.5, 10.0);
+      const double cs_hi = cs_lo + rng.Uniform(0.0, 10.0);
+      const double nc_lo = rng.Uniform(1.0, 100.0);
+      const double nc_hi = nc_lo + rng.Uniform(0.0, 100.0);
+      const double bound = oracle->SecondsLowerBound(
+          data, resource::ResourceConfig(cs_lo, nc_lo),
+          resource::ResourceConfig(cs_hi, nc_hi));
+      // Probe interior points as well as corners.
+      for (double fc : {0.0, 0.37, 1.0}) {
+        for (double fn : {0.0, 0.61, 1.0}) {
+          cost::JoinFeatures probe = data;
+          probe.container_size_gb = cs_lo + fc * (cs_hi - cs_lo);
+          probe.num_containers = nc_lo + fn * (nc_hi - nc_lo);
+          ASSERT_LE(bound, model->PredictSeconds(probe))
+              << model->name() << " @trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+cost::JoinCostModels PeakedModels() {
+  // kPeakedProbe = [ss, cs*(14-cs), nc]: the middle feature peaks at
+  // cs = 7, inside the paper grid, so no corner bound is sound.
+  LinearModel lm;
+  lm.weights = {0.5, 0.2, 0.01};
+  lm.has_intercept = false;
+  return cost::JoinCostModels{
+      cost::OperatorCostModel("smj-peaked", lm, cost::FeatureSet::kPeakedProbe),
+      cost::OperatorCostModel("bhj-peaked", lm,
+                              cost::FeatureSet::kPeakedProbe)};
+}
+
+TEST(ResourceBoundOracleTest, RejectsNonMonotoneFeatureSet) {
+  EXPECT_FALSE(cost::FeatureSetResourceMonotone(cost::FeatureSet::kPeakedProbe));
+  const Result<cost::ResourceBoundOracle> oracle =
+      cost::ResourceBoundOracle::Create(PeakedModels().smj);
+  EXPECT_FALSE(oracle.ok());
+}
+
+TEST(SwitchAwareEvaluatorTest, NonMonotoneModelFallsBackToExhaustive) {
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 8;
+  schema.seed = 4242;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  const std::vector<TableId> tables =
+      *catalog::RandomQueryTables(cat, 6, 17);
+
+  obs::Counter* rejected = obs::DefaultMetrics().GetCounter(
+      "planner.resource.monotonicity_rejected");
+  const int64_t rejected_before = rejected->Value();
+
+  core::RaqoEvaluatorOptions switch_options;
+  switch_options.search = core::ResourceSearch::kSwitchAwareGrid;
+  core::RaqoCostEvaluator switch_eval(PeakedModels(), cluster,
+                                      resource::PricingModel(),
+                                      switch_options);
+  // Both models rejected: no oracle, one counter bump each.
+  EXPECT_FALSE(switch_eval.has_bound_oracle(plan::JoinImpl::kSortMergeJoin));
+  EXPECT_FALSE(
+      switch_eval.has_bound_oracle(plan::JoinImpl::kBroadcastHashJoin));
+  EXPECT_EQ(rejected->Value(), rejected_before + 2);
+
+  core::RaqoEvaluatorOptions brute_options;
+  brute_options.search = core::ResourceSearch::kBruteForce;
+  core::RaqoCostEvaluator brute_eval(PeakedModels(), cluster,
+                                     resource::PricingModel(),
+                                     brute_options);
+
+  // ... and planning still agrees exactly with the exhaustive search
+  // (the fallback is an exhaustive sweep, never a blind prune).
+  optimizer::SelingerPlanner planner;
+  const Result<optimizer::PlannedQuery> via_switch =
+      planner.Plan(cat, tables, switch_eval);
+  const Result<optimizer::PlannedQuery> via_brute =
+      planner.Plan(cat, tables, brute_eval);
+  ASSERT_TRUE(via_switch.ok()) << via_switch.status().ToString();
+  ASSERT_TRUE(via_brute.ok()) << via_brute.status().ToString();
+  EXPECT_EQ(via_switch->plan->ToString(), via_brute->plan->ToString());
+  EXPECT_EQ(via_switch->cost.seconds, via_brute->cost.seconds);
+  EXPECT_EQ(via_switch->cost.dollars, via_brute->cost.dollars);
+  // With no oracle nothing is pruned: the fallback explores at least
+  // every cell the brute force does (warm-start re-costs can add one
+  // evaluation per search, never remove any).
+  EXPECT_GE(via_switch->stats.resource_configs_explored,
+            via_brute->stats.resource_configs_explored);
+}
+
+// ---------------------------------------------------------------------
+// Evaluator level: full joint planning on random schemas x random grids
+// must be bit-identical between the exhaustive and switch-aware
+// searches — plan shape, costs, and every join's resource config.
+
+void ExpectIdenticalJointPlans(const core::JointPlan& expected,
+                               const core::JointPlan& actual,
+                               const std::string& what) {
+  EXPECT_EQ(expected.plan->ToString(), actual.plan->ToString()) << what;
+  EXPECT_EQ(expected.cost.seconds, actual.cost.seconds) << what;
+  EXPECT_EQ(expected.cost.dollars, actual.cost.dollars) << what;
+  std::vector<resource::ResourceConfig> expected_res;
+  std::vector<resource::ResourceConfig> actual_res;
+  expected.plan->VisitJoins([&](const plan::PlanNode& j) {
+    expected_res.push_back(*j.resources());
+  });
+  actual.plan->VisitJoins([&](const plan::PlanNode& j) {
+    actual_res.push_back(*j.resources());
+  });
+  ASSERT_EQ(expected_res.size(), actual_res.size()) << what;
+  for (size_t i = 0; i < expected_res.size(); ++i) {
+    EXPECT_TRUE(expected_res[i] == actual_res[i])
+        << what << " join " << i << ": " << expected_res[i].ToString()
+        << " vs " << actual_res[i].ToString();
+  }
+}
+
+TEST_P(SeededIncrementalSearchTest,
+       JointPlansMatchAcrossRandomSchemasAndGrids) {
+  Rng rng(GetParam() * 7919 + 3);
+  // 8 seeds x 25 trials = 200 random schema/grid combinations.
+  for (int trial = 0; trial < 25; ++trial) {
+    catalog::RandomSchemaOptions schema;
+    schema.num_tables = 10;
+    schema.seed = GetParam() * 1000 + static_cast<uint64_t>(trial);
+    catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+    const resource::ClusterConditions grid = RandomGrid(rng);
+    const std::vector<TableId> tables = *catalog::RandomQueryTables(
+        cat, static_cast<int>(rng.UniformInt(3, 7)),
+        schema.seed * 31 + 1);
+
+    core::RaqoPlannerOptions options;
+    options.algorithm = core::PlannerAlgorithm::kSelinger;
+    options.evaluator.use_cache = false;
+    const double tw = rng.Bernoulli(0.7) ? 1.0 : rng.Uniform(0.0, 1.0);
+    options.evaluator.time_weight = tw;
+    options.selinger.time_weight = tw;
+    options.evaluator.switch_block_cells = rng.UniformInt(1, 64);
+
+    options.evaluator.search = core::ResourceSearch::kBruteForce;
+    core::RaqoPlanner brute(&cat, HiveModels(), grid,
+                            resource::PricingModel(), options);
+    options.evaluator.search = core::ResourceSearch::kSwitchAwareGrid;
+    core::RaqoPlanner incremental(&cat, HiveModels(), grid,
+                                  resource::PricingModel(), options);
+
+    const Result<core::JointPlan> expected = brute.Plan(tables);
+    const Result<core::JointPlan> actual = incremental.Plan(tables);
+    ASSERT_EQ(expected.ok(), actual.ok()) << "trial " << trial;
+    if (!expected.ok()) continue;
+    ExpectIdenticalJointPlans(
+        *expected, *actual,
+        "seed " + std::to_string(GetParam()) + " trial " +
+            std::to_string(trial));
+  }
+}
+
+TEST(SwitchAwareEvaluatorTest, TpchPlansIdenticalAndCountersMove) {
+  catalog::Catalog cat = catalog::BuildTpchCatalog(100.0);
+  const resource::ClusterConditions cluster =
+      resource::ClusterConditions::PaperDefault();
+  std::vector<core::WorkloadQuery> workload;
+  for (catalog::TpchQuery q :
+       {catalog::TpchQuery::kQ12, catalog::TpchQuery::kQ3,
+        catalog::TpchQuery::kQ2, catalog::TpchQuery::kAll}) {
+    core::WorkloadQuery query;
+    query.label = catalog::TpchQueryName(q);
+    query.tables = *catalog::TpchQueryTables(cat, q);
+    workload.push_back(std::move(query));
+  }
+
+  core::RaqoPlannerOptions options;
+  options.algorithm = core::PlannerAlgorithm::kSelinger;
+  options.evaluator.use_cache = false;
+
+  options.evaluator.search = core::ResourceSearch::kBruteForce;
+  core::RaqoPlanner brute_planner(&cat, HiveModels(), cluster,
+                                  resource::PricingModel(), options);
+  core::WorkloadRunner brute_runner(&brute_planner);
+  const Result<core::WorkloadReport> brute = brute_runner.Run(workload);
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+
+  obs::Counter* pruned =
+      obs::DefaultMetrics().GetCounter("planner.resource.cells_pruned");
+  obs::Counter* reused =
+      obs::DefaultMetrics().GetCounter("planner.resource.plans_reused");
+  obs::Counter* replanned =
+      obs::DefaultMetrics().GetCounter("planner.resource.cells_replanned");
+  const int64_t pruned_before = pruned->Value();
+  const int64_t reused_before = reused->Value();
+  const int64_t replanned_before = replanned->Value();
+
+  options.evaluator.search = core::ResourceSearch::kSwitchAwareGrid;
+  core::RaqoPlanner inc_planner(&cat, HiveModels(), cluster,
+                                resource::PricingModel(), options);
+  core::WorkloadRunner inc_runner(&inc_planner);
+  const Result<core::WorkloadReport> inc = inc_runner.Run(workload);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  ASSERT_EQ(brute->queries.size(), inc->queries.size());
+  for (size_t i = 0; i < brute->queries.size(); ++i) {
+    EXPECT_EQ(brute->queries[i].plan, inc->queries[i].plan);
+    EXPECT_EQ(brute->queries[i].cost.seconds, inc->queries[i].cost.seconds);
+    EXPECT_EQ(brute->queries[i].cost.dollars, inc->queries[i].cost.dollars);
+    EXPECT_TRUE(brute->queries[i].join_resources ==
+                inc->queries[i].join_resources);
+  }
+  // The incremental search must actually be incremental on the paper
+  // workload: most of the grid pruned, most searches settled by the
+  // warm-started plan.
+  EXPECT_LT(inc->total_resource_configs_explored,
+            brute->total_resource_configs_explored / 2);
+  EXPECT_GT(pruned->Value(), pruned_before);
+  EXPECT_GT(reused->Value(), reused_before);
+  EXPECT_GE(replanned->Value(), replanned_before);
+}
+
+// ---------------------------------------------------------------------
+// DP incumbent bounds: seeding Selinger/bushy with a known upper bound
+// must leave the chosen plan bit-identical (deferred evaluation keeps
+// subset reachability — and the cross-product fallback — unchanged).
+
+TEST_P(SeededIncrementalSearchTest, SelingerBoundPreservesPlanExactly) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 12;
+  schema.seed = GetParam();
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  optimizer::FixedResourceEvaluator evaluator(
+      HiveModels(), resource::ResourceConfig(4.0, 40.0));
+  Rng rng(GetParam() * 131 + 29);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<TableId> tables = *catalog::RandomQueryTables(
+        cat, static_cast<int>(rng.UniformInt(3, 9)),
+        GetParam() * 100 + static_cast<uint64_t>(trial));
+    optimizer::SelingerOptions options;
+    options.time_weight = rng.Bernoulli(0.5) ? 1.0 : 0.6;
+
+    const Result<optimizer::PlannedQuery> unbounded =
+        optimizer::SelingerPlanner(options).Plan(cat, tables, evaluator);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+
+    // Bound exactly at the optimum (the warm-start case), slightly
+    // above it, and far above it: all must reproduce the plan.
+    const double optimum = unbounded->cost.Weighted(options.time_weight);
+    Arena arena;
+    for (double bound : {optimum, optimum * 1.0001, optimum * 1000.0}) {
+      optimizer::SelingerOptions bounded = options;
+      bounded.cost_upper_bound = bound;
+      arena.Reset();
+      bounded.arena = &arena;
+      const Result<optimizer::PlannedQuery> got =
+          optimizer::SelingerPlanner(bounded).Plan(cat, tables, evaluator);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->plan->ToString(), unbounded->plan->ToString())
+          << "bound=" << bound;
+      EXPECT_EQ(got->cost.seconds, unbounded->cost.seconds);
+      EXPECT_EQ(got->cost.dollars, unbounded->cost.dollars);
+      EXPECT_LE(got->stats.operator_cost_calls,
+                unbounded->stats.operator_cost_calls);
+    }
+  }
+}
+
+TEST_P(SeededIncrementalSearchTest, BushyDpBoundPreservesPlanExactly) {
+  catalog::RandomSchemaOptions schema;
+  schema.num_tables = 10;
+  schema.seed = GetParam() + 1000;
+  catalog::Catalog cat = *catalog::BuildRandomCatalog(schema);
+  optimizer::FixedResourceEvaluator evaluator(
+      HiveModels(), resource::ResourceConfig(4.0, 40.0));
+  Rng rng(GetParam() * 17 + 5);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::vector<TableId> tables = *catalog::RandomQueryTables(
+        cat, static_cast<int>(rng.UniformInt(3, 8)),
+        GetParam() * 55 + static_cast<uint64_t>(trial));
+    optimizer::BushyDpOptions options;
+
+    const Result<optimizer::PlannedQuery> unbounded =
+        optimizer::BushyDpPlanner(options).Plan(cat, tables, evaluator);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+
+    const double optimum = unbounded->cost.Weighted(options.time_weight);
+    Arena arena;
+    for (double bound : {optimum, optimum * 2.0}) {
+      optimizer::BushyDpOptions bounded = options;
+      bounded.cost_upper_bound = bound;
+      arena.Reset();
+      bounded.arena = &arena;
+      const Result<optimizer::PlannedQuery> got =
+          optimizer::BushyDpPlanner(bounded).Plan(cat, tables, evaluator);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->plan->ToString(), unbounded->plan->ToString())
+          << "bound=" << bound;
+      EXPECT_EQ(got->cost.seconds, unbounded->cost.seconds);
+      EXPECT_EQ(got->cost.dollars, unbounded->cost.dollars);
+      EXPECT_LE(got->stats.operator_cost_calls,
+                unbounded->stats.operator_cost_calls);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace raqo
